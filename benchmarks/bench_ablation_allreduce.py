@@ -1,0 +1,93 @@
+"""Ablation: allreduce algorithm choice (§II-B, Thakur et al. models).
+
+"Allreduces use different algorithms (e.g., ring or butterfly) for
+different n and p, so its performance cannot be directly deduced from
+point-to-point performance."  This ablation shows the crossovers for the
+two gradient sizes that matter here (ResNet-50: 102 MB; 1K mesh: 130 MB)
+and small control messages, plus a *measured* in-process allreduce.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    AllreduceAlgorithm,
+    allreduce_time,
+    run_spmd,
+    select_allreduce_algorithm,
+)
+from repro.perfmodel import LASSEN
+
+try:
+    from benchmarks.common import emit, render_table
+except ImportError:
+    from common import emit, render_table
+
+SIZES = [256, 64 * 1024, 1 * 1024 * 1024, 102 * 1024 * 1024, 130 * 1024 * 1024]
+RANKS = [4, 16, 64, 512, 2048]
+
+
+def generate_allreduce_ablation() -> tuple[str, dict]:
+    link = LASSEN.inter_link
+    rows, chosen = [], {}
+    for nbytes in SIZES:
+        for p in RANKS:
+            times = {
+                alg: allreduce_time(p, nbytes, link, alg)
+                for alg in AllreduceAlgorithm
+            }
+            sel = select_allreduce_algorithm(p, nbytes)
+            chosen[(nbytes, p)] = (sel, times)
+            rows.append(
+                [
+                    f"{nbytes / 1024:.0f} KiB" if nbytes < 1 << 20 else f"{nbytes >> 20} MiB",
+                    str(p),
+                    f"{times[AllreduceAlgorithm.RECURSIVE_DOUBLING] * 1e3:9.3f}",
+                    f"{times[AllreduceAlgorithm.RABENSEIFNER] * 1e3:9.3f}",
+                    f"{times[AllreduceAlgorithm.RING] * 1e3:9.3f}",
+                    sel.value,
+                ]
+            )
+    text = render_table(
+        "Ablation — allreduce algorithms (modeled ms, inter-node link)",
+        ["message", "ranks", "rec-dbl", "rabenseifner", "ring", "selected"],
+        rows,
+    )
+    return text, chosen
+
+
+def test_allreduce_model_ablation(benchmark):
+    text, chosen = benchmark(generate_allreduce_ablation)
+    emit("ablation_allreduce", text)
+    link = LASSEN.inter_link
+    for (nbytes, p), (sel, times) in chosen.items():
+        # Auto mode (algorithm=None) takes the true minimum.
+        assert allreduce_time(p, nbytes, link) == pytest.approx(
+            min(times.values())
+        )
+        if nbytes <= 2048:
+            assert sel is AllreduceAlgorithm.RECURSIVE_DOUBLING
+        # Bandwidth-optimal algorithms must win for gradient-sized buffers.
+        if nbytes >= 1 << 20 and p >= 16:
+            assert times[AllreduceAlgorithm.RABENSEIFNER] < times[
+                AllreduceAlgorithm.RECURSIVE_DOUBLING
+            ]
+
+
+def test_measured_inprocess_allreduce(benchmark):
+    """Functional allreduce on 4 in-process ranks (gradient aggregation)."""
+
+    def run():
+        def prog(comm):
+            grad = np.full(1 << 16, comm.rank, dtype=np.float64)
+            out = comm.allreduce(grad)
+            return float(out[0])
+
+        return run_spmd(4, prog)
+
+    results = benchmark(run)
+    assert results == [6.0] * 4  # 0+1+2+3
+
+
+if __name__ == "__main__":
+    emit("ablation_allreduce", generate_allreduce_ablation()[0])

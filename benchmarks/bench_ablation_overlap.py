@@ -1,0 +1,69 @@
+"""Ablation: communication/computation overlap (§IV-A).
+
+The paper's implementation overlaps (a) halo exchanges with interior
+convolution and (b) the dL/dw allreduce with backpropagation.  This
+ablation quantifies both via the discrete-event simulator.
+"""
+
+import pytest
+
+from repro.core.parallelism import LayerParallelism, ParallelStrategy
+from repro.nn.meshnet import mesh_model_1k, mesh_model_2k
+from repro.sim import TrainingStepSimulator
+from repro.perfmodel import LASSEN
+
+try:
+    from benchmarks.common import emit, render_table
+except ImportError:
+    from common import emit, render_table
+
+CONFIGS = [
+    ("1K, 4x(2x2)", mesh_model_1k, LayerParallelism(sample=4, height=2, width=2), 4),
+    ("1K, 4x(4x4)", mesh_model_1k, LayerParallelism(sample=4, height=4, width=4), 4),
+    ("2K, 2x(2x2)", mesh_model_2k, LayerParallelism(sample=2, height=2, width=2), 2),
+    ("2K, 2x(4x4)", mesh_model_2k, LayerParallelism(sample=2, height=4, width=4), 2),
+]
+
+
+def generate_overlap_ablation() -> tuple[str, list[tuple[float, float, float, float]]]:
+    rows, data = [], []
+    for label, spec_fn, par, n in CONFIGS:
+        spec = spec_fn()
+        strategy = ParallelStrategy.uniform(par)
+        both = TrainingStepSimulator(spec, LASSEN).simulate(n, strategy).minibatch_time
+        no_halo = TrainingStepSimulator(
+            spec, LASSEN, overlap_halo=False
+        ).simulate(n, strategy).minibatch_time
+        no_ar = TrainingStepSimulator(
+            spec, LASSEN, overlap_allreduce=False
+        ).simulate(n, strategy).minibatch_time
+        none = TrainingStepSimulator(
+            spec, LASSEN, overlap_halo=False, overlap_allreduce=False
+        ).simulate(n, strategy).minibatch_time
+        data.append((both, no_halo, no_ar, none))
+        rows.append(
+            [label, f"{both * 1e3:8.2f}", f"{no_halo * 1e3:8.2f}",
+             f"{no_ar * 1e3:8.2f}", f"{none * 1e3:8.2f}",
+             f"{none / both:5.2f}x"]
+        )
+    text = render_table(
+        "Ablation — overlap of halo exchange and allreduce (simulated ms)",
+        ["config", "both", "no halo ovl", "no AR ovl", "neither", "benefit"],
+        rows,
+    )
+    return text, data
+
+
+def test_overlap_ablation(benchmark):
+    text, data = benchmark(generate_overlap_ablation)
+    emit("ablation_overlap", text)
+    for both, no_halo, no_ar, none in data:
+        assert both <= no_halo + 1e-9
+        assert both <= no_ar + 1e-9
+        assert none >= max(no_halo, no_ar) - 1e-9
+    # Overlap must matter somewhere (the fine decompositions).
+    assert any(none / both > 1.05 for both, _, _, none in data)
+
+
+if __name__ == "__main__":
+    emit("ablation_overlap", generate_overlap_ablation()[0])

@@ -1,0 +1,142 @@
+"""Figure 2: microbenchmarks of ResNet-50 layers conv1 and res3b_branch2a.
+
+FP and BP time vs #GPUs (1..16) for N in {1, 4, 32} under 1/2/4/8/16
+GPUs/sample, halo exchange overlapped, allreduce excluded — exactly the
+paper's configuration.  The pytest-benchmark entries additionally *measure*
+the real numpy kernels at the two layer geometries (scaled), which is this
+substrate's analogue of the paper's cuDNN timings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parallelism import LayerParallelism
+from repro.nn import functional as F
+from repro.perfmodel import CalibratedConvModel, LASSEN
+from repro.perfmodel.layer_cost import conv_layer_cost
+
+try:
+    from benchmarks.common import (
+        PAPER_FIG2_CONV1, PAPER_FIG2_RES3B, emit, render_table,
+    )
+except ImportError:
+    from common import PAPER_FIG2_CONV1, PAPER_FIG2_RES3B, emit, render_table
+
+#: The two layers, exactly as published above the paper's plots.
+LAYERS = {
+    "conv1": dict(c=3, h=224, w=224, f=64, kernel=7, pad=3, stride=2),
+    "res3b_branch2a": dict(c=512, h=28, w=28, f=128, kernel=1, pad=0, stride=1),
+}
+BATCHES = (1, 4, 32)
+WAYS = (1, 2, 4, 8, 16)
+
+
+def layer_times(layer: str, n: int, ways: int) -> tuple[float, float]:
+    """(FP, BP) seconds for one layer at `ways` GPUs/sample (allreduce excl.)."""
+    geom = LAYERS[layer]
+    par = LayerParallelism.spatial_square(sample=1, ways=ways)
+    cost = conv_layer_cost(
+        LASSEN, CalibratedConvModel(LASSEN.gpu),
+        n_global=n, parallelism=par, total_ranks=ways * 1, **geom,
+    )
+    return cost.fp_time(overlap=True), cost.bp_time(overlap=True)
+
+
+def generate_fig2() -> str:
+    blocks = []
+    for layer in LAYERS:
+        rows = []
+        for n in BATCHES:
+            for ways in WAYS:
+                fp, bp = layer_times(layer, n, ways)
+                rows.append(
+                    [f"N={n}", f"{ways} GPUs/sample",
+                     f"{fp * 1e3:8.4f}", f"{bp * 1e3:8.4f}"]
+                )
+        blocks.append(
+            render_table(
+                f"Figure 2 — {layer} "
+                f"(C={LAYERS[layer]['c']} H={LAYERS[layer]['h']} "
+                f"F={LAYERS[layer]['f']} K={LAYERS[layer]['kernel']})",
+                ["batch", "decomposition", "FP (ms)", "BP (ms)"],
+                rows,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+class TestFig2Model:
+    def test_fig2_series(self, benchmark):
+        text = benchmark(generate_fig2)
+        emit("fig2_resnet_layers", text)
+
+    def test_conv1_anchor(self):
+        """One-GPU N=1 FP lands in the paper's ~0.035 ms decade (the
+        calibration prioritizes the end-to-end tables; see EXPERIMENTS.md)
+        and BP near ~0.1 ms."""
+        fp, bp = layer_times("conv1", 1, 1)
+        assert 20e-6 < fp < 95e-6  # paper ~35 us
+        assert 50e-6 < bp < 250e-6  # paper ~100 us
+
+    def test_res3b_no_halo(self):
+        """K=1 means no halo exchange at any decomposition (paper: 'the
+        filter size means that no halo exchange is needed')."""
+        for ways in WAYS:
+            geom = LAYERS["res3b_branch2a"]
+            cost = conv_layer_cost(
+                LASSEN, CalibratedConvModel(LASSEN.gpu), n_global=1,
+                parallelism=LayerParallelism.spatial_square(1, ways), **geom,
+            )
+            assert cost.fp_halo == 0.0
+
+    def test_res3b_fp_flattens(self):
+        """'Forward propagation does not show significant performance
+        improvements beyond two GPUs, due to fixed kernel overheads.'"""
+        fp = [layer_times("res3b_branch2a", 1, w)[0] for w in WAYS]
+        assert fp[1] <= fp[0] * 1.3  # at best marginal gain at 2 GPUs
+        assert fp[4] > fp[2] * 0.5  # <2x gain from 4 -> 16 GPUs
+
+    def test_conv1_n1_fp_does_not_scale_well(self):
+        """conv1 at N=1 "does not scale well" (paper: ~1.35x at 8 GPUs,
+        degrading at 16).  Our small-tile efficiency term — calibrated to
+        the end-to-end tables — is more pessimistic for this single-sample
+        layer (a documented deviation, see EXPERIMENTS.md); the qualitative
+        behavior holds: far from linear, and no further win at 16 GPUs."""
+        t1 = sum(layer_times("conv1", 1, 1))
+        t8 = sum(layer_times("conv1", 1, 8))
+        t16 = sum(layer_times("conv1", 1, 16))
+        assert t1 / t8 < 2.0  # nowhere near the ideal 8x
+        assert t16 > 0.7 * t8  # degradation / no further win at 16
+
+    def test_large_batch_spatial_competitive(self):
+        """At N=32 spatial decomposition stays competitive (halo hidden)."""
+        t1 = sum(layer_times("conv1", 32, 1))
+        t4 = sum(layer_times("conv1", 32, 4))
+        assert t4 < t1  # still profitable
+
+
+class TestFig2MeasuredKernels:
+    """Real kernel timings on this host (the EmpiricalConvModel substrate)."""
+
+    def test_conv1_kernel_forward(self, benchmark):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((1, 3, 112, 112))
+        w = rng.standard_normal((64, 3, 7, 7))
+        benchmark(lambda: F.conv2d_forward(x, w, stride=2, pad=3))
+
+    def test_res3b_kernel_forward(self, benchmark):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((1, 512, 28, 28))
+        w = rng.standard_normal((128, 512, 1, 1))
+        benchmark(lambda: F.conv2d_forward(x, w))
+
+    def test_res3b_kernel_backward_filter(self, benchmark):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((1, 512, 28, 28))
+        w = rng.standard_normal((128, 512, 1, 1))
+        dy = rng.standard_normal(F.conv2d_forward(x, w).shape)
+        benchmark(lambda: F.conv2d_backward_filter(x, dy, kernel=1))
+
+
+if __name__ == "__main__":
+    emit("fig2_resnet_layers", generate_fig2())

@@ -1,0 +1,104 @@
+"""Figure 3: microbenchmarks of 2K mesh model layers conv1_1 and conv6_1.
+
+FP and BP vs #GPUs for N in {1, 2, 4}: the very large spatial domains where
+spatial parallelism shines (conv1_1 reaches ~14.8x on 16 GPUs in the
+paper), and a deep layer (conv6_1) where gains are modest (~1.4x).
+"""
+
+import pytest
+
+from repro.core.parallelism import LayerParallelism
+from repro.perfmodel import CalibratedConvModel, LASSEN
+from repro.perfmodel.layer_cost import conv_layer_cost
+
+try:
+    from benchmarks.common import PAPER_FIG3_CONV1_1, PAPER_FIG3_CONV6_1, emit, render_table
+except ImportError:
+    from common import PAPER_FIG3_CONV1_1, PAPER_FIG3_CONV6_1, emit, render_table
+
+#: Published above the paper's plots.
+LAYERS = {
+    "conv1_1": dict(c=18, h=2048, w=2048, f=128, kernel=5, pad=2, stride=2),
+    "conv6_1": dict(c=384, h=64, w=64, f=128, kernel=3, pad=1, stride=2),
+}
+BATCHES = (1, 2, 4)
+WAYS = (1, 2, 4, 8, 16)
+
+
+def layer_times(layer: str, n: int, ways: int) -> tuple[float, float]:
+    geom = LAYERS[layer]
+    par = LayerParallelism.spatial_square(sample=1, ways=ways)
+    cost = conv_layer_cost(
+        LASSEN, CalibratedConvModel(LASSEN.gpu),
+        n_global=n, parallelism=par, total_ranks=ways, **geom,
+    )
+    return cost.fp_time(overlap=True), cost.bp_time(overlap=True)
+
+
+def generate_fig3() -> str:
+    blocks = []
+    for layer, geom in LAYERS.items():
+        rows = []
+        for n in BATCHES:
+            for ways in WAYS:
+                fp, bp = layer_times(layer, n, ways)
+                rows.append(
+                    [f"N={n}", f"{ways} GPUs/sample",
+                     f"{fp * 1e3:9.3f}", f"{bp * 1e3:9.3f}"]
+                )
+        blocks.append(
+            render_table(
+                f"Figure 3 — {layer} (C={geom['c']} H={geom['h']} F={geom['f']} "
+                f"K={geom['kernel']} P={geom['pad']} S={geom['stride']})",
+                ["batch", "decomposition", "FP (ms)", "BP (ms)"],
+                rows,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+class TestFig3:
+    def test_fig3_series(self, benchmark):
+        emit("fig3_mesh_layers", benchmark(generate_fig3))
+
+    def test_conv1_1_anchor(self):
+        """Paper: ~7.5 ms FP / ~30 ms BP at one GPU, N=1."""
+        fp, bp = layer_times("conv1_1", 1, 1)
+        assert fp * 1e3 == pytest.approx(PAPER_FIG3_CONV1_1["fp_ms"], rel=0.5)
+        assert bp * 1e3 == pytest.approx(PAPER_FIG3_CONV1_1["bp_ms"], rel=0.5)
+
+    def test_conv1_1_excellent_scaling(self):
+        """Paper: ~14.8x speedup on 16 GPUs at N=1 (halos well hidden)."""
+        t1 = sum(layer_times("conv1_1", 1, 1))
+        t16 = sum(layer_times("conv1_1", 1, 16))
+        assert 10.0 < t1 / t16 <= 16.5
+
+    def test_conv6_1_modest_scaling(self):
+        """Paper: continued but *modest* benefit (~1.4x) for the deep
+        layer, in stark contrast to conv1_1's ~14.8x.  Our small-tile
+        efficiency term (calibrated to the end-to-end tables) is more
+        pessimistic for this 8x8-per-GPU case — a documented deviation
+        (EXPERIMENTS.md); the qualitative contrast with conv1_1 holds by
+        an order of magnitude."""
+        t1 = sum(layer_times("conv6_1", 1, 1))
+        t16 = sum(layer_times("conv6_1", 1, 16))
+        deep_gain = t1 / t16
+        big_gain = sum(layer_times("conv1_1", 1, 1)) / sum(layer_times("conv1_1", 1, 16))
+        assert deep_gain < 2.5  # nothing like linear
+        assert big_gain > 5 * deep_gain  # the paper's headline contrast
+
+    def test_four_sample_halo_minor(self):
+        """'With four samples, the overhead of the halo exchange is very
+        minor': spatial-4 within ~25% of the ideal quarter of 1-GPU time."""
+        t1 = sum(layer_times("conv1_1", 4, 1))
+        t4 = sum(layer_times("conv1_1", 4, 4))
+        assert t4 < 0.25 * t1 * 1.25
+
+    def test_bp_fp_ratio_matches_paper(self):
+        """Fig. 3 shows BP ~ 3-4x FP for conv1_1 on one GPU."""
+        fp, bp = layer_times("conv1_1", 1, 1)
+        assert 2.0 < bp / fp < 5.0
+
+
+if __name__ == "__main__":
+    emit("fig3_mesh_layers", generate_fig3())

@@ -1,0 +1,117 @@
+"""Figure 4: weak scaling of the 1K and 2K mesh models up to 2048 GPUs.
+
+Mini-batch time vs #GPUs with one sample per spatial group (so the
+mini-batch grows with the machine) for 1/2/4/8/16 GPUs/sample.  Flat curves
+= perfect weak scaling.  Includes the paper's two second-order effects:
+
+* the slight upward trend for 8/16 GPUs/sample at large scale (exposed
+  allreduces: "our implementation cannot fully overlap global allreduces");
+* the sample-parallel degradation at 2048 GPUs from memory pressure
+  ("requiring a smaller workspace for cuDNN, impacting local convolution
+  algorithm selection") — modeled as a conv slowdown when the memory model
+  reports insufficient workspace headroom at scale.
+"""
+
+import pytest
+
+from repro.core.parallelism import LayerParallelism, ParallelStrategy
+from repro.nn.meshnet import mesh_model_1k, mesh_model_2k
+from repro.perfmodel import LASSEN, MemoryModel, NetworkCostModel
+
+try:
+    from benchmarks.common import emit, render_table
+except ImportError:
+    from common import emit, render_table
+
+GPU_COUNTS = (4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048)
+#: Conv slowdown when cuDNN must fall back to a smaller workspace.
+WORKSPACE_PRESSURE_FACTOR = 1.12
+#: cuDNN wants a few GiB of free memory for its fastest algorithms (plus
+#: allocator fragmentation slack); below this, algorithm selection degrades.
+PRESSURE_HEADROOM_BYTES = 2.0 * 1024**3
+
+
+def weak_scaling_point(spec, memory: MemoryModel, model: NetworkCostModel,
+                       gpus: int, ways: int) -> float | None:
+    if gpus % ways:
+        return None
+    n = gpus // ways  # one sample per spatial group
+    if n < 1:
+        return None
+    par = LayerParallelism.spatial_square(sample=n, ways=ways)
+    strategy = ParallelStrategy.uniform(par)
+    if not memory.fits(n, strategy):
+        return None
+    t = model.minibatch_time(n, strategy)
+    # Memory-pressure penalty: cuDNN prefers a workspace several times the
+    # capped allocation for its fastest algorithms; when the headroom after
+    # activations + comm buffers cannot provide it, convolutions slow down
+    # ("requiring a smaller workspace for cuDNN, impacting local
+    # convolution algorithm selection", §VI-B1).
+    bd = memory.breakdown(n, strategy)
+    headroom = LASSEN.gpu.memory_bytes - bd.total
+    if headroom < PRESSURE_HEADROOM_BYTES:
+        t *= WORKSPACE_PRESSURE_FACTOR
+    return t
+
+
+def generate_fig4(which: str) -> tuple[str, dict]:
+    spec = mesh_model_1k() if which == "1k" else mesh_model_2k()
+    ways_list = (1, 2, 4, 8, 16) if which == "1k" else (2, 4, 8, 16)
+    model = NetworkCostModel(spec, LASSEN)
+    memory = MemoryModel(spec, LASSEN)
+    series: dict[int, list[float | None]] = {w: [] for w in ways_list}
+    rows = []
+    for gpus in GPU_COUNTS:
+        row = [str(gpus)]
+        for w in ways_list:
+            t = weak_scaling_point(spec, memory, model, gpus, w)
+            series[w].append(t)
+            row.append(f"{t:7.4f}" if t is not None else "   n/a ")
+        rows.append(row)
+    text = render_table(
+        f"Figure 4 — {which.upper()} mesh model weak scaling "
+        "(mini-batch seconds vs #GPUs; columns = GPUs/sample)",
+        ["#GPUs"] + [f"{w} g/s" for w in ways_list],
+        rows,
+    )
+    return text, series
+
+
+class TestFig4:
+    def test_series_1k(self, benchmark):
+        text, series = benchmark(generate_fig4, "1k")
+        emit("fig4_weak_scaling_1k", text)
+        # Near-perfect weak scaling at 2/4 GPUs/sample (flat within 10%).
+        for w in (2, 4):
+            vals = [t for t in series[w] if t is not None]
+            assert max(vals) / min(vals) < 1.10
+
+    def test_series_2k(self, benchmark):
+        text, series = benchmark(generate_fig4, "2k")
+        emit("fig4_weak_scaling_2k", text)
+        vals = [t for t in series[4] if t is not None]
+        assert max(vals) / min(vals) < 1.10
+
+    def test_sample_parallel_unavailable_for_2k(self):
+        _, series = generate_fig4("2k")
+        assert 1 not in series  # memory requires >= 2-way spatial
+
+    def test_sample_parallel_degrades_at_2048(self):
+        """The paper's memory-pressure uptick for 1 GPU/sample at 2048."""
+        _, series = generate_fig4("1k")
+        one = series[1]
+        small_scale = one[GPU_COUNTS.index(64)]
+        at_2048 = one[GPU_COUNTS.index(2048)]
+        assert at_2048 > small_scale * 1.05
+
+    def test_fine_decomposition_trends_up_slightly(self):
+        """8/16 GPUs/sample drift upward at scale (allreduce exposure)."""
+        _, series = generate_fig4("1k")
+        s16 = [t for t in series[16] if t is not None]
+        assert s16[-1] >= s16[0]
+
+
+if __name__ == "__main__":
+    emit("fig4_weak_scaling_1k", generate_fig4("1k")[0])
+    emit("fig4_weak_scaling_2k", generate_fig4("2k")[0])

@@ -1,0 +1,90 @@
+"""Table II: 2K mesh model strong scaling (speedup over 2 GPUs/sample)."""
+
+import pytest
+
+from repro.core.parallelism import LayerParallelism, ParallelStrategy
+from repro.nn.meshnet import mesh_model_2k
+from repro.perfmodel import LASSEN, NetworkCostModel
+
+try:
+    from benchmarks.common import PAPER_TABLE2, TABLE2_WAYS, emit, fmt, render_table
+except ImportError:
+    from common import PAPER_TABLE2, TABLE2_WAYS, emit, fmt, render_table
+
+MAX_GPUS = 2048
+
+
+def predicted_cell(model: NetworkCostModel, n: int, ways: int) -> float | None:
+    par = LayerParallelism.spatial_square(sample=n, ways=ways)
+    if par.nranks > MAX_GPUS:
+        return None
+    return model.minibatch_time(n, ParallelStrategy.uniform(par))
+
+
+def generate_table2() -> tuple[str, dict]:
+    model = NetworkCostModel(mesh_model_2k(), LASSEN)
+    ours: dict[int, list[float | None]] = {}
+    rows = []
+    for n, paper_row in PAPER_TABLE2.items():
+        our_row = [predicted_cell(model, n, w) for w in TABLE2_WAYS]
+        ours[n] = our_row
+        cells = [str(n)]
+        for pv, ov in zip(paper_row, our_row):
+            ov = ov if pv is not None else None
+            cells.append(fmt(pv))
+            cells.append(fmt(ov))
+            if pv and ov:
+                cells.append(f"{paper_row[0] / pv:.1f}x/{our_row[0] / ov:.1f}x")
+            else:
+                cells.append("n/a")
+        rows.append(cells)
+    header = ["N"]
+    for w in TABLE2_WAYS:
+        header += [f"{w}g paper", f"{w}g ours", "spdup p/o"]
+    text = render_table(
+        "Table II — 2K mesh strong scaling (mini-batch seconds; speedup vs 2 GPUs/sample)",
+        header,
+        rows,
+    )
+    return text, ours
+
+
+def test_table2_reproduction(benchmark):
+    text, ours = benchmark(generate_table2)
+    emit("table2_mesh2k_strong", text)
+    for n, row in ours.items():
+        paper = PAPER_TABLE2[n]
+        # ~2x from 2->4 GPUs/sample, ~2.9x at 8, ~3.6x at 16 (paper bands).
+        if row[1] is not None and paper[1] is not None:
+            assert 1.6 <= row[0] / row[1] <= 2.3
+        if row[3] is not None and paper[3] is not None:
+            assert 2.7 <= row[0] / row[3] <= 5.3
+
+    # Sample parallelism is impossible for the 2K model (memory), which is
+    # why the table has no 1 GPU/sample column.
+    from repro.perfmodel import MemoryModel
+
+    assert not MemoryModel(mesh_model_2k(), LASSEN).fits(1, LayerParallelism())
+
+
+def test_table2_shape_vs_paper(benchmark):
+    """Per-column relative error against the paper stays within 60%
+    (the 2K absolutes run ~1.3x slow in our calibration — see
+    EXPERIMENTS.md — but every speedup ratio matches)."""
+
+    def check():
+        model = NetworkCostModel(mesh_model_2k(), LASSEN)
+        worst = 0.0
+        for n, paper_row in PAPER_TABLE2.items():
+            for w, pv in zip(TABLE2_WAYS, paper_row):
+                if pv is None:
+                    continue
+                ov = predicted_cell(model, n, w)
+                worst = max(worst, abs(ov / pv - 1.0))
+        return worst
+
+    assert benchmark(check) < 0.60
+
+
+if __name__ == "__main__":
+    emit("table2_mesh2k_strong", generate_table2()[0])

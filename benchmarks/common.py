@@ -1,0 +1,98 @@
+"""Shared benchmark infrastructure: paper reference data and table output.
+
+Every benchmark regenerates one table or figure of the paper and prints it
+next to the published values, writing the rendered table to
+``benchmarks/results/<name>.txt`` (and stdout).  The reference numbers below
+are transcribed from the paper (Dryden et al., IPDPS 2019).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+# -- Table I: 1K mesh strong scaling (mini-batch time, seconds) ------------------
+# rows: N; columns: 1 / 2 / 4 / 8 / 16 GPUs/sample (None = n/a in the paper)
+PAPER_TABLE1 = {
+    4: (0.403, 0.200, 0.121, 0.0906, 0.066),
+    8: (0.399, 0.201, 0.124, 0.0829, 0.0681),
+    16: (0.400, 0.201, 0.121, 0.085, 0.0739),
+    32: (0.401, 0.207, 0.123, 0.0874, 0.0794),
+    64: (0.407, 0.208, 0.124, 0.0911, 0.0839),
+    128: (0.407, 0.209, 0.125, 0.0931, 0.0902),
+    256: (0.401, 0.209, 0.127, 0.0977, None),
+    512: (0.393, 0.209, 0.126, None, None),
+    1024: (0.400, 0.211, None, None, None),
+}
+TABLE1_WAYS = (1, 2, 4, 8, 16)
+
+# -- Table II: 2K mesh strong scaling ------------------------------------------------
+# rows: N; columns: 2 / 4 / 8 / 16 GPUs/sample
+PAPER_TABLE2 = {
+    2: (0.247, 0.120, 0.0859, 0.0683),
+    4: (0.249, 0.123, 0.0895, 0.0662),
+    8: (0.250, 0.125, 0.0849, 0.0665),
+    16: (0.249, 0.121, 0.0848, 0.0681),
+    32: (0.251, 0.122, 0.0851, 0.0703),
+    64: (0.252, 0.122, 0.0856, 0.0729),
+    128: (0.252, 0.122, 0.0867, 0.0748),
+    256: (0.250, 0.123, 0.089, None),
+    512: (0.249, 0.123, None, None),
+}
+TABLE2_WAYS = (2, 4, 8, 16)
+
+# -- Table III: ResNet-50 strong scaling ----------------------------------------------
+# rows: N; columns: sample (32/GPU) / hybrid 2 GPUs / hybrid 4 GPUs
+PAPER_TABLE3 = {
+    128: (0.106, 0.0734, 0.0593),
+    256: (0.106, 0.0732, 0.0671),
+    512: (0.105, 0.0776, 0.0617),
+    1024: (0.105, 0.0747, 0.0672),
+    2048: (0.108, 0.0733, 0.0651),
+    4096: (0.0984, 0.078, 0.066),
+    8192: (0.109, 0.0785, 0.0725),
+    16384: (0.108, 0.0844, 0.0792),
+    32768: (0.109, 0.0869, None),
+}
+
+# -- Figure 2/3 microbenchmark anchors (ms, 1 GPU, N=1; read from the plots) ---------
+PAPER_FIG2_CONV1 = {"fp_ms": 0.035, "bp_ms": 0.10}
+PAPER_FIG2_RES3B = {"fp_ms": 0.04, "bp_ms": 0.05}
+PAPER_FIG3_CONV1_1 = {"fp_ms": 7.5, "bp_ms": 30.0}
+PAPER_FIG3_CONV6_1 = {"fp_ms": 0.25, "bp_ms": 0.30}
+
+
+def fmt(value: float | None, unit_ms: bool = False) -> str:
+    if value is None:
+        return "   n/a "
+    if unit_ms:
+        return f"{value * 1e3:7.3f}"
+    return f"{value:7.4f}"
+
+
+def render_table(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[str]],
+) -> str:
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for r in rows:
+        lines.append("  ".join(str(c).rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def emit(name: str, text: str) -> str:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    print("\n" + text + f"\n[written to {path}]")
+    return path

@@ -1,0 +1,46 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Writes rendered tables to ``benchmarks/results/`` and prints them.
+
+Run:  python benchmarks/run_all.py
+"""
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from common import emit  # noqa: E402
+
+import bench_table1_mesh1k_strong as t1  # noqa: E402
+import bench_table2_mesh2k_strong as t2  # noqa: E402
+import bench_table3_resnet_strong as t3  # noqa: E402
+import bench_fig2_resnet_layers as f2  # noqa: E402
+import bench_fig3_mesh_layers as f3  # noqa: E402
+import bench_fig4_weak_scaling as f4  # noqa: E402
+import bench_model_validation as mv  # noqa: E402
+import bench_ablation_overlap as ao  # noqa: E402
+import bench_ablation_allreduce as aa  # noqa: E402
+import bench_ablation_batchnorm as ab  # noqa: E402
+import bench_ablation_strategy as ast_  # noqa: E402
+
+
+def main() -> None:
+    emit("table1_mesh1k_strong", t1.generate_table1()[0])
+    emit("table2_mesh2k_strong", t2.generate_table2()[0])
+    emit("table3_resnet_strong", t3.generate_table3()[0])
+    emit("fig2_resnet_layers", f2.generate_fig2())
+    emit("fig3_mesh_layers", f3.generate_fig3())
+    emit("fig4_weak_scaling_1k", f4.generate_fig4("1k")[0])
+    emit("fig4_weak_scaling_2k", f4.generate_fig4("2k")[0])
+    emit("model_validation_sim", mv.generate_model_vs_sim()[0])
+    emit("model_validation_measured", mv.generate_measured_ranking()[0])
+    emit("ablation_overlap", ao.generate_overlap_ablation()[0])
+    emit("ablation_allreduce", aa.generate_allreduce_ablation()[0])
+    emit("ablation_batchnorm", ab.generate_bn_ablation()[0])
+    emit("ablation_strategy", ast_.generate_strategy_ablation()[0])
+    print("\nAll tables and figures regenerated under benchmarks/results/.")
+
+
+if __name__ == "__main__":
+    main()

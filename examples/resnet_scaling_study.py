@@ -1,0 +1,73 @@
+"""Scaling study: where does spatial parallelism pay off? (paper §VI)
+
+Sweeps strong scaling of ResNet-50 and the mesh models with the calibrated
+performance model, reporting speedups, the memory picture, and the
+crossover where sample parallelism stops being available or profitable —
+the quantitative version of the paper's headline message: "exploiting
+parallelism within the spatial domain allows scaling to continue beyond
+the mini-batch size."
+
+Run:  python examples/resnet_scaling_study.py
+"""
+
+from repro.core.parallelism import LayerParallelism, ParallelStrategy
+from repro.nn.meshnet import mesh_model_1k, mesh_model_2k
+from repro.nn.resnet import build_resnet50
+from repro.perfmodel import LASSEN, MemoryModel, NetworkCostModel
+
+
+def strong_scaling(label: str, spec, n: int, ways_list) -> None:
+    print("=" * 72)
+    print(f"{label}: strong scaling at mini-batch {n}")
+    print("=" * 72)
+    model = NetworkCostModel(spec, LASSEN)
+    memory = MemoryModel(spec, LASSEN)
+    base = None
+    print(f"  {'decomposition':<32s} {'GPUs':>5s} {'time':>10s} "
+          f"{'speedup':>8s} {'mem/GPU':>9s}")
+    for ways in ways_list:
+        par = LayerParallelism.spatial_square(sample=n, ways=ways)
+        strategy = ParallelStrategy.uniform(par)
+        mem = memory.required_bytes(n, strategy) / 1024**3
+        if not memory.fits(n, strategy):
+            print(f"  {par.describe():<32s} {par.nranks:>5d} "
+                  f"{'—':>10s} {'OOM':>8s} {mem:>8.1f}G")
+            continue
+        t = model.minibatch_time(n, strategy)
+        if base is None:
+            base = t
+        print(f"  {par.describe():<32s} {par.nranks:>5d} {t * 1e3:>8.2f}ms "
+              f"{base / t:>7.2f}x {mem:>8.1f}G")
+    print()
+
+
+def memory_story() -> None:
+    print("=" * 72)
+    print("Why spatial parallelism exists: the memory picture (16 GB V100)")
+    print("=" * 72)
+    for label, spec in (("1K mesh", mesh_model_1k()), ("2K mesh", mesh_model_2k())):
+        memory = MemoryModel(spec, LASSEN)
+        for ways in (1, 2, 4):
+            par = LayerParallelism.spatial_square(sample=1, ways=ways)
+            bd = memory.breakdown(1, ParallelStrategy.uniform(par))
+            fits = "fits" if bd.total <= LASSEN.gpu.memory_bytes else "EXCEEDS 16 GB"
+            print(f"  {label}, 1 sample, {ways}-way spatial: "
+                  f"{bd.total / 1024**3:6.1f} GiB/GPU  ({fits})")
+    bd = MemoryModel(mesh_model_2k(), LASSEN).breakdown(
+        1, ParallelStrategy.uniform(LayerParallelism())
+    )
+    print("\n  2K mesh, one sample, no spatial parallelism — breakdown:")
+    print(bd.summary())
+    print()
+
+
+def main() -> None:
+    strong_scaling("ResNet-50 (N=256, 32 samples/group)", build_resnet50(),
+                   256 // 32 * 32, [1, 2, 4])
+    strong_scaling("1K mesh model (N=8)", mesh_model_1k(), 8, [1, 2, 4, 8, 16])
+    strong_scaling("2K mesh model (N=4)", mesh_model_2k(), 4, [1, 2, 4, 8, 16])
+    memory_story()
+
+
+if __name__ == "__main__":
+    main()

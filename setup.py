@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517`` works on hosts without the ``wheel``
+package (e.g. air-gapped machines, like the one the test suite targets).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""MPI-like communication substrate for in-process SPMD execution.
+
+This package replaces the MPI + NCCL + Aluminum stack used by the paper's
+LBANN implementation with a functionally equivalent, thread-based runtime:
+
+* :mod:`repro.comm.backend` — the SPMD harness (:func:`run_spmd`) that runs
+  one Python thread per rank with shared mailboxes and rendezvous state.
+* :mod:`repro.comm.communicator` — the :class:`Communicator` API
+  (``send``/``recv``/``sendrecv``/``allreduce``/``allgather``/``alltoall``/
+  ``bcast``/``barrier``/``split``), mirroring mpi4py's lower-case object
+  interface.
+* :mod:`repro.comm.stats` — per-rank communication statistics (bytes,
+  message and collective counts) used by tests and benchmarks to verify the
+  communication-volume formulas of the paper's Section V.
+* :mod:`repro.comm.collective_models` — α-β cost models for point-to-point
+  and collective operations (Thakur et al.), used by the performance model.
+
+The communicator is *buffered and eager*: ``send`` never blocks, so the
+halo-exchange and shuffle patterns used by the distributed tensor library
+cannot deadlock regardless of ordering.
+"""
+
+from repro.comm.backend import CommAborted, run_spmd
+from repro.comm.communicator import Communicator
+from repro.comm.stats import CommStats
+from repro.comm.collective_models import (
+    AllreduceAlgorithm,
+    allgather_time,
+    allreduce_time,
+    alltoall_time,
+    bcast_time,
+    pt2pt_time,
+    reduce_scatter_time,
+    select_allreduce_algorithm,
+)
+
+__all__ = [
+    "AllreduceAlgorithm",
+    "CommAborted",
+    "CommStats",
+    "Communicator",
+    "allgather_time",
+    "allreduce_time",
+    "alltoall_time",
+    "bcast_time",
+    "pt2pt_time",
+    "reduce_scatter_time",
+    "run_spmd",
+    "select_allreduce_algorithm",
+]

@@ -1,0 +1,204 @@
+"""SPMD execution harness: one thread per rank, shared rendezvous state.
+
+The paper's implementation runs one MPI process per GPU.  Here every rank is
+a Python thread; numpy releases the GIL for array kernels, so ranks overlap
+for the bulk of the arithmetic.  All shared state (mailboxes for
+point-to-point messages, rendezvous groups for collectives) lives in a
+:class:`World` object created once per :func:`run_spmd` call.
+
+Error handling follows MPI's "abort the job" philosophy: if any rank raises,
+the world is aborted, every barrier is broken, and the original exception is
+re-raised in the caller with :class:`CommAborted` raised inside the
+surviving ranks.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+
+class CommAborted(RuntimeError):
+    """Raised inside surviving ranks when the SPMD world has been aborted."""
+
+
+#: Default number of seconds a rank will wait on a peer before concluding the
+#: job is wedged.  Functional tests run on <=16 in-process ranks; a minute is
+#: far beyond any legitimate wait.
+DEFAULT_TIMEOUT: float = 120.0
+
+
+class _Mailbox:
+    """Point-to-point message store for one destination rank.
+
+    Messages are matched MPI-style on ``(source, tag)`` with FIFO order per
+    pair.  Sends are eager (never block); receives block until a matching
+    message arrives or the world aborts.
+    """
+
+    def __init__(self, world: "World") -> None:
+        self._world = world
+        self._cv = threading.Condition()
+        self._queues: dict[tuple[int, int], deque[Any]] = {}
+
+    def put(self, source: int, tag: int, payload: Any) -> None:
+        with self._cv:
+            self._queues.setdefault((source, tag), deque()).append(payload)
+            self._cv.notify_all()
+
+    def get(self, source: int, tag: int, timeout: float) -> Any:
+        key = (source, tag)
+        with self._cv:
+            while True:
+                q = self._queues.get(key)
+                if q:
+                    return q.popleft()
+                if self._world.aborted:
+                    raise CommAborted(
+                        f"recv(source={source}, tag={tag}) interrupted: world aborted"
+                    )
+                if not self._cv.wait(timeout=min(timeout, 0.5)):
+                    timeout -= 0.5
+                    if timeout <= 0:
+                        raise CommAborted(
+                            f"recv(source={source}, tag={tag}) timed out"
+                        )
+
+    def pending(self) -> int:
+        with self._cv:
+            return sum(len(q) for q in self._queues.values())
+
+
+class _Rendezvous:
+    """Shared collective context for one communicator group.
+
+    Collectives are implemented as a two-phase barrier around a shared slot
+    array: every member deposits its contribution, synchronizes, reads the
+    (deterministically combined) result, and synchronizes again so a fast
+    rank cannot race ahead into the next collective and clobber the slots.
+    """
+
+    def __init__(self, nmembers: int) -> None:
+        self.barrier = threading.Barrier(nmembers)
+        self.slots: list[Any] = [None] * nmembers
+        self.scratch: dict[str, Any] = {}
+        self.lock = threading.Lock()
+
+    def abort(self) -> None:
+        self.barrier.abort()
+
+
+@dataclass
+class World:
+    """All shared state for one SPMD job."""
+
+    size: int
+    timeout: float = DEFAULT_TIMEOUT
+    aborted: bool = False
+    _mailboxes: list[_Mailbox] = field(default_factory=list)
+    _groups: dict[Any, _Rendezvous] = field(default_factory=dict)
+    _groups_lock: threading.Lock = field(default_factory=threading.Lock)
+    _abort_lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"world size must be >= 1, got {self.size}")
+        self._mailboxes = [_Mailbox(self) for _ in range(self.size)]
+
+    # -- point-to-point ----------------------------------------------------
+    def deliver(self, source: int, dest: int, tag: int, payload: Any) -> None:
+        self._check_rank(dest, "dest")
+        self._mailboxes[dest].put(source, tag, payload)
+
+    def collect(self, dest: int, source: int, tag: int) -> Any:
+        self._check_rank(source, "source")
+        return self._mailboxes[dest].get(source, tag, self.timeout)
+
+    # -- collective rendezvous --------------------------------------------
+    def group(self, key: Any, nmembers: int) -> _Rendezvous:
+        """Fetch-or-create the rendezvous context for a communicator group.
+
+        ``key`` must be identical across all members (e.g. the sorted member
+        tuple plus a creation sequence number); the first caller creates the
+        context, later callers reuse it.
+        """
+        with self._groups_lock:
+            ctx = self._groups.get(key)
+            if ctx is None:
+                ctx = _Rendezvous(nmembers)
+                self._groups[key] = ctx
+            return ctx
+
+    # -- failure handling ---------------------------------------------------
+    def abort(self) -> None:
+        with self._abort_lock:
+            if self.aborted:
+                return
+            self.aborted = True
+        with self._groups_lock:
+            for ctx in self._groups.values():
+                ctx.abort()
+        for mb in self._mailboxes:
+            with mb._cv:
+                mb._cv.notify_all()
+
+    def _check_rank(self, rank: int, what: str) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"{what}={rank} out of range for world of size {self.size}")
+
+
+def run_spmd(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float = DEFAULT_TIMEOUT,
+    **kwargs: Any,
+) -> list[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` ranks; return results.
+
+    This is the in-process analogue of ``mpiexec -n nranks python script.py``.
+    ``fn`` receives a :class:`~repro.comm.communicator.Communicator` whose
+    ``rank``/``size`` identify the caller.  Results are returned in rank
+    order.  If any rank raises, the world is aborted and the first exception
+    (by rank) is re-raised in the caller.
+
+    For ``nranks == 1`` the function is invoked directly on the calling
+    thread, which keeps single-rank tests cheap and debuggable.
+    """
+    from repro.comm.communicator import Communicator
+
+    world = World(size=nranks, timeout=timeout)
+    if nranks == 1:
+        return [fn(Communicator._world_comm(world, 0), *args, **kwargs)]
+
+    results: list[Any] = [None] * nranks
+    errors: list[BaseException | None] = [None] * nranks
+
+    def runner(rank: int) -> None:
+        try:
+            comm = Communicator._world_comm(world, rank)
+            results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - must propagate anything
+            errors[rank] = exc
+            world.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(rank,), name=f"spmd-rank-{rank}")
+        for rank in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    first_real = next(
+        (e for e in errors if e is not None and not isinstance(e, CommAborted)), None
+    )
+    if first_real is not None:
+        raise first_real
+    first_any = next((e for e in errors if e is not None), None)
+    if first_any is not None:
+        raise first_any
+    return results

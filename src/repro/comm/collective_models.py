@@ -1,0 +1,133 @@
+"""Analytic α-β cost models for point-to-point and collective operations.
+
+Follows the linear (Hockney) model of the paper's §II-B: sending ``n`` bytes
+between two nodes costs ``α + βn`` with latency ``α`` (seconds) and inverse
+bandwidth ``β`` (seconds/byte).  Collective costs follow Thakur, Rabenseifner
+& Gropp, *Optimization of Collective Communication Operations in MPICH*
+(IJHPCA 2005), which is the model the paper cites for allreduce:
+
+* recursive doubling: ``lg(p)·α + lg(p)·n·β + lg(p)·n·γ`` — best for small n;
+* Rabenseifner (reduce-scatter + allgather):
+  ``2·lg(p)·α + 2·((p-1)/p)·n·β + ((p-1)/p)·n·γ`` — best for large n, p=2^k;
+* ring: ``2·(p-1)·α + 2·((p-1)/p)·n·β + ((p-1)/p)·n·γ`` — bandwidth-optimal,
+  what NCCL uses for large messages.
+
+``γ`` is the per-byte local reduction cost.  All functions take byte counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+
+class AllreduceAlgorithm(str, Enum):
+    RECURSIVE_DOUBLING = "recursive_doubling"
+    RABENSEIFNER = "rabenseifner"
+    RING = "ring"
+
+
+#: Message size (bytes) above which bandwidth-optimal algorithms win.
+#: Thakur et al. use 2 KiB as the small/large cutoff for allreduce.
+SMALL_MESSAGE_CUTOFF: int = 2048
+
+
+@dataclass(frozen=True)
+class LinkParameters:
+    """α-β(-γ) parameters for one class of link."""
+
+    alpha: float  # latency, seconds
+    beta: float  # inverse bandwidth, seconds per byte
+    gamma: float = 0.0  # local reduction cost, seconds per byte
+
+    def pt2pt(self, nbytes: float) -> float:
+        return self.alpha + self.beta * nbytes
+
+
+def pt2pt_time(nbytes: float, link: LinkParameters) -> float:
+    """SR(n): time to send and receive ``n`` bytes between two ranks.
+
+    The network is assumed full-duplex (paper §II-B), so a simultaneous
+    exchange costs one traversal.
+    """
+    if nbytes <= 0:
+        return 0.0
+    return link.pt2pt(nbytes)
+
+
+def allreduce_time(
+    p: int,
+    nbytes: float,
+    link: LinkParameters,
+    algorithm: AllreduceAlgorithm | None = None,
+) -> float:
+    """AR(p, n): allreduce of ``n`` bytes over ``p`` ranks.
+
+    With ``algorithm=None`` the fastest algorithm for this (p, n, link) is
+    used (mirroring MPICH/NCCL tuned selection and the paper's observation
+    that "allreduces use different algorithms for different n and p").
+    """
+    if p <= 1 or nbytes <= 0:
+        return 0.0
+    if algorithm is None:
+        return min(
+            allreduce_time(p, nbytes, link, alg) for alg in AllreduceAlgorithm
+        )
+    a, b, g = link.alpha, link.beta, link.gamma
+    frac = (p - 1) / p
+    lg = math.log2(p)
+    if algorithm is AllreduceAlgorithm.RECURSIVE_DOUBLING:
+        return lg * a + lg * nbytes * b + lg * nbytes * g
+    if algorithm is AllreduceAlgorithm.RABENSEIFNER:
+        return 2 * lg * a + 2 * frac * nbytes * b + frac * nbytes * g
+    if algorithm is AllreduceAlgorithm.RING:
+        return 2 * (p - 1) * a + 2 * frac * nbytes * b + frac * nbytes * g
+    raise ValueError(f"unknown allreduce algorithm {algorithm!r}")
+
+
+def select_allreduce_algorithm(p: int, nbytes: float) -> AllreduceAlgorithm:
+    """Thakur-style selection: latency-optimal for small n, bandwidth for large."""
+    if nbytes < SMALL_MESSAGE_CUTOFF:
+        return AllreduceAlgorithm.RECURSIVE_DOUBLING
+    if p & (p - 1) == 0:  # power of two: halving/doubling applies directly
+        return AllreduceAlgorithm.RABENSEIFNER
+    return AllreduceAlgorithm.RING
+
+
+def reduce_scatter_time(p: int, nbytes: float, link: LinkParameters) -> float:
+    """Reduce-scatter of ``n`` total bytes over ``p`` ranks (pairwise exchange)."""
+    if p <= 1 or nbytes <= 0:
+        return 0.0
+    frac = (p - 1) / p
+    return math.log2(p) * link.alpha + frac * nbytes * (link.beta + link.gamma)
+
+
+def allgather_time(p: int, nbytes: float, link: LinkParameters) -> float:
+    """Allgather to ``n`` total bytes over ``p`` ranks (recursive doubling)."""
+    if p <= 1 or nbytes <= 0:
+        return 0.0
+    frac = (p - 1) / p
+    return math.log2(p) * link.alpha + frac * nbytes * link.beta
+
+
+def bcast_time(p: int, nbytes: float, link: LinkParameters) -> float:
+    """Broadcast of ``n`` bytes (scatter + allgather, van de Geijn)."""
+    if p <= 1 or nbytes <= 0:
+        return 0.0
+    lg = math.log2(p)
+    frac = (p - 1) / p
+    if nbytes < SMALL_MESSAGE_CUTOFF:
+        return lg * (link.alpha + nbytes * link.beta)  # binomial tree
+    return (lg + p - 1) * link.alpha + 2 * frac * nbytes * link.beta
+
+
+def alltoall_time(p: int, nbytes_per_pair: float, link: LinkParameters) -> float:
+    """All-to-all where each rank exchanges ``nbytes_per_pair`` with every other.
+
+    Uses the pairwise-exchange model (p-1 rounds), which is what the data
+    redistribution ("shuffle", paper §III-C) maps onto for large messages.
+    """
+    if p <= 1 or nbytes_per_pair <= 0:
+        return 0.0
+    return (p - 1) * (link.alpha + nbytes_per_pair * link.beta)

@@ -1,0 +1,313 @@
+"""MPI-style communicator over the thread-based SPMD backend.
+
+The interface mirrors mpi4py's lower-case (object) API: payloads are Python
+objects, numpy arrays are passed by value (defensively copied at the
+communication boundary so neither side can observe later mutations), and
+collectives combine contributions in deterministic comm-rank order so runs
+are bit-reproducible for a fixed rank count.
+
+Semantics implemented:
+
+* eager buffered ``send``/``recv``/``sendrecv`` matched on ``(source, tag)``;
+* ``barrier``, ``bcast``, ``gather``, ``scatter``, ``allgather``,
+  ``alltoall``, ``reduce``, ``allreduce``, ``reduce_scatter``;
+* ``split(color, key)`` creating sub-communicators, the building block for
+  the sample-group × spatial-group process grids of the paper's hybrid
+  sample/spatial parallelism.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.comm.backend import CommAborted, World, _Rendezvous
+from repro.comm.stats import CommStats
+
+_REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "max": lambda a, b: np.maximum(a, b),
+    "min": lambda a, b: np.minimum(a, b),
+}
+
+
+def _freeze(payload: Any) -> Any:
+    """Defensively copy array payloads crossing the communication boundary."""
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    if isinstance(payload, tuple):
+        return tuple(_freeze(p) for p in payload)
+    if isinstance(payload, list):
+        return [_freeze(p) for p in payload]
+    return payload
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Approximate wire size of a payload (numpy arrays dominate in practice)."""
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (tuple, list)):
+        return sum(payload_nbytes(p) for p in payload)
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, dict):
+        return sum(payload_nbytes(v) for v in payload.values())
+    return 64  # nominal envelope for small control messages
+
+
+class Communicator:
+    """A group of ranks with point-to-point and collective operations."""
+
+    def __init__(
+        self,
+        world: World,
+        members: tuple[int, ...],
+        rank: int,
+        key: Any,
+    ) -> None:
+        self._world = world
+        self._members = members
+        self.rank = rank
+        self.size = len(members)
+        self._key = key
+        self._ctx: _Rendezvous = world.group(key, self.size)
+        self._op_seq = 0
+        self.stats = self._rank_stats(world, members[rank])
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def _world_comm(cls, world: World, rank: int) -> "Communicator":
+        return cls(world, tuple(range(world.size)), rank, key=("world",))
+
+    @staticmethod
+    def _rank_stats(world: World, world_rank: int) -> CommStats:
+        # One CommStats per world rank, shared by every communicator that
+        # rank participates in, so split comms accumulate into one place.
+        with world._groups_lock:
+            registry = getattr(world, "_stats_registry", None)
+            if registry is None:
+                registry = [CommStats() for _ in range(world.size)]
+                world._stats_registry = registry  # type: ignore[attr-defined]
+        return registry[world_rank]
+
+    # -- identity ------------------------------------------------------------
+    @property
+    def world_rank(self) -> int:
+        """This rank's id in the global (world) communicator."""
+        return self._members[self.rank]
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        """World ranks of this communicator's members, in comm-rank order."""
+        return self._members
+
+    def translate(self, comm_rank: int) -> int:
+        """Map a rank of this communicator to its world rank."""
+        return self._members[comm_rank]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Communicator(rank={self.rank}/{self.size}, "
+            f"world_rank={self.world_rank}, key={self._key!r})"
+        )
+
+    # -- point-to-point -------------------------------------------------------
+    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
+        """Eagerly send ``payload`` to comm-rank ``dest`` (never blocks).
+
+        Self-sends (``dest == self.rank``) are legal, as in buffered MPI.
+        """
+        self._check_peer(dest, "dest")
+        frozen = _freeze(payload)
+        self.stats.record_send(payload_nbytes(frozen))
+        self._world.deliver(self.world_rank, self._members[dest], self._tag_key(tag), frozen)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Block until a message from comm-rank ``source`` with ``tag`` arrives."""
+        self._check_peer(source, "source")
+        payload = self._world.collect(
+            self.world_rank, self._members[source], self._tag_key(tag)
+        )
+        self.stats.record_recv(payload_nbytes(payload))
+        return payload
+
+    def sendrecv(
+        self,
+        payload: Any,
+        dest: int,
+        source: int,
+        send_tag: int = 0,
+        recv_tag: int = 0,
+    ) -> Any:
+        """Combined send+receive; safe in any order because sends are eager."""
+        self.send(payload, dest, tag=send_tag)
+        return self.recv(source, tag=recv_tag)
+
+    def _check_peer(self, peer: int, what: str) -> None:
+        if not 0 <= peer < self.size:
+            raise ValueError(
+                f"{what}={peer} out of range for communicator of size {self.size}"
+            )
+
+    def _tag_key(self, tag: int) -> Any:
+        # Namespacing tags by communicator key keeps traffic on different
+        # communicators (e.g. spatial group vs sample group) from colliding.
+        return (self._key, tag)
+
+    # -- collectives ------------------------------------------------------------
+    def barrier(self) -> None:
+        self._barrier_wait()
+
+    def bcast(self, payload: Any, root: int = 0) -> Any:
+        def combine(slots: list[Any]) -> Any:
+            return _freeze(slots[root])
+
+        result = self._collective(payload if self.rank == root else None, combine)
+        self.stats.record_collective("bcast", payload_nbytes(result))
+        return result
+
+    def gather(self, payload: Any, root: int = 0) -> list[Any] | None:
+        def combine(slots: list[Any]) -> list[Any]:
+            return [_freeze(s) for s in slots]
+
+        gathered = self._collective(payload, combine)
+        self.stats.record_collective("gather", payload_nbytes(payload))
+        return gathered if self.rank == root else None
+
+    def scatter(self, payloads: Sequence[Any] | None, root: int = 0) -> Any:
+        if self.rank == root:
+            if payloads is None or len(payloads) != self.size:
+                raise ValueError(
+                    f"scatter root must supply exactly {self.size} payloads"
+                )
+
+        def combine(slots: list[Any]) -> Any:
+            return _freeze(slots[root][self.rank])
+
+        result = self._collective(payloads if self.rank == root else None, combine)
+        self.stats.record_collective("scatter", payload_nbytes(result))
+        return result
+
+    def allgather(self, payload: Any) -> list[Any]:
+        def combine(slots: list[Any]) -> list[Any]:
+            return [_freeze(s) for s in slots]
+
+        result = self._collective(payload, combine)
+        self.stats.record_collective("allgather", payload_nbytes(payload))
+        return result
+
+    def alltoall(self, payloads: Sequence[Any]) -> list[Any]:
+        """``payloads[j]`` is sent to comm-rank ``j``; returns what each rank sent us."""
+        if len(payloads) != self.size:
+            raise ValueError(f"alltoall requires exactly {self.size} payloads")
+
+        def combine(slots: list[Any]) -> list[Any]:
+            return [_freeze(slots[i][self.rank]) for i in range(self.size)]
+
+        result = self._collective(list(payloads), combine)
+        self.stats.record_collective(
+            "alltoall",
+            sum(payload_nbytes(p) for i, p in enumerate(payloads) if i != self.rank),
+        )
+        return result
+
+    def reduce(self, value: Any, op: str = "sum", root: int = 0) -> Any | None:
+        result = self.allreduce(value, op=op)
+        return result if self.rank == root else None
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        """Element-wise reduction combined in deterministic comm-rank order."""
+        try:
+            fn = _REDUCE_OPS[op]
+        except KeyError:
+            raise ValueError(f"unknown reduction op {op!r}") from None
+
+        def combine(slots: list[Any]) -> Any:
+            acc = _freeze(slots[0])
+            for s in slots[1:]:
+                acc = fn(acc, s)
+            return acc
+
+        result = self._collective(value, combine)
+        self.stats.record_collective("allreduce", payload_nbytes(result))
+        return result
+
+    def reduce_scatter(self, parts: Sequence[Any], op: str = "sum") -> Any:
+        """``parts[j]`` is this rank's contribution destined for rank ``j``.
+
+        Returns the reduction, over all ranks, of their contribution for
+        *this* rank.  This is the primitive channel-parallel convolution
+        uses to combine partial sums over the channel group (paper §III-D).
+        """
+        if len(parts) != self.size:
+            raise ValueError(f"reduce_scatter requires exactly {self.size} parts")
+        try:
+            fn = _REDUCE_OPS[op]
+        except KeyError:
+            raise ValueError(f"unknown reduction op {op!r}") from None
+
+        def combine(slots: list[Any]) -> Any:
+            acc = _freeze(slots[0][self.rank])
+            for s in slots[1:]:
+                acc = fn(acc, s[self.rank])
+            return acc
+
+        result = self._collective(list(parts), combine)
+        self.stats.record_collective("reduce_scatter", payload_nbytes(result))
+        return result
+
+    # -- sub-communicators ----------------------------------------------------
+    def split(self, color: int | None, key: int | None = None) -> "Communicator | None":
+        """Partition the communicator by ``color``; order new ranks by ``key``.
+
+        Ranks passing ``color=None`` receive ``None`` (MPI_UNDEFINED).  All
+        members must call ``split`` (it is collective).
+        """
+        seq = self._op_seq  # captured before the allgather consumes a slot
+        sort_key = key if key is not None else self.rank
+        infos = self.allgather((color, sort_key))
+
+        if color is None:
+            return None
+        group = sorted(
+            (
+                (info_key, comm_rank)
+                for comm_rank, (info_color, info_key) in enumerate(infos)
+                if info_color == color
+            ),
+        )
+        new_members = tuple(self._members[comm_rank] for _, comm_rank in group)
+        new_rank = new_members.index(self.world_rank)
+        new_key = (self._key, "split", seq, color)
+        return Communicator(self._world, new_members, new_rank, new_key)
+
+    def dup(self) -> "Communicator":
+        """Duplicate this communicator (fresh collective context and tags)."""
+        seq = self._op_seq
+        self.barrier()
+        return Communicator(
+            self._world, self._members, self.rank, key=(self._key, "dup", seq)
+        )
+
+    # -- internals -----------------------------------------------------------
+    def _collective(self, contribution: Any, combine: Callable[[list[Any]], Any]) -> Any:
+        ctx = self._ctx
+        ctx.slots[self.rank] = contribution
+        self._barrier_wait()
+        # Slots are complete and read-only in this phase; every rank combines
+        # independently (identical deterministic order) into a private copy.
+        result = combine(ctx.slots)
+        self._barrier_wait()
+        return result
+
+    def _barrier_wait(self) -> None:
+        self._op_seq += 1
+        try:
+            self._ctx.barrier.wait(timeout=self._world.timeout)
+        except threading.BrokenBarrierError:
+            raise CommAborted(
+                f"collective on {self._key!r} interrupted: world aborted or timed out"
+            ) from None

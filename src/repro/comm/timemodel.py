@@ -1,0 +1,59 @@
+"""Cluster topology and link selection for the communication time model.
+
+Lassen (the paper's testbed) has 4 V100 GPUs per node connected by NVLink2,
+with nodes connected by dual-rail InfiniBand EDR.  A message between two
+ranks therefore traverses either the intra-node (NVLink) link or the
+inter-node (IB) link; collectives over groups spanning nodes are dominated
+by the inter-node link.  This module captures exactly that 2-level
+hierarchy; the concrete α/β values live in
+:mod:`repro.perfmodel.machine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.comm.collective_models import LinkParameters
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """Two-level (intra-node / inter-node) cluster interconnect model."""
+
+    gpus_per_node: int
+    intra_link: LinkParameters
+    inter_link: LinkParameters
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_node < 1:
+            raise ValueError("gpus_per_node must be >= 1")
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank`` (ranks are packed node-by-node)."""
+        return rank // self.gpus_per_node
+
+    def link_between(self, rank_a: int, rank_b: int) -> LinkParameters:
+        """Link traversed by a point-to-point message between two ranks."""
+        if self.node_of(rank_a) == self.node_of(rank_b):
+            return self.intra_link
+        return self.inter_link
+
+    def spans_nodes(self, ranks: Iterable[int]) -> bool:
+        nodes = {self.node_of(r) for r in ranks}
+        return len(nodes) > 1
+
+    def collective_link(self, ranks: Sequence[int]) -> LinkParameters:
+        """Effective link for a collective over ``ranks``.
+
+        A ring/tree over a multi-node group is bottlenecked by the
+        inter-node hops (all 4 GPUs of a node share the NICs), so the
+        inter-node parameters govern; a purely intra-node group runs at
+        NVLink speed.
+        """
+        if self.spans_nodes(ranks):
+            return self.inter_link
+        return self.intra_link
+
+    def nodes_used(self, ranks: Iterable[int]) -> int:
+        return len({self.node_of(r) for r in ranks})

@@ -1,0 +1,27 @@
+"""The paper's primary contribution: finer-grained parallel CNN training.
+
+* :mod:`repro.core.parallelism` — per-layer parallelism descriptors
+  (sample x channel x height x width process-grid factorizations) and
+  parallel execution strategies (assignments of a descriptor to every
+  layer, §V-C).
+* :mod:`repro.core.dist_conv` — distributed convolution (§III-A): sample,
+  spatial, and hybrid sample/spatial decompositions with halo exchange,
+  exactly replicating single-device convolution.
+* :mod:`repro.core.dist_layers` — distributed pooling, batch norm (local /
+  spatially-aggregated / global variants, §III-B), ReLU, add, global
+  pooling, FC, and loss layers.
+* :mod:`repro.core.dist_network` — end-to-end distributed execution of a
+  :class:`~repro.nn.graph.NetworkSpec` under a strategy, including data
+  redistribution between layers (§III-C) and gradient allreduce.
+* :mod:`repro.core.trainer` — the distributed training loop.
+* :mod:`repro.core.strategy` — the performance-model-driven strategy
+  optimizer (§V-C): candidate generation + shortest-path assignment.
+* :mod:`repro.core.channel_filter` — channel/filter-parallel convolution
+  (§III-D; sketched in the paper, implemented here as an extension).
+"""
+
+from repro.core.parallelism import LayerParallelism, ParallelStrategy
+from repro.core.dist_network import DistNetwork
+from repro.core.trainer import DistTrainer
+
+__all__ = ["DistNetwork", "DistTrainer", "LayerParallelism", "ParallelStrategy"]

@@ -1,0 +1,208 @@
+"""Channel- and filter-parallel convolution (paper §III-D).
+
+The paper sketches these decompositions and defers implementation ("we
+leave implementation to future work"); this module implements them as an
+extension, following the sketch:
+
+* **Channel parallelism** — the input's C dimension is partitioned (grid
+  axis 1).  Each rank holds the weight slice ``w[:, c_lo:c_hi]`` and
+  computes a *partial* output (the summation over channels in Eq. 1 "may
+  involve a global reduce"); an allreduce over the channel group completes
+  ``y``, which is then replicated across the group.  Backward-data and
+  backward-filter are purely local in the channel dimension.
+* **Filter parallelism** — the F dimension is partitioned.  Each rank
+  holds ``w[f_lo:f_hi]`` and computes its slice of ``y`` locally; the
+  summation over filters in Eq. 3 requires an allreduce over the filter
+  group to complete ``dL/dx``.
+
+As the paper notes, the two compose naturally: a filter-parallel layer
+produces ``y`` partitioned on F, which is exactly a C-partitioned input for
+a channel-parallel successor — no redistribution needed.
+
+Both compose with spatial partitioning: the spatial halo machinery
+(``gather_region``) operates on the channel-sliced tensors unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.tensor.dist_tensor import DistTensor
+from repro.tensor.distribution import DimKind, Distribution
+from repro.tensor.grid import ProcessGrid
+from repro.tensor.indexing import block_bounds
+from repro.core.dist_conv import _floor_div, _pair
+
+
+def _channel_replicated_dist(grid_shape, shape) -> Distribution:
+    """Activation distribution with dim 1 replicated across grid axis 1."""
+    kinds = [
+        DimKind.BLOCK if int(n) >= g else DimKind.REPLICATED
+        for n, g in zip(shape, grid_shape)
+    ]
+    kinds[1] = DimKind.REPLICATED
+    return Distribution(tuple(int(g) for g in grid_shape), tuple(kinds))
+
+
+class ChannelParallelConv2d:
+    """Convolution with the input-channel dimension partitioned (grid axis 1).
+
+    Expects ``x`` block-distributed on C; produces ``y`` with F *replicated*
+    across the channel group (completed by the allreduce).  Weight
+    gradients cover only the local channel slice; their reduction group is
+    the sample x spatial axes (each channel shard is unique).
+    """
+
+    def __init__(self, grid: ProcessGrid, weights: np.ndarray, stride=1, pad=0) -> None:
+        if grid.ndim != 4 or grid.shape[1] < 2:
+            raise ValueError("ChannelParallelConv2d needs a 4D grid with axis 1 > 1")
+        self.grid = grid
+        self.stride = _pair(stride)
+        self.pad = _pair(pad)
+        self.kernel = (weights.shape[2], weights.shape[3])
+        c_total = weights.shape[1]
+        self.c_lo, self.c_hi = block_bounds(c_total, grid.shape[1], grid.coords[1])
+        self.w_full_shape = weights.shape
+        self.w_local = np.ascontiguousarray(weights[:, self.c_lo : self.c_hi])
+        self._x_ext: np.ndarray | None = None
+        self._x_meta: tuple | None = None
+
+    def forward(self, x: DistTensor) -> DistTensor:
+        if not x.dist.is_split(1):
+            raise ValueError("input must be channel-partitioned (dim 1 split)")
+        n, c, h, w = x.global_shape
+        kh, kw = self.kernel
+        sh, sw = self.stride
+        ph, pw = self.pad
+        oh, ow = F.conv2d_output_shape((h, w), self.kernel, self.stride, self.pad)
+        f = self.w_full_shape[0]
+        y_shape = (n, f, oh, ow)
+        y_dist = _channel_replicated_dist(self.grid.shape, y_shape)
+        yb = y_dist.local_bounds(y_shape, self.grid.coords)
+        (n_lo, n_hi), _, (oh_lo, oh_hi), (ow_lo, ow_hi) = yb
+
+        lo = (n_lo, self.c_lo, oh_lo * sh - ph, ow_lo * sw - pw)
+        hi = (n_hi, self.c_hi, (oh_hi - 1) * sh - ph + kh, (ow_hi - 1) * sw - pw + kw)
+        x_ext = x.gather_region(lo, hi)
+        self._x_ext = x_ext
+        self._x_meta = (x.dist, x.global_shape)
+
+        partial = F.conv2d_forward(x_ext, self.w_local, stride=self.stride, pad=0)
+        # Complete the channel summation of Eq. 1 over the channel group.
+        y_local = self.grid.axis_comm(1).allreduce(partial)
+        return DistTensor(self.grid, y_dist, y_shape, y_local)
+
+    def backward(self, dy: DistTensor) -> tuple[DistTensor, np.ndarray]:
+        """Returns (dx, dw_local_slice); dw reduction group excludes axis 1."""
+        if self._x_ext is None:
+            raise RuntimeError("backward() before forward()")
+        x_dist, x_shape = self._x_meta
+        kh, kw = self.kernel
+        sh, sw = self.stride
+        ph, pw = self.pad
+
+        dw_local = F.conv2d_backward_filter(
+            self._x_ext, dy.local, kernel=self.kernel, stride=self.stride, pad=0
+        )
+
+        xb = x_dist.local_bounds(x_shape, self.grid.coords)
+        (n_lo, n_hi), _, (xh_lo, xh_hi), (xw_lo, xw_hi) = xb
+        dh_lo = _floor_div(xh_lo + ph - (kh - 1), sh)
+        dh_hi = _floor_div(xh_hi - 1 + ph, sh) + 1
+        dw_lo_ = _floor_div(xw_lo + pw - (kw - 1), sw)
+        dw_hi = _floor_div(xw_hi - 1 + pw, sw) + 1
+        dy_ext = dy.gather_region(
+            (n_lo, 0, dh_lo, dw_lo_), (n_hi, dy.global_shape[1], dh_hi, dw_hi)
+        )
+        pad_eff = (xh_lo + ph - sh * dh_lo, xw_lo + pw - sw * dw_lo_)
+        dx_local = F.conv2d_backward_data(
+            dy_ext, self.w_local, stride=self.stride, pad=pad_eff,
+            x_spatial=(xh_hi - xh_lo, xw_hi - xw_lo),
+        )
+        dx = DistTensor(self.grid, x_dist, x_shape, dx_local)
+        return dx, dw_local
+
+
+class FilterParallelConv2d:
+    """Convolution with the filter dimension partitioned (grid axis 1).
+
+    Expects ``x`` with C replicated across the filter group; produces ``y``
+    block-distributed on F.  ``dL/dx`` needs the allreduce over the filter
+    group (the summation over filters in Eq. 3).  This is also the
+    model-parallel FC layer when applied to 1x1 spatial extents.
+    """
+
+    def __init__(self, grid: ProcessGrid, weights: np.ndarray, stride=1, pad=0) -> None:
+        if grid.ndim != 4 or grid.shape[1] < 2:
+            raise ValueError("FilterParallelConv2d needs a 4D grid with axis 1 > 1")
+        self.grid = grid
+        self.stride = _pair(stride)
+        self.pad = _pair(pad)
+        self.kernel = (weights.shape[2], weights.shape[3])
+        f_total = weights.shape[0]
+        self.f_lo, self.f_hi = block_bounds(f_total, grid.shape[1], grid.coords[1])
+        self.w_full_shape = weights.shape
+        self.w_local = np.ascontiguousarray(weights[self.f_lo : self.f_hi])
+        self._x_ext: np.ndarray | None = None
+        self._x_meta: tuple | None = None
+
+    def forward(self, x: DistTensor) -> DistTensor:
+        if x.dist.is_split(1):
+            raise ValueError(
+                "input must have C replicated across the filter group"
+            )
+        n, c, h, w = x.global_shape
+        kh, kw = self.kernel
+        sh, sw = self.stride
+        ph, pw = self.pad
+        oh, ow = F.conv2d_output_shape((h, w), self.kernel, self.stride, self.pad)
+        f = self.w_full_shape[0]
+        y_shape = (n, f, oh, ow)
+        y_dist = Distribution.make(self.grid.shape)  # F block-split on axis 1
+        if f < self.grid.shape[1]:
+            raise ValueError("fewer filters than filter-group size")
+        yb = y_dist.local_bounds(y_shape, self.grid.coords)
+        (n_lo, n_hi), (f_lo, f_hi), (oh_lo, oh_hi), (ow_lo, ow_hi) = yb
+        if (f_lo, f_hi) != (self.f_lo, self.f_hi):
+            raise AssertionError("filter slice misaligned with distribution")
+
+        lo = (n_lo, 0, oh_lo * sh - ph, ow_lo * sw - pw)
+        hi = (n_hi, c, (oh_hi - 1) * sh - ph + kh, (ow_hi - 1) * sw - pw + kw)
+        x_ext = x.gather_region(lo, hi)
+        self._x_ext = x_ext
+        self._x_meta = (x.dist, x.global_shape)
+        y_local = F.conv2d_forward(x_ext, self.w_local, stride=self.stride, pad=0)
+        return DistTensor(self.grid, y_dist, y_shape, y_local)
+
+    def backward(self, dy: DistTensor) -> tuple[DistTensor, np.ndarray]:
+        """Returns (dx, dw_local_slice)."""
+        if self._x_ext is None:
+            raise RuntimeError("backward() before forward()")
+        x_dist, x_shape = self._x_meta
+        kh, kw = self.kernel
+        sh, sw = self.stride
+        ph, pw = self.pad
+
+        dw_local = F.conv2d_backward_filter(
+            self._x_ext, dy.local, kernel=self.kernel, stride=self.stride, pad=0
+        )
+
+        xb = x_dist.local_bounds(x_shape, self.grid.coords)
+        (n_lo, n_hi), _, (xh_lo, xh_hi), (xw_lo, xw_hi) = xb
+        dh_lo = _floor_div(xh_lo + ph - (kh - 1), sh)
+        dh_hi = _floor_div(xh_hi - 1 + ph, sh) + 1
+        dw_lo_ = _floor_div(xw_lo + pw - (kw - 1), sw)
+        dw_hi = _floor_div(xw_hi - 1 + pw, sw) + 1
+        dy_ext = dy.gather_region(
+            (n_lo, self.f_lo, dh_lo, dw_lo_), (n_hi, self.f_hi, dh_hi, dw_hi)
+        )
+        pad_eff = (xh_lo + ph - sh * dh_lo, xw_lo + pw - sw * dw_lo_)
+        partial_dx = F.conv2d_backward_data(
+            dy_ext, self.w_local, stride=self.stride, pad=pad_eff,
+            x_spatial=(xh_hi - xh_lo, xw_hi - xw_lo),
+        )
+        # Complete the filter summation of Eq. 3 over the filter group.
+        dx_local = self.grid.axis_comm(1).allreduce(partial_dx)
+        dx = DistTensor(self.grid, x_dist, x_shape, dx_local)
+        return dx, dw_local

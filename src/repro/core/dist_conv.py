@@ -1,0 +1,178 @@
+"""Distributed convolution: sample, spatial, and hybrid parallelism (§III-A).
+
+The algorithm, exactly as in the paper with the region algebra made
+explicit.  Let a rank own output rows ``[q_o, r_o)`` (block distribution of
+the output's H dimension; W symmetric).  With kernel K, stride S, padding P:
+
+* **forward** — output row ``j`` reads input rows ``[jS - P, jS - P + K)``,
+  so the rank gathers input region ``[q_o S - P, (r_o - 1) S - P + K)``
+  (its own block plus halo; out-of-range parts are virtual padding,
+  zero-filled by ``gather_region``) and runs a *local* convolution with
+  ``pad=0``.  When S=1 the halo is exactly ``O = floor(K/2)`` rows on each
+  side — the paper's halo exchange;
+* **backward-filter** (Eq. 2) — reuses the forward's gathered input region
+  against the local error signal, again with ``pad=0``; the partial ``dw``
+  is then summed over the grid by an allreduce;
+* **backward-data** (Eq. 3) — input row ``i`` is influenced by output rows
+  ``[(i + P - K + 1)/S, (i + P)/S]``; the rank owning input rows
+  ``[x_lo, x_hi)`` gathers the error-signal region
+  ``[floor((x_lo + P - K + 1)/S), floor((x_hi - 1 + P)/S) + 1)`` and
+  evaluates the transposed convolution with effective left padding
+  ``p'' = x_lo + P - S*d_lo`` (>= K-1 by construction), which aligns the
+  gathered region with the local block exactly.
+
+Because all communication is expressed through ``gather_region``, the same
+code handles pure sample parallelism (the gather degenerates to the local
+block: zero communication), pure spatial, hybrid, strides, uneven
+partitions, and replicated dimensions — and replicates the single-device
+result to floating-point accumulation order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.tensor.dist_tensor import DistTensor
+from repro.tensor.grid import ProcessGrid
+from repro.core.parallelism import activation_dist
+
+
+def _pair(v) -> tuple[int, int]:
+    if isinstance(v, (tuple, list)):
+        return int(v[0]), int(v[1])
+    return int(v), int(v)
+
+
+class DistConv2d:
+    """A distributed 2D convolutional layer.
+
+    Weights (and bias) are replicated on every rank of ``grid``; the
+    activation tensors are distributed along (N, H, W) per the grid shape
+    (the channel axis is handled by :mod:`repro.core.channel_filter`).
+    """
+
+    def __init__(
+        self,
+        grid: ProcessGrid,
+        weights: np.ndarray,
+        stride=1,
+        pad=0,
+        bias: np.ndarray | None = None,
+    ) -> None:
+        if grid.ndim != 4:
+            raise ValueError("DistConv2d expects a 4D (N, C, H, W) grid")
+        if grid.shape[1] != 1:
+            raise ValueError(
+                "channel-parallel convolution lives in repro.core.channel_filter"
+            )
+        self.grid = grid
+        self.w = weights
+        self.bias = bias
+        self.stride = _pair(stride)
+        self.pad = _pair(pad)
+        self.kernel = (weights.shape[2], weights.shape[3])
+        self._x_ext: np.ndarray | None = None
+        self._x_global_shape: tuple[int, ...] | None = None
+        self._x_dist = None
+
+    # -- geometry ------------------------------------------------------------------
+    def output_global_shape(self, x_shape: tuple[int, ...]) -> tuple[int, ...]:
+        n, c, h, w = x_shape
+        oh, ow = F.conv2d_output_shape(
+            (h, w), self.kernel, self.stride, self.pad
+        )
+        return (n, self.w.shape[0], oh, ow)
+
+    def _input_region(
+        self, x: DistTensor, y_bounds
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Global input region needed for the local output block (fwd dep)."""
+        (n_lo, n_hi), _, (oh_lo, oh_hi), (ow_lo, ow_hi) = y_bounds
+        kh, kw = self.kernel
+        sh, sw = self.stride
+        ph, pw = self.pad
+        lo = (n_lo, 0, oh_lo * sh - ph, ow_lo * sw - pw)
+        hi = (
+            n_hi,
+            x.global_shape[1],
+            (oh_hi - 1) * sh - ph + kh if oh_hi > oh_lo else oh_lo * sh - ph,
+            (ow_hi - 1) * sw - pw + kw if ow_hi > ow_lo else ow_lo * sw - pw,
+        )
+        return lo, hi
+
+    # -- forward ---------------------------------------------------------------------
+    def forward(self, x: DistTensor) -> DistTensor:
+        y_shape = self.output_global_shape(x.global_shape)
+        y_dist = activation_dist(self.grid.shape, y_shape)
+        y_bounds = y_dist.local_bounds(y_shape, self.grid.coords)
+
+        lo, hi = self._input_region(x, y_bounds)
+        x_ext = x.gather_region(lo, hi)
+        self._x_ext = x_ext
+        self._x_global_shape = x.global_shape
+        self._x_dist = x.dist
+
+        y_local = F.conv2d_forward(
+            x_ext, self.w, stride=self.stride, pad=0, bias=self.bias
+        )
+        return DistTensor(self.grid, y_dist, y_shape, y_local)
+
+    # -- backward --------------------------------------------------------------------
+    def backward(
+        self, dy: DistTensor
+    ) -> tuple[DistTensor, np.ndarray, np.ndarray | None]:
+        """Returns ``(dx, dw_partial, db_partial)``.
+
+        The weight-gradient partials still need the allreduce over the
+        layer's gradient group (paper Eq. 2's sum over N) — performed by the
+        network so it can be overlapped/batched.
+        """
+        if self._x_ext is None:
+            raise RuntimeError("backward() before forward()")
+        kh, kw = self.kernel
+        sh, sw = self.stride
+        ph, pw = self.pad
+
+        # Eq. 2: local filter gradients from the saved extended input region.
+        dw = F.conv2d_backward_filter(
+            self._x_ext, dy.local, kernel=self.kernel, stride=self.stride, pad=0
+        )
+        db = dy.local.sum(axis=(0, 2, 3)) if self.bias is not None else None
+
+        # Eq. 3: gather the dy dependency region of our input block.
+        x_dist = self._x_dist
+        x_shape = self._x_global_shape
+        assert x_dist is not None and x_shape is not None
+        xb = x_dist.local_bounds(x_shape, self.grid.coords)
+        (n_lo, n_hi), (_, c_all), (xh_lo, xh_hi), (xw_lo, xw_hi) = xb
+
+        dh_lo = _floor_div(xh_lo + ph - (kh - 1), sh)
+        dh_hi = _floor_div(xh_hi - 1 + ph, sh) + 1 if xh_hi > xh_lo else dh_lo
+        dw_lo = _floor_div(xw_lo + pw - (kw - 1), sw)
+        dw_hi = _floor_div(xw_hi - 1 + pw, sw) + 1 if xw_hi > xw_lo else dw_lo
+
+        dy_ext = dy.gather_region(
+            (n_lo, 0, dh_lo, dw_lo),
+            (n_hi, dy.global_shape[1], dh_hi, dw_hi),
+        )
+        pad_eff = (xh_lo + ph - sh * dh_lo, xw_lo + pw - sw * dw_lo)
+        dx_local = F.conv2d_backward_data(
+            dy_ext,
+            self.w,
+            stride=self.stride,
+            pad=pad_eff,
+            x_spatial=(xh_hi - xh_lo, xw_hi - xw_lo),
+        )
+        dx = DistTensor(self.grid, x_dist, x_shape, dx_local)
+        return dx, dw, db
+
+    def halo_widths(self) -> tuple[int, int]:
+        """Forward halo widths (O = floor(K/2) per spatial dim for S=1) —
+        what the paper's cost model charges per exchange."""
+        return (self.kernel[0] // 2, self.kernel[1] // 2)
+
+
+def _floor_div(a: int, b: int) -> int:
+    """Floor division that is explicit about negative numerators."""
+    return a // b

@@ -1,0 +1,331 @@
+"""Distributed execution of a :class:`NetworkSpec` under a parallel strategy.
+
+This is the LBANN-analogue training pipeline (paper §IV): every layer runs
+under its assigned :class:`~repro.core.parallelism.LayerParallelism`; when
+adjacent layers use different distributions, activations and error signals
+are redistributed with an all-to-all shuffle (§III-C); weight-gradient
+partials are completed with an allreduce over each layer's gradient group
+(the sub-communicator spanning the grid axes along which the layer's data is
+actually partitioned — the whole grid in the standard replicated-weights
+case, exactly the paper's Eq. 2 allreduce).
+
+Parameters are replicated on every rank and initialized identically to
+:class:`repro.nn.network.LocalNetwork` (seeded by layer name), so
+distributed runs replicate single-device runs to floating-point
+accumulation order — the exactness property claimed in §III and verified by
+``tests/test_dist_exactness.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.communicator import Communicator
+from repro.nn import init as I
+from repro.nn.graph import NetworkSpec
+from repro.tensor.dist_tensor import DistTensor
+from repro.tensor.grid import ProcessGrid
+from repro.tensor.shuffle import shuffle
+from repro.core.parallelism import LayerParallelism, ParallelStrategy, activation_dist
+from repro.core.dist_conv import DistConv2d
+from repro.core.dist_layers import (
+    DistAdd,
+    DistBatchNorm,
+    DistBCEWithLogits,
+    DistFC,
+    DistGlobalAvgPool,
+    DistPool2d,
+    DistReLU,
+    DistSoftmaxCrossEntropy,
+)
+
+
+class DistNetwork:
+    """One rank's instance of a distributed CNN."""
+
+    def __init__(
+        self,
+        spec: NetworkSpec,
+        comm: Communicator,
+        strategy: ParallelStrategy | LayerParallelism,
+        seed: int = 0,
+        dtype=np.float64,
+        bn_aggregate: str = "global",
+    ) -> None:
+        if isinstance(strategy, LayerParallelism):
+            strategy = ParallelStrategy.uniform(strategy)
+        if strategy.nranks != comm.size:
+            raise ValueError(
+                f"strategy uses {strategy.nranks} ranks but communicator has "
+                f"{comm.size}"
+            )
+        self.spec = spec
+        self.comm = comm
+        self.strategy = strategy
+        self.seed = seed
+        self.dtype = dtype
+        self.bn_aggregate = bn_aggregate
+        self.shapes = spec.infer_shapes()
+
+        self._grids: dict[tuple[int, ...], ProcessGrid] = {}
+        self.params: dict[str, dict[str, np.ndarray]] = {}
+        self.grads: dict[str, dict[str, np.ndarray]] = {}
+        self._layers: dict[str, object] = {}
+        self._build()
+
+        self._acts: dict[str, DistTensor] = {}
+        self._fwd_dist: dict[str, tuple[ProcessGrid, object]] = {}
+        self.loss: float | None = None
+        self.shuffle_count = 0
+
+    # -- construction ---------------------------------------------------------------
+    def _grid(self, shape: tuple[int, ...]) -> ProcessGrid:
+        grid = self._grids.get(shape)
+        if grid is None:
+            grid = ProcessGrid(self.comm, shape)
+            self._grids[shape] = grid
+        return grid
+
+    def _build(self) -> None:
+        for layer in self.spec.topo_order():
+            name = layer.name
+            grid = self._grid(self.strategy.for_layer(name).grid_shape)
+            if layer.kind == "input":
+                self._layers[name] = None
+                continue
+            parent_shape = self.shapes[layer.parents[0]]
+            if layer.kind == "conv":
+                c_in = parent_shape[0]
+                k = layer.params["kernel"]
+                kh, kw = (k, k) if isinstance(k, int) else k
+                w = I.conv_weights(
+                    layer.params["filters"], c_in, kh, kw, self.seed, name
+                ).astype(self.dtype)
+                b = (
+                    I.zeros(layer.params["filters"]).astype(self.dtype)
+                    if layer.params.get("bias", False)
+                    else None
+                )
+                self.params[name] = {"w": w} | ({"b": b} if b is not None else {})
+                self._layers[name] = DistConv2d(
+                    grid,
+                    w,
+                    stride=layer.params.get("stride", 1),
+                    pad=layer.params.get("pad", 0),
+                    bias=b,
+                )
+            elif layer.kind == "pool":
+                self._layers[name] = DistPool2d(
+                    grid,
+                    layer.params.get("mode", "max"),
+                    layer.params["kernel"],
+                    layer.params.get("stride", layer.params["kernel"]),
+                    layer.params.get("pad", 0),
+                )
+            elif layer.kind == "bn":
+                c = parent_shape[0]
+                gamma = I.ones(c).astype(self.dtype)
+                beta = I.zeros(c).astype(self.dtype)
+                self.params[name] = {"gamma": gamma, "beta": beta}
+                self._layers[name] = DistBatchNorm(
+                    grid, gamma, beta, aggregate=self.bn_aggregate,
+                    momentum=layer.params.get("momentum", 0.9),
+                )
+            elif layer.kind == "relu":
+                self._layers[name] = DistReLU(grid)
+            elif layer.kind == "add":
+                self._layers[name] = DistAdd(grid)
+            elif layer.kind == "gap":
+                self._layers[name] = DistGlobalAvgPool(grid)
+            elif layer.kind == "fc":
+                c, h, w_ = parent_shape
+                w = I.fc_weights(
+                    layer.params["units"], c * h * w_, self.seed, name
+                ).astype(self.dtype)
+                b = (
+                    I.zeros(layer.params["units"]).astype(self.dtype)
+                    if layer.params.get("bias", True)
+                    else None
+                )
+                self.params[name] = {"w": w} | ({"b": b} if b is not None else {})
+                self._layers[name] = DistFC(grid, w, b)
+            elif layer.kind == "softmax_ce":
+                self._layers[name] = DistSoftmaxCrossEntropy(grid)
+            elif layer.kind == "bce":
+                self._layers[name] = DistBCEWithLogits(grid)
+            else:  # pragma: no cover
+                raise AssertionError(layer.kind)
+
+    # -- execution ---------------------------------------------------------------------
+    def _to_layer_dist(self, act: DistTensor, grid: ProcessGrid) -> DistTensor:
+        """Shuffle an activation to a layer's expected input distribution."""
+        want = activation_dist(grid.shape, act.global_shape)
+        if act.grid is grid and act.dist == want:
+            return act
+        if act.dist == want and act.grid.shape == grid.shape:
+            return act
+        self.shuffle_count += 1
+        return shuffle(act, grid, want)
+
+    def forward(
+        self,
+        inputs: dict[str, np.ndarray] | np.ndarray,
+        targets: np.ndarray | None = None,
+        training: bool = True,
+    ) -> float | None:
+        """Run forward propagation; returns the loss when the network has a
+        loss layer and ``targets`` is given.
+
+        ``inputs``/``targets`` are *global* arrays (every rank passes the
+        same ones); each rank slices its own shard.  Loss layers slice the
+        targets by their logits' bounds.
+        """
+        if isinstance(inputs, np.ndarray):
+            (inp,) = self.spec.inputs()
+            inputs = {inp.name: inputs}
+        self._acts = {}
+        self._fwd_dist = {}
+        self.loss = None
+
+        for layer in self.spec.topo_order():
+            name = layer.name
+            grid = self._grid(self.strategy.for_layer(name).grid_shape)
+            if layer.kind == "input":
+                x_global = np.asarray(inputs[name], dtype=self.dtype)
+                dist = activation_dist(grid.shape, x_global.shape)
+                self._acts[name] = DistTensor.from_global(grid, dist, x_global)
+                continue
+
+            parents = [self._acts[p] for p in layer.parents]
+            # Record the parent's original placement so backward can route
+            # the error signal back through the same shuffle.
+            self._fwd_dist[name] = [(p.grid, p.dist) for p in parents]
+            parents = [self._to_layer_dist(p, grid) for p in parents]
+            impl = self._layers[name]
+
+            if layer.kind == "conv":
+                y = impl.forward(parents[0])
+            elif layer.kind == "pool":
+                y = impl.forward(parents[0])
+            elif layer.kind == "bn":
+                y = impl.forward(parents[0], training=training)
+            elif layer.kind in ("relu", "gap", "fc"):
+                y = impl.forward(parents[0])
+            elif layer.kind == "add":
+                y = impl.forward(*parents)
+            elif layer.kind == "softmax_ce":
+                if targets is not None:
+                    self.loss = impl.forward_loss(parents[0], targets)
+                y = parents[0]
+            elif layer.kind == "bce":
+                if targets is not None:
+                    self.loss = impl.forward_loss(
+                        parents[0], np.asarray(targets, dtype=self.dtype)
+                    )
+                y = parents[0]
+            else:  # pragma: no cover
+                raise AssertionError(layer.kind)
+            self._acts[name] = y
+        return self.loss
+
+    def backward(self) -> dict[str, dict[str, np.ndarray]]:
+        """Backpropagate and complete weight gradients with allreduces."""
+        grads: dict[str, dict[str, np.ndarray]] = {}
+        dys: dict[str, DistTensor] = {}
+
+        def accumulate(pname: str, dx: DistTensor) -> None:
+            if pname in dys:
+                prev = dys[pname]
+                if prev.dist != dx.dist:
+                    dx = shuffle(dx, prev.grid, prev.dist)
+                prev.local += dx.local
+            else:
+                dys[pname] = DistTensor(
+                    dx.grid, dx.dist, dx.global_shape, dx.local.copy()
+                )
+
+        def route_back(name: str, idx: int, dx: DistTensor) -> None:
+            """Undo the forward shuffle for parent #idx of layer `name`."""
+            pgrid, pdist = self._fwd_dist[name][idx]
+            if dx.dist != pdist or dx.grid.shape != pgrid.shape:
+                self.shuffle_count += 1
+                dx = shuffle(dx, pgrid, pdist)
+            accumulate(self.spec[name].parents[idx], dx)
+
+        for layer in reversed(self.spec.topo_order()):
+            name = layer.name
+            impl = self._layers[name]
+            if layer.kind == "input":
+                continue
+            if layer.kind in ("softmax_ce", "bce"):
+                route_back(name, 0, impl.backward())
+                continue
+            dy = dys.get(name)
+            if dy is None:
+                continue  # no path to the loss
+
+            if layer.kind == "conv":
+                dx, dw, db = impl.backward(dy)
+                g = {"w": dw}
+                if db is not None:
+                    g["b"] = db
+                grads[name] = self._reduce_grads(g, self._acts[name])
+                route_back(name, 0, dx)
+            elif layer.kind == "pool":
+                route_back(name, 0, impl.backward(dy))
+            elif layer.kind == "bn":
+                dx, dgamma, dbeta = impl.backward(dy)
+                grads[name] = self._reduce_grads(
+                    {"gamma": dgamma, "beta": dbeta}, self._acts[name]
+                )
+                route_back(name, 0, dx)
+            elif layer.kind == "relu":
+                route_back(name, 0, impl.backward(dy))
+            elif layer.kind == "gap":
+                route_back(name, 0, impl.backward(dy))
+            elif layer.kind == "fc":
+                dx, dw, db = impl.backward(dy)
+                g = {"w": dw}
+                if db is not None:
+                    g["b"] = db
+                grads[name] = self._reduce_grads(g, self._acts[name])
+                route_back(name, 0, dx)
+            elif layer.kind == "add":
+                for idx in range(len(layer.parents)):
+                    route_back(name, idx, dy)
+            else:  # pragma: no cover
+                raise AssertionError(layer.kind)
+
+        self.grads = grads
+        return grads
+
+    def _reduce_grads(
+        self, partials: dict[str, np.ndarray], y: DistTensor
+    ) -> dict[str, np.ndarray]:
+        """Complete weight-gradient partials (paper Eq. 2's allreduce).
+
+        The gradient group spans the grid axes along which the layer's
+        output data is partitioned; replicas along other axes already hold
+        identical partials.
+        """
+        axes = [d for d in range(y.dist.ndim) if y.dist.is_split(d)]
+        if not axes:
+            return partials
+        comm = y.grid.axes_comm(axes)
+        return {k: comm.allreduce(v) for k, v in partials.items()}
+
+    # -- convenience -----------------------------------------------------------------
+    def loss_and_grad(
+        self, inputs, targets
+    ) -> tuple[float, dict[str, dict[str, np.ndarray]]]:
+        loss = self.forward(inputs, targets=targets, training=True)
+        if loss is None:
+            raise RuntimeError("network has no loss layer or targets missing")
+        return loss, self.backward()
+
+    def local_activation(self, name: str) -> DistTensor:
+        return self._acts[name]
+
+    def gather_activation(self, name: str) -> np.ndarray:
+        """Assemble a layer's global output on every rank (test helper)."""
+        return self._acts[name].to_global()

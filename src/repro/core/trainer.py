@@ -1,0 +1,71 @@
+"""The distributed training loop.
+
+After the gradient allreduce every rank holds identical gradients, so "SGD
+can proceed independently on each processor" (§III-A): the optimizer step is
+purely local and replicas stay bitwise consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.optim import SGD
+from repro.core.dist_network import DistNetwork
+
+
+@dataclass
+class TrainStats:
+    """Per-step records collected during training."""
+
+    losses: list[float] = field(default_factory=list)
+    steps: int = 0
+
+    def record(self, loss: float) -> None:
+        self.losses.append(float(loss))
+        self.steps += 1
+
+    @property
+    def last_loss(self) -> float:
+        return self.losses[-1]
+
+
+class DistTrainer:
+    """Couples a :class:`DistNetwork` with an optimizer."""
+
+    def __init__(
+        self,
+        network: DistNetwork,
+        optimizer: SGD | None = None,
+    ) -> None:
+        self.network = network
+        self.optimizer = optimizer or SGD(lr=0.1)
+        self.stats = TrainStats()
+
+    def step(self, inputs, targets) -> float:
+        """One training step: forward, backward, allreduce, local update."""
+        loss, grads = self.network.loss_and_grad(inputs, targets)
+        self.optimizer.step(self.network.params, grads)
+        self.stats.record(loss)
+        return loss
+
+    def fit(self, batches, epochs: int = 1) -> TrainStats:
+        """Train over an iterable of ``(inputs, targets)`` mini-batches.
+
+        ``batches`` may be a list or a generator factory (callable returning
+        a fresh iterable per epoch).
+        """
+        for _ in range(epochs):
+            iterable = batches() if callable(batches) else batches
+            for inputs, targets in iterable:
+                self.step(inputs, targets)
+        return self.stats
+
+    def evaluate(self, inputs, targets) -> float:
+        """Loss without updating parameters (still uses batch statistics in
+        BN eval mode semantics handled by the network)."""
+        loss = self.network.forward(inputs, targets=targets, training=False)
+        if loss is None:
+            raise RuntimeError("evaluate requires a loss layer and targets")
+        return loss

@@ -1,0 +1,18 @@
+"""Synthetic datasets (S13 in DESIGN.md).
+
+The paper's performance evaluation itself uses synthetic data ("we use
+synthetic data, as our goal is to focus on the performance of our
+algorithms"); the real mesh-tangling fields are not public.  These
+generators produce data with the published shapes and plausible structure:
+
+* :mod:`repro.data.mesh_tangling` — 18-channel hydrodynamics-like state
+  fields (smooth advected quantities + mesh-quality metrics) with
+  per-pixel tangling labels derived from the synthetic mesh deformation;
+* :mod:`repro.data.imagenet_synth` — ImageNet-shaped classification
+  batches (3 x 224 x 224, 1000 classes).
+"""
+
+from repro.data.mesh_tangling import MeshTanglingDataset
+from repro.data.imagenet_synth import SyntheticImageNet
+
+__all__ = ["MeshTanglingDataset", "SyntheticImageNet"]

@@ -1,0 +1,26 @@
+"""Local (single-device) neural-network substrate.
+
+The paper relies on cuDNN for the on-GPU convolution kernels and LBANN for
+the training pipeline; this package is the numpy equivalent:
+
+* :mod:`repro.nn.functional` — stateless forward/backward kernels
+  (convolution via im2col-style window views, pooling, batch norm, ReLU,
+  linear, losses).  These are the "local compute oracle" the distributed
+  algorithms are verified against — the paper's algorithms "exactly
+  replicate convolution as if it were performed on a single GPU".
+* :mod:`repro.nn.init` — deterministic parameter initialization.
+* :mod:`repro.nn.graph` — declarative network specifications
+  (:class:`LayerSpec` / :class:`NetworkSpec`) shared by the local executor,
+  the distributed executor, and the performance model.
+* :mod:`repro.nn.network` — single-device DAG execution (reference
+  implementation for exactness tests).
+* :mod:`repro.nn.resnet` — fully-convolutional ResNet-50 (He et al.).
+* :mod:`repro.nn.meshnet` — the 1K/2K mesh-tangling segmentation models.
+* :mod:`repro.nn.optim` — SGD with momentum/weight decay.
+"""
+
+from repro.nn.graph import LayerSpec, NetworkSpec
+from repro.nn.network import LocalNetwork
+from repro.nn.optim import SGD
+
+__all__ = ["LayerSpec", "LocalNetwork", "NetworkSpec", "SGD"]

@@ -1,0 +1,46 @@
+"""Deterministic parameter initialization.
+
+Parameters are seeded per layer *name*, not per creation order, so the
+single-device reference network and the distributed network initialize
+bitwise-identically — the precondition for the exactness tests ("our
+algorithms exactly replicate convolution as if it were performed on a
+single GPU", paper §III).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+def _layer_rng(seed: int, name: str) -> np.random.Generator:
+    return np.random.default_rng((seed, zlib.crc32(name.encode())))
+
+
+def he_normal(
+    shape: tuple[int, ...], fan_in: int, seed: int, name: str
+) -> np.ndarray:
+    """He et al. initialization (the ResNet paper's scheme)."""
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return _layer_rng(seed, name).standard_normal(shape) * std
+
+
+def conv_weights(
+    filters: int, in_channels: int, kh: int, kw: int, seed: int, name: str
+) -> np.ndarray:
+    return he_normal(
+        (filters, in_channels, kh, kw), in_channels * kh * kw, seed, name
+    )
+
+
+def fc_weights(units: int, in_features: int, seed: int, name: str) -> np.ndarray:
+    return he_normal((units, in_features), in_features, seed, name)
+
+
+def zeros(shape: tuple[int, ...] | int) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: tuple[int, ...] | int) -> np.ndarray:
+    return np.ones(shape)

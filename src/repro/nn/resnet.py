@@ -1,0 +1,136 @@
+"""Fully-convolutional ResNet-50 (He et al. 2016) for ImageNet-1K.
+
+Layer naming follows the Caffe convention used by the paper's
+microbenchmarks: ``conv1``, ``res{stage}{block}_branch2a/2b/2c`` with
+``branch1`` projection shortcuts.  The paper benchmarks:
+
+* ``conv1``:            C=3,   H=W=224, F=64,  K=7, P=3, S=2
+* ``res3b_branch2a``:   C=512, H=W=28,  F=128, K=1, P=0, S=1
+
+both of which fall out of this builder, and are asserted in the tests.
+
+The classification head is fully convolutional ([29], Long et al.): global
+average pooling followed by a 1x1 convolution with 1000 filters.
+"""
+
+from __future__ import annotations
+
+import string
+
+from repro.nn.graph import NetworkSpec
+
+#: (blocks, bottleneck width, output channels, first-block stride) per stage.
+RESNET50_STAGES = [
+    (3, 64, 256, 1),   # res2 (56x56)
+    (4, 128, 512, 2),  # res3 (28x28)
+    (6, 256, 1024, 2),  # res4 (14x14)
+    (3, 512, 2048, 2),  # res5 (7x7)
+]
+
+
+def _conv_bn_relu(
+    net: NetworkSpec,
+    name: str,
+    parent: str,
+    filters: int,
+    kernel: int,
+    stride: int = 1,
+    pad: int = 0,
+    relu: bool = True,
+) -> str:
+    net.add(name, "conv", [parent], filters=filters, kernel=kernel, stride=stride, pad=pad)
+    net.add(f"bn_{name}", "bn", [name])
+    if not relu:
+        return f"bn_{name}"
+    net.add(f"{name}_relu", "relu", [f"bn_{name}"])
+    return f"{name}_relu"
+
+
+def _bottleneck(
+    net: NetworkSpec,
+    stage: int,
+    block_letter: str,
+    parent: str,
+    width: int,
+    out_channels: int,
+    stride: int,
+    project: bool,
+) -> str:
+    base = f"res{stage}{block_letter}"
+    # Main branch: 1x1 (stride) -> 3x3 -> 1x1, BN after each, ReLU on first two.
+    a = _conv_bn_relu(net, f"{base}_branch2a", parent, width, 1, stride=stride)
+    b = _conv_bn_relu(net, f"{base}_branch2b", a, width, 3, pad=1)
+    c = _conv_bn_relu(net, f"{base}_branch2c", b, out_channels, 1, relu=False)
+    # Shortcut branch.
+    if project:
+        shortcut = _conv_bn_relu(
+            net, f"{base}_branch1", parent, out_channels, 1, stride=stride, relu=False
+        )
+    else:
+        shortcut = parent
+    net.add(f"{base}_add", "add", [c, shortcut])
+    net.add(f"{base}_relu", "relu", [f"{base}_add"])
+    return f"{base}_relu"
+
+
+def build_resnet50(
+    image_size: int = 224,
+    num_classes: int = 1000,
+    input_channels: int = 3,
+    stages=None,
+    include_loss: bool = True,
+) -> NetworkSpec:
+    """Build ResNet-50 (or a reduced variant via ``stages``).
+
+    ``stages`` defaults to :data:`RESNET50_STAGES`; pass a shorter/narrower
+    list for scaled-down functional tests.
+    """
+    stages = stages if stages is not None else RESNET50_STAGES
+    net = NetworkSpec("resnet50")
+    net.add("input", "input", channels=input_channels, height=image_size, width=image_size)
+    tip = _conv_bn_relu(net, "conv1", "input", 64, 7, stride=2, pad=3)
+    net.add("pool1", "pool", [tip], mode="max", kernel=3, stride=2, pad=1)
+    tip = "pool1"
+
+    for stage_idx, (blocks, width, out_ch, stride) in enumerate(stages, start=2):
+        for b in range(blocks):
+            letter = string.ascii_lowercase[b]
+            tip = _bottleneck(
+                net,
+                stage_idx,
+                letter,
+                tip,
+                width,
+                out_ch,
+                stride=stride if b == 0 else 1,
+                project=(b == 0),
+            )
+
+    net.add("pool5", "gap", [tip])
+    net.add("fc1000", "conv", ["pool5"], filters=num_classes, kernel=1, bias=True)
+    if include_loss:
+        net.add("loss", "softmax_ce", ["fc1000"])
+    return net
+
+
+def build_resnet_tiny(
+    image_size: int = 32, num_classes: int = 10, include_loss: bool = True
+) -> NetworkSpec:
+    """A miniature bottleneck ResNet for fast functional tests: same layer
+    structure class as ResNet-50 (projection shortcuts, stride-2 stages)."""
+    stages = [(1, 4, 16, 1), (2, 8, 32, 2)]
+    net = NetworkSpec("resnet-tiny")
+    net.add("input", "input", channels=3, height=image_size, width=image_size)
+    tip = _conv_bn_relu(net, "conv1", "input", 8, 3, stride=1, pad=1)
+    for stage_idx, (blocks, width, out_ch, stride) in enumerate(stages, start=2):
+        for b in range(blocks):
+            letter = string.ascii_lowercase[b]
+            tip = _bottleneck(
+                net, stage_idx, letter, tip, width, out_ch,
+                stride=stride if b == 0 else 1, project=(b == 0),
+            )
+    net.add("pool5", "gap", [tip])
+    net.add("fc", "conv", ["pool5"], filters=num_classes, kernel=1, bias=True)
+    if include_loss:
+        net.add("loss", "softmax_ce", ["fc"])
+    return net

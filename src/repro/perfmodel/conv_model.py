@@ -1,0 +1,149 @@
+"""Convolution kernel cost models: C(n, c, h, w, f) of the paper's §V-A.
+
+The paper measures cuDNN kernels empirically ("a simple benchmark that
+times the appropriate cuDNN function; we perform several warmup runs, then
+take the average of ten runs") and combines them with an analytic
+communication model.  We provide both modes:
+
+* :class:`CalibratedConvModel` — an analytic stand-in for the cuDNN
+  measurements on V100 (constants in :mod:`repro.perfmodel.machine`),
+  used to regenerate the paper-scale experiments;
+* :class:`EmpiricalConvModel` — times this package's *own* numpy kernels on
+  the host, exactly the paper's methodology applied to our substrate.
+  Results are cached per layer geometry, like the paper's measurement
+  database.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perfmodel.machine import GPUSpec
+
+
+@dataclass(frozen=True)
+class ConvGeometry:
+    """Local workload of one convolution kernel invocation."""
+
+    n: int
+    c: int
+    h: int
+    w: int
+    f: int
+    kh: int
+    kw: int
+    sh: int = 1
+    sw: int = 1
+
+    @property
+    def out_h(self) -> int:
+        # The distributed layers call kernels on pre-padded (halo-extended)
+        # regions, so the kernel-local geometry has no padding term.
+        return max(0, (self.h - self.kh) // self.sh + 1)
+
+    @property
+    def out_w(self) -> int:
+        return max(0, (self.w - self.kw) // self.sw + 1)
+
+    def forward_flops(self) -> float:
+        """2 * N * F * OH * OW * C * KH * KW (paper Eq. 1)."""
+        return (
+            2.0 * self.n * self.f * self.out_h * self.out_w
+            * self.c * self.kh * self.kw
+        )
+
+    def io_bytes(self, dtype_bytes: int = 4) -> float:
+        x = self.n * self.c * self.h * self.w
+        y = self.n * self.f * self.out_h * self.out_w
+        w = self.f * self.c * self.kh * self.kw
+        return float(x + y + w) * dtype_bytes
+
+
+class CalibratedConvModel:
+    """Analytic cuDNN-on-V100 stand-in (see machine.py for calibration)."""
+
+    def __init__(self, gpu: GPUSpec, dtype_bytes: int = 4) -> None:
+        self.gpu = gpu
+        self.dtype_bytes = dtype_bytes
+
+    def fp(self, g: ConvGeometry) -> float:
+        """C(n, c, h, w, f): forward propagation time (Eq. 1)."""
+        return self.gpu.conv_time(
+            g.forward_flops(), g.io_bytes(self.dtype_bytes),
+            self.gpu.fwd_tflops_max, tile_pixels=g.n * g.out_h * g.out_w,
+        )
+
+    def bp_data(self, g: ConvGeometry) -> float:
+        """C_x: error-signal (backward-data) time (Eq. 3)."""
+        return self.gpu.conv_time(
+            g.forward_flops(), g.io_bytes(self.dtype_bytes),
+            self.gpu.bwd_data_tflops_max, tile_pixels=g.n * g.out_h * g.out_w,
+        )
+
+    def bp_filter(self, g: ConvGeometry) -> float:
+        """C_w: weight-gradient (backward-filter) time (Eq. 2)."""
+        return self.gpu.conv_time(
+            g.forward_flops(), g.io_bytes(self.dtype_bytes),
+            self.gpu.bwd_filter_tflops_max, tile_pixels=g.n * g.out_h * g.out_w,
+        )
+
+
+class EmpiricalConvModel:
+    """Times the local numpy kernels (the paper's methodology, our substrate).
+
+    "We perform several warmup runs, then take the average of ten runs."
+    """
+
+    def __init__(self, warmup: int = 2, runs: int = 10, dtype=np.float64) -> None:
+        self.warmup = warmup
+        self.runs = runs
+        self.dtype = dtype
+        self._cache: dict[tuple, tuple[float, float, float]] = {}
+
+    def _measure(self, g: ConvGeometry) -> tuple[float, float, float]:
+        key = (g.n, g.c, g.h, g.w, g.f, g.kh, g.kw, g.sh, g.sw)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        from repro.nn import functional as F
+
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((g.n, g.c, g.h, g.w)).astype(self.dtype)
+        w = rng.standard_normal((g.f, g.c, g.kh, g.kw)).astype(self.dtype)
+        y = F.conv2d_forward(x, w, stride=(g.sh, g.sw), pad=0)
+        dy = rng.standard_normal(y.shape).astype(self.dtype)
+
+        def timed(fn) -> float:
+            for _ in range(self.warmup):
+                fn()
+            t0 = time.perf_counter()
+            for _ in range(self.runs):
+                fn()
+            return (time.perf_counter() - t0) / self.runs
+
+        fp = timed(lambda: F.conv2d_forward(x, w, stride=(g.sh, g.sw), pad=0))
+        bpd = timed(
+            lambda: F.conv2d_backward_data(
+                dy, w, stride=(g.sh, g.sw), pad=0, x_spatial=(g.h, g.w)
+            )
+        )
+        bpf = timed(
+            lambda: F.conv2d_backward_filter(
+                x, dy, kernel=(g.kh, g.kw), stride=(g.sh, g.sw), pad=0
+            )
+        )
+        result = (fp, bpd, bpf)
+        self._cache[key] = result
+        return result
+
+    def fp(self, g: ConvGeometry) -> float:
+        return self._measure(g)[0]
+
+    def bp_data(self, g: ConvGeometry) -> float:
+        return self._measure(g)[1]
+
+    def bp_filter(self, g: ConvGeometry) -> float:
+        return self._measure(g)[2]

@@ -1,0 +1,19 @@
+"""Discrete-event simulation of distributed training (S12 in DESIGN.md).
+
+The analytic model of :mod:`repro.perfmodel` makes closed-form overlap
+assumptions (§V).  This package cross-checks them by actually *scheduling*
+one training step as a task graph over two per-rank resources (a compute
+stream and a communication stream), which is how the LBANN implementation
+overlaps halo exchanges with interior convolutions and allreduces with
+backpropagation (§IV-A).
+
+* :mod:`repro.sim.engine` — a minimal dependency-driven event simulator.
+* :mod:`repro.sim.training_sim` — builds the per-step task graph for a
+  (network, strategy, machine) triple and reports the simulated mini-batch
+  time, with overlap independently toggleable for ablations.
+"""
+
+from repro.sim.engine import SimEngine, Task
+from repro.sim.training_sim import TrainingStepSimulator
+
+__all__ = ["SimEngine", "Task", "TrainingStepSimulator"]

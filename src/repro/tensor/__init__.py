@@ -1,0 +1,47 @@
+"""Distributed tensor substrate (the paper's C++ tensor library, in Python).
+
+The paper builds a small distributed tensor library presenting "a
+partitioned global view of multidimensional tensors" with halo exchange
+(Section IV).  This package reproduces it:
+
+* :mod:`repro.tensor.indexing` — block partition arithmetic (the index sets
+  ``I_p(D(m))`` of §II-C) and zero-filled region extraction.
+* :mod:`repro.tensor.grid` — Cartesian process grids over a communicator
+  with per-axis sub-communicators.
+* :mod:`repro.tensor.distribution` — per-dimension Block / Replicated
+  distributions ``D = (D(0), ..., D(M-1))``.
+* :mod:`repro.tensor.dist_tensor` — :class:`DistTensor`: local shards with
+  global metadata, collective ``gather_region`` (generalized halo) and
+  ``scatter_region_add`` (reverse halo accumulation).
+* :mod:`repro.tensor.halo` — the optimized neighbor-to-neighbor halo
+  exchange for uniformly partitioned tensors (§III-A / §IV-A).
+* :mod:`repro.tensor.shuffle` — all-to-all redistribution between two
+  distributions (§III-C).
+"""
+
+from repro.tensor.indexing import (
+    block_bounds,
+    block_coords_of_interval,
+    block_size,
+    extract_padded,
+    intersect,
+)
+from repro.tensor.grid import ProcessGrid
+from repro.tensor.distribution import DimKind, Distribution
+from repro.tensor.dist_tensor import DistTensor
+from repro.tensor.halo import halo_exchange
+from repro.tensor.shuffle import shuffle
+
+__all__ = [
+    "DimKind",
+    "DistTensor",
+    "Distribution",
+    "ProcessGrid",
+    "block_bounds",
+    "block_coords_of_interval",
+    "block_size",
+    "extract_padded",
+    "halo_exchange",
+    "intersect",
+    "shuffle",
+]

@@ -1,0 +1,290 @@
+"""Distributed tensors: local shards with a partitioned global view.
+
+A :class:`DistTensor` is the Python analogue of the paper's C++ distributed
+tensor: each rank stores the block of the global tensor selected by its grid
+coordinates under a :class:`~repro.tensor.distribution.Distribution`, and
+the class provides the collective primitives the distributed convolution
+algorithms are built from:
+
+* :meth:`DistTensor.gather_region` — fetch an arbitrary hyper-rectangular
+  region of the global tensor (the *generalized halo exchange*: the region
+  a convolution's local outputs depend on overlaps only grid neighbors in
+  the common case, but the same primitive handles strided and unaligned
+  partitions exactly);
+* :meth:`DistTensor.scatter_region_add` — the reverse operation, scattering
+  and *accumulating* contributions computed for a region back to its owners
+  (needed by pooling backpropagation where windows straddle partitions).
+
+Both are collective over the grid's communicator.  Regions may extend past
+the global tensor boundary; out-of-range parts are zero-filled on gather
+(materializing convolution padding) and dropped on scatter.
+
+Replication is respected: when a dimension is replicated across a grid axis,
+gathers are served by the replica in the caller's own replica group, and
+scatter-adds stay within the caller's replica group, so replicas remain
+bitwise consistent without extra synchronization.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.comm.communicator import Communicator
+from repro.tensor.distribution import Distribution
+from repro.tensor.grid import ProcessGrid
+from repro.tensor.indexing import (
+    block_coords_of_interval,
+    intersect,
+    interval_is_empty,
+    place_region,
+)
+
+
+class DistTensor:
+    """One rank's view of a globally distributed dense tensor."""
+
+    def __init__(
+        self,
+        grid: ProcessGrid,
+        dist: Distribution,
+        global_shape: Sequence[int],
+        local: np.ndarray,
+    ) -> None:
+        global_shape = tuple(int(s) for s in global_shape)
+        if dist.ndim != len(global_shape):
+            raise ValueError(
+                f"distribution has {dist.ndim} dims, tensor has {len(global_shape)}"
+            )
+        if dist.grid_shape != grid.shape:
+            raise ValueError(
+                f"distribution grid {dist.grid_shape} != process grid {grid.shape}"
+            )
+        expected = dist.local_shape(global_shape, grid.coords)
+        if tuple(local.shape) != expected:
+            raise ValueError(
+                f"local shard shape {local.shape} != expected {expected} at "
+                f"coords {grid.coords}"
+            )
+        self.grid = grid
+        self.dist = dist
+        self.global_shape = global_shape
+        self.local = local
+
+    # -- constructors -----------------------------------------------------------
+    @classmethod
+    def from_global(
+        cls,
+        grid: ProcessGrid,
+        dist: Distribution,
+        global_array: np.ndarray,
+    ) -> "DistTensor":
+        """Shard a replicated global array (no communication: every rank
+        holds ``global_array`` and slices its own block)."""
+        bounds = dist.local_bounds(global_array.shape, grid.coords)
+        sl = tuple(slice(lo, hi) for lo, hi in bounds)
+        return cls(grid, dist, global_array.shape, np.ascontiguousarray(global_array[sl]))
+
+    @classmethod
+    def zeros(
+        cls,
+        grid: ProcessGrid,
+        dist: Distribution,
+        global_shape: Sequence[int],
+        dtype=np.float64,
+    ) -> "DistTensor":
+        shape = dist.local_shape(global_shape, grid.coords)
+        return cls(grid, dist, global_shape, np.zeros(shape, dtype=dtype))
+
+    # -- basic properties ---------------------------------------------------------
+    @property
+    def comm(self) -> Communicator:
+        return self.grid.comm
+
+    @property
+    def bounds(self) -> tuple[tuple[int, int], ...]:
+        """Per-dimension global intervals owned by this rank (``I_p(D)``)."""
+        return self.dist.local_bounds(self.global_shape, self.grid.coords)
+
+    @property
+    def dtype(self):
+        return self.local.dtype
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DistTensor(global={self.global_shape}, dist={self.dist}, "
+            f"bounds={self.bounds})"
+        )
+
+    # -- ownership resolution ----------------------------------------------------
+    def _owners_of_region(
+        self, lo: Sequence[int], hi: Sequence[int]
+    ) -> list[tuple[int, tuple[tuple[int, int], ...]]]:
+        """Ranks owning parts of global region ``[lo, hi)`` and their overlaps.
+
+        Replicated dimensions resolve to the caller's own replica group.
+        Returns ``[(comm_rank, per-dim clipped interval), ...]``.
+        """
+        per_dim: list[list[tuple[int, tuple[int, int]]]] = []
+        for d in range(self.dist.ndim):
+            n = self.global_shape[d]
+            clipped = intersect((int(lo[d]), int(hi[d])), (0, n))
+            if interval_is_empty(clipped):
+                return []
+            if self.dist.is_split(d):
+                c0, c1 = block_coords_of_interval(
+                    n, self.dist.grid_shape[d], clipped[0], clipped[1]
+                )
+                options = []
+                for c in range(c0, c1 + 1):
+                    overlap = intersect(
+                        clipped, self.dist.dim_bounds(self.global_shape, d, c)
+                    )
+                    if not interval_is_empty(overlap):
+                        options.append((c, overlap))
+                per_dim.append(options)
+            else:
+                # Unsplit: stay within our own replica group along this axis.
+                per_dim.append([(self.grid.coords[d], clipped)])
+
+        owners = []
+        for combo in itertools.product(*per_dim):
+            coords = tuple(c for c, _ in combo)
+            overlap = tuple(iv for _, iv in combo)
+            owners.append((self.grid.rank_of(coords), overlap))
+        return owners
+
+    def _local_slice_of(self, region: tuple[tuple[int, int], ...]) -> np.ndarray:
+        """View of the local shard covering global ``region`` (must be owned)."""
+        my = self.bounds
+        sl = []
+        for (g_lo, g_hi), (m_lo, m_hi) in zip(region, my):
+            if g_lo < m_lo or g_hi > m_hi:
+                raise ValueError(
+                    f"region {region} not owned locally (bounds {my})"
+                )
+            sl.append(slice(g_lo - m_lo, g_hi - m_lo))
+        return self.local[tuple(sl)]
+
+    # -- collective region primitives ------------------------------------------
+    def gather_region(
+        self,
+        lo: Sequence[int],
+        hi: Sequence[int],
+        fill: float = 0.0,
+    ) -> np.ndarray:
+        """Collectively fetch global region ``[lo, hi)`` into a local array.
+
+        All grid ranks must call this together (each with its own region —
+        pass an empty region to participate without fetching).  Out-of-range
+        parts are filled with ``fill``.
+        """
+        lo = tuple(int(v) for v in lo)
+        hi = tuple(int(v) for v in hi)
+        out_shape = tuple(h - l for l, h in zip(lo, hi))
+        if any(s < 0 for s in out_shape):
+            raise ValueError(f"negative region shape {out_shape}")
+
+        owners = self._owners_of_region(lo, hi) if all(s > 0 for s in out_shape) else []
+        comm = self.comm
+
+        requests: list[list[tuple[tuple[int, int], ...]]] = [
+            [] for _ in range(comm.size)
+        ]
+        for rank, overlap in owners:
+            requests[rank].append(overlap)
+
+        incoming = comm.alltoall(requests)
+        replies = [
+            [self._local_slice_of(region) for region in regions]
+            for regions in incoming
+        ]
+        comm.stats.record_collective(
+            "region_data",
+            sum(
+                arr.nbytes
+                for j, regions in enumerate(replies)
+                for arr in regions
+                if j != comm.rank
+            ),
+        )
+        data_back = comm.alltoall(replies)
+
+        out = np.full(out_shape, fill, dtype=self.dtype)
+        for rank in range(comm.size):
+            for region, data in zip(requests[rank], data_back[rank]):
+                offset = tuple(r[0] - l for r, l in zip(region, lo))
+                place_region(out, data, offset)
+        return out
+
+    def scatter_region_add(
+        self,
+        region: np.ndarray,
+        lo: Sequence[int],
+    ) -> None:
+        """Collectively scatter ``region`` (anchored at global ``lo``) to its
+        owners, *adding* into their local shards.
+
+        Parts of the region outside the global tensor are dropped (they
+        correspond to virtual padding).  All grid ranks must call together.
+        """
+        lo = tuple(int(v) for v in lo)
+        hi = tuple(l + s for l, s in zip(lo, region.shape))
+        owners = self._owners_of_region(lo, hi)
+        comm = self.comm
+
+        sends: list[list[tuple[tuple[tuple[int, int], ...], np.ndarray]]] = [
+            [] for _ in range(comm.size)
+        ]
+        for rank, overlap in owners:
+            sl = tuple(
+                slice(iv[0] - l, iv[1] - l) for iv, l in zip(overlap, lo)
+            )
+            sends[rank].append((overlap, region[sl]))
+
+        comm.stats.record_collective(
+            "region_data",
+            sum(
+                arr.nbytes
+                for j, pieces in enumerate(sends)
+                for _, arr in pieces
+                if j != comm.rank
+            ),
+        )
+        received = comm.alltoall(sends)
+        my = self.bounds
+        for contributions in received:
+            for overlap, data in contributions:
+                offset = tuple(iv[0] - b[0] for iv, b in zip(overlap, my))
+                place_region(self.local, data, offset, accumulate=True)
+
+    # -- whole-tensor collectives (test/debug helpers) -----------------------------
+    def to_global(self) -> np.ndarray:
+        """Assemble the full global tensor on every rank (allgather)."""
+        pieces = self.comm.allgather((self.grid.coords, self.local))
+        out = np.zeros(self.global_shape, dtype=self.dtype)
+        for coords, local in pieces:
+            bounds = self.dist.local_bounds(self.global_shape, coords)
+            sl = tuple(slice(lo, hi) for lo, hi in bounds)
+            out[sl] = local
+        return out
+
+    def allreduce_replicas(self) -> None:
+        """Sum-reduce the shard across its replica group, in place.
+
+        No-op for purely partitioned tensors.  Used when replicas hold
+        partial contributions that must be combined (e.g. error signals
+        produced by layers that reduce over a replicated dimension).
+        """
+        axes = tuple(
+            d
+            for d in range(self.dist.ndim)
+            if not self.dist.is_split(d) and self.grid.shape[d] > 1
+        )
+        if not axes:
+            return
+        sub = self.grid.axes_comm(axes)
+        self.local = sub.allreduce(self.local)

@@ -1,0 +1,113 @@
+"""Neighbor-to-neighbor halo exchange (the paper's §III-A / Fig. 1b).
+
+This is the optimized exchange pattern for the common case: a uniform halo
+width per axis and block partitions wide enough that halos only touch
+immediate grid neighbors.  Axes are processed in order and each strip
+includes the halo regions already received along earlier axes, so corner
+regions propagate transitively — two messages per split axis, matching the
+east/west + north/south exchanges of the paper (the 4 corner send/recvs of
+the paper's cost model are folded into the second-axis strips; the
+performance model in :mod:`repro.perfmodel` accounts for the corner bytes
+explicitly, as the paper writes them).
+
+For strided or unaligned cases where dependencies exceed immediate
+neighbors, use :meth:`repro.tensor.dist_tensor.DistTensor.gather_region`,
+the fully general primitive.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.dist_tensor import DistTensor
+
+
+def halo_exchange(
+    dt: DistTensor,
+    widths: Sequence[int],
+    fill: float = 0.0,
+) -> np.ndarray:
+    """Exchange halos of ``widths[d]`` cells on both sides of each split axis.
+
+    Returns the local shard extended by the halo cells: received data at
+    interior partition boundaries, ``fill`` (virtual padding) at global
+    tensor boundaries.  Collective over the grid communicator.
+
+    Raises ``ValueError`` if a neighbor owns fewer cells than the requested
+    width (the exchange would need data from beyond the immediate neighbor).
+    """
+    if len(widths) != dt.dist.ndim:
+        raise ValueError(f"need {dt.dist.ndim} widths, got {len(widths)}")
+    widths = [int(w) for w in widths]
+    if any(w < 0 for w in widths):
+        raise ValueError(f"halo widths must be >= 0: {widths}")
+
+    grid = dt.grid
+    comm = dt.comm
+    local = dt.local
+    # Every axis is extended by its width: split axes receive neighbor data,
+    # unsplit axes and global boundaries keep the fill value (virtual padding).
+    eff = widths
+
+    ext_shape = tuple(s + 2 * w for s, w in zip(local.shape, eff))
+    out = np.full(ext_shape, fill, dtype=dt.dtype)
+    out[tuple(slice(w, w + s) for w, s in zip(eff, local.shape))] = local
+
+    for axis in range(dt.dist.ndim):
+        w = eff[axis]
+        if w == 0 or not dt.dist.is_split(axis):
+            continue  # unsplit axes see only global boundaries -> fill
+        left = grid.neighbor(axis, -1)
+        right = grid.neighbor(axis, +1)
+        _check_width(dt, axis, w, left, right)
+
+        # Strip extents: full (incl. halo) along already-exchanged axes,
+        # owned-only along later axes.
+        def strip(range_on_axis: tuple[int, int]) -> tuple[slice, ...]:
+            sl = []
+            for d in range(dt.dist.ndim):
+                if d == axis:
+                    sl.append(slice(*range_on_axis))
+                elif d < axis:
+                    sl.append(slice(0, ext_shape[d]))
+                else:
+                    sl.append(slice(eff[d], eff[d] + local.shape[d]))
+            return tuple(sl)
+
+        lo_owned = strip((w, 2 * w))                       # first w owned rows
+        hi_owned = strip((w + local.shape[axis] - w, w + local.shape[axis]))
+        lo_halo = strip((0, w))                            # before-halo slot
+        hi_halo = strip((w + local.shape[axis], 2 * w + local.shape[axis]))
+
+        tag = 100 + axis
+        if left is not None:
+            comm.send(np.ascontiguousarray(out[lo_owned]), dest=left, tag=tag)
+        if right is not None:
+            comm.send(np.ascontiguousarray(out[hi_owned]), dest=right, tag=tag + 1000)
+        if right is not None:
+            out[hi_halo] = comm.recv(source=right, tag=tag)
+        if left is not None:
+            out[lo_halo] = comm.recv(source=left, tag=tag + 1000)
+    return out
+
+
+def _check_width(dt: DistTensor, axis: int, w: int, left: int | None, right: int | None) -> None:
+    n = dt.global_shape[axis]
+    parts = dt.dist.grid_shape[axis]
+    coord = dt.grid.coords[axis]
+    for nb_rank, nb_coord in ((left, coord - 1), (right, coord + 1)):
+        if nb_rank is None:
+            continue
+        lo, hi = dt.dist.dim_bounds(dt.global_shape, axis, nb_coord)
+        if hi - lo < w:
+            raise ValueError(
+                f"halo width {w} exceeds neighbor block size {hi - lo} on axis "
+                f"{axis} ({parts} parts of {n}); use gather_region instead"
+            )
+    if dt.local.shape[axis] < w:
+        raise ValueError(
+            f"halo width {w} exceeds own block size {dt.local.shape[axis]} on "
+            f"axis {axis}; use gather_region instead"
+        )

@@ -1,0 +1,118 @@
+"""Data redistribution between two distributions (the paper's §III-C).
+
+When adjacent layers use different distributions (e.g. a spatially
+partitioned convolution feeding a sample-parallel convolution, or a
+convolutional layer feeding a model-parallel FC layer), the activations and
+error signals must be shuffled: "a processor sends indices it no longer
+owns, and receives its new indices" via an all-to-all collective.
+
+Replication is handled on both sides:
+
+* if the *source* replicates a dimension, only the canonical replica (grid
+  coordinate 0 along every replicated axis) sends, so each global element is
+  shipped exactly once;
+* if the *destination* replicates a dimension, every replica receives its
+  copy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.dist_tensor import DistTensor
+from repro.tensor.distribution import Distribution
+from repro.tensor.grid import ProcessGrid
+from repro.tensor.indexing import intersect, interval_is_empty, place_region
+
+
+def shuffle(
+    src: DistTensor,
+    dst_grid: ProcessGrid,
+    dst_dist: Distribution,
+) -> DistTensor:
+    """Redistribute ``src`` to ``dst_dist`` over ``dst_grid``.
+
+    Both grids must be built over the same communicator (the same set of
+    ranks in the same order); the grid *shapes* may differ arbitrarily.
+    Collective: every rank must call.
+    """
+    comm = src.comm
+    if dst_grid.comm.size != comm.size or dst_grid.comm.members != comm.members:
+        raise ValueError("shuffle requires src and dst grids over the same ranks")
+    if dst_dist.ndim != src.dist.ndim:
+        raise ValueError(
+            f"distribution rank mismatch: {src.dist.ndim} vs {dst_dist.ndim}"
+        )
+    global_shape = src.global_shape
+
+    # -- what do I send? ------------------------------------------------------
+    i_am_canonical = all(
+        src.grid.coords[d] == 0
+        for d in range(src.dist.ndim)
+        if not src.dist.is_split(d) and src.grid.shape[d] > 1
+    )
+    my_src_bounds = src.bounds
+    sends: list[list[tuple[tuple[tuple[int, int], ...], np.ndarray]]] = [
+        [] for _ in range(comm.size)
+    ]
+    if i_am_canonical:
+        for j in range(comm.size):
+            dst_bounds = dst_dist.local_bounds(global_shape, dst_grid.coords_of(j))
+            overlap = tuple(
+                intersect(a, b) for a, b in zip(my_src_bounds, dst_bounds)
+            )
+            if any(interval_is_empty(iv) for iv in overlap):
+                continue
+            sl = tuple(
+                slice(iv[0] - b[0], iv[1] - b[0])
+                for iv, b in zip(overlap, my_src_bounds)
+            )
+            sends[j].append((overlap, np.ascontiguousarray(src.local[sl])))
+
+    # -- exchange and assemble ---------------------------------------------------
+    received = comm.alltoall(sends)
+    my_dst_bounds = dst_dist.local_bounds(global_shape, dst_grid.coords)
+    new_local = np.zeros(
+        tuple(hi - lo for lo, hi in my_dst_bounds), dtype=src.dtype
+    )
+    filled = 0
+    for pieces in received:
+        for region, data in pieces:
+            offset = tuple(iv[0] - b[0] for iv, b in zip(region, my_dst_bounds))
+            place_region(new_local, data, offset)
+            filled += data.size
+    expected = new_local.size
+    if filled != expected:
+        raise RuntimeError(
+            f"shuffle assembled {filled} elements but local block has "
+            f"{expected}; source distribution did not cover the tensor"
+        )
+    return DistTensor(dst_grid, dst_dist, global_shape, new_local)
+
+
+def shuffle_cost_bytes(
+    src: DistTensor, dst_grid: ProcessGrid, dst_dist: Distribution
+) -> int:
+    """Bytes this rank ships in :func:`shuffle` (for model validation tests)."""
+    comm = src.comm
+    i_am_canonical = all(
+        src.grid.coords[d] == 0
+        for d in range(src.dist.ndim)
+        if not src.dist.is_split(d) and src.grid.shape[d] > 1
+    )
+    if not i_am_canonical:
+        return 0
+    total = 0
+    itemsize = src.dtype.itemsize
+    for j in range(comm.size):
+        if j == comm.rank:
+            continue
+        dst_bounds = dst_dist.local_bounds(src.global_shape, dst_grid.coords_of(j))
+        overlap = [intersect(a, b) for a, b in zip(src.bounds, dst_bounds)]
+        if any(interval_is_empty(iv) for iv in overlap):
+            continue
+        count = 1
+        for iv in overlap:
+            count *= iv[1] - iv[0]
+        total += count * itemsize
+    return total

@@ -1,0 +1,137 @@
+"""Point-to-point semantics of the SPMD communicator."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CommAborted, run_spmd
+
+
+class TestSendRecv:
+    def test_two_rank_exchange(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send({"a": 7}, dest=1, tag=11)
+                return None
+            return comm.recv(source=0, tag=11)
+
+        results = run_spmd(2, prog)
+        assert results[1] == {"a": 7}
+
+    def test_numpy_roundtrip(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(1000, dtype=np.float64), dest=1)
+                return None
+            return comm.recv(source=0)
+
+        results = run_spmd(2, prog)
+        np.testing.assert_array_equal(results[1], np.arange(1000, dtype=np.float64))
+
+    def test_send_copies_payload(self):
+        """Mutating a sent array after send must not affect the receiver."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                data = np.ones(8)
+                comm.send(data, dest=1)
+                data[:] = -1.0
+                comm.barrier()
+                return None
+            comm.barrier()
+            return comm.recv(source=0)
+
+        results = run_spmd(2, prog)
+        np.testing.assert_array_equal(results[1], np.ones(8))
+
+    def test_tag_matching_out_of_order(self):
+        """A recv on tag 2 must not consume the tag-1 message."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("first", dest=1, tag=1)
+                comm.send("second", dest=1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        results = run_spmd(2, prog)
+        assert results[1] == ("first", "second")
+
+    def test_fifo_per_source_tag(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.send(i, dest=1)
+                return None
+            return [comm.recv(source=0) for _ in range(5)]
+
+        results = run_spmd(2, prog)
+        assert results[1] == [0, 1, 2, 3, 4]
+
+    def test_self_send(self):
+        def prog(comm):
+            comm.send("loop", dest=comm.rank, tag=3)
+            return comm.recv(source=comm.rank, tag=3)
+
+        assert run_spmd(1, prog) == ["loop"]
+
+    def test_sendrecv_ring(self):
+        """Every rank passes its rank value around a ring."""
+
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=right, source=left)
+
+        results = run_spmd(4, prog)
+        assert results == [3, 0, 1, 2]
+
+    def test_sendrecv_bidirectional_no_deadlock(self):
+        """Eager sends mean a symmetric exchange cannot deadlock."""
+
+        def prog(comm):
+            partner = 1 - comm.rank
+            got = comm.sendrecv(np.full(4, comm.rank), dest=partner, source=partner)
+            return float(got[0])
+
+        assert run_spmd(2, prog) == [1.0, 0.0]
+
+
+class TestErrors:
+    def test_exception_propagates(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise ValueError("boom on rank 1")
+            comm.recv(source=1)  # would block forever without abort
+
+        with pytest.raises(ValueError, match="boom on rank 1"):
+            run_spmd(2, prog, timeout=10)
+
+    def test_recv_from_out_of_range_rank(self):
+        def prog(comm):
+            comm.recv(source=5)
+
+        with pytest.raises(ValueError, match="out of range"):
+            run_spmd(2, prog, timeout=10)
+
+    def test_single_rank_runs_inline(self):
+        def prog(comm):
+            assert comm.size == 1 and comm.rank == 0
+            return "done"
+
+        assert run_spmd(1, prog) == ["done"]
+
+
+class TestStats:
+    def test_bytes_accounting(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(100, dtype=np.float32), dest=1)
+            else:
+                comm.recv(source=0)
+            return (comm.stats.bytes_sent, comm.stats.bytes_received)
+
+        results = run_spmd(2, prog)
+        assert results[0] == (400, 0)
+        assert results[1] == (0, 400)

@@ -1,0 +1,228 @@
+"""End-to-end exactness: distributed network == single-device network.
+
+Covers the full §III pipeline: conv + pool + BN + ReLU + residual adds +
+GAP + losses, under sample / spatial / hybrid strategies, including
+per-layer strategies that force data redistributions (§III-C).
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import run_spmd
+from repro.core import DistNetwork, DistTrainer, LayerParallelism, ParallelStrategy
+from repro.nn import LocalNetwork, NetworkSpec, SGD
+from repro.nn.meshnet import mesh_model_tiny
+from repro.nn.resnet import build_resnet_tiny
+
+RTOL = 1e-9
+ATOL = 1e-11
+
+
+def small_conv_net():
+    """conv-bn-relu x2 with a maxpool and BCE segmentation loss."""
+    net = NetworkSpec("small")
+    net.add("input", "input", channels=3, height=16, width=16)
+    net.add("c1", "conv", ["input"], filters=4, kernel=3, stride=1, pad=1)
+    net.add("b1", "bn", ["c1"])
+    net.add("r1", "relu", ["b1"])
+    net.add("p1", "pool", ["r1"], mode="max", kernel=3, stride=2, pad=1)
+    net.add("c2", "conv", ["p1"], filters=4, kernel=3, stride=1, pad=1)
+    net.add("b2", "bn", ["c2"])
+    net.add("r2", "relu", ["b2"])
+    net.add("predict", "conv", ["r2"], filters=1, kernel=1, bias=True)
+    net.add("loss", "bce", ["predict"])
+    return net
+
+
+def make_batch(spec, n, seed=0):
+    rng = np.random.default_rng(seed)
+    shapes = spec.infer_shapes()
+    cin, h, w = shapes["input"]
+    x = rng.standard_normal((n, cin, h, w))
+    out = spec.outputs()[0]
+    if out.kind == "bce":
+        _, th, tw = shapes[out.parents[0]]
+        t = (rng.random((n, 1, th, tw)) > 0.5).astype(float)
+    else:
+        classes = shapes[out.parents[0]][0]
+        t = rng.integers(0, classes, size=n)
+    return x, t
+
+
+def run_dist(spec, nranks, strategy, x, t, steps=1, lr=0.1, seed=0):
+    """Distributed training for `steps`; returns (losses, params) per rank."""
+
+    def prog(comm):
+        net = DistNetwork(spec, comm, strategy, seed=seed)
+        trainer = DistTrainer(net, SGD(lr=lr))
+        losses = [trainer.step(x, t) for _ in range(steps)]
+        return losses, {k: {p: a.copy() for p, a in v.items()} for k, v in net.params.items()}
+
+    return run_spmd(nranks, prog)
+
+
+def run_local(spec, x, t, steps=1, lr=0.1, seed=0):
+    net = LocalNetwork(spec, seed=seed)
+    opt = SGD(lr=lr)
+    losses = []
+    for _ in range(steps):
+        loss, grads = net.loss_and_grad(x, t)
+        opt.step(net.params, grads)
+        losses.append(loss)
+    return losses, net.params
+
+
+STRATEGIES = [
+    ("sample4", 4, LayerParallelism(sample=4)),
+    ("spatial2x2", 4, LayerParallelism(height=2, width=2)),
+    ("spatial4x1", 4, LayerParallelism(height=4, width=1)),
+    ("hybrid2x2x1", 4, LayerParallelism(sample=2, height=2, width=1)),
+    ("hybrid2x2x2", 8, LayerParallelism(sample=2, height=2, width=2)),
+]
+
+
+class TestSmallNetExactness:
+    @pytest.mark.parametrize("label,nranks,par", STRATEGIES)
+    def test_three_steps_match_local(self, label, nranks, par):
+        spec = small_conv_net()
+        x, t = make_batch(spec, n=4, seed=3)
+        ref_losses, ref_params = run_local(spec, x, t, steps=3)
+        for losses, params in run_dist(spec, nranks, par, x, t, steps=3):
+            np.testing.assert_allclose(losses, ref_losses, rtol=RTOL)
+            for lname, lp in ref_params.items():
+                for pname, arr in lp.items():
+                    np.testing.assert_allclose(
+                        params[lname][pname], arr, rtol=RTOL, atol=ATOL,
+                        err_msg=f"{label}: {lname}.{pname}",
+                    )
+
+    def test_mixed_per_layer_strategy_with_shuffles(self):
+        """First block spatial, second block sample-parallel: forces an
+        activation shuffle between p1 and c2 and the reverse shuffle in
+        backprop (§III-C)."""
+        spec = small_conv_net()
+        x, t = make_batch(spec, n=4, seed=4)
+        spatial = LayerParallelism(height=2, width=2)
+        sample = LayerParallelism(sample=4)
+        strategy = ParallelStrategy(
+            {
+                "input": spatial, "c1": spatial, "b1": spatial, "r1": spatial,
+                "p1": spatial,
+                "c2": sample, "b2": sample, "r2": sample,
+                "predict": sample, "loss": sample,
+            }
+        )
+        ref_losses, ref_params = run_local(spec, x, t, steps=2)
+
+        def prog(comm):
+            net = DistNetwork(spec, comm, strategy)
+            trainer = DistTrainer(net, SGD(lr=0.1))
+            losses = [trainer.step(x, t) for _ in range(2)]
+            return losses, net.shuffle_count, net.params["c2"]["w"].copy()
+
+        results = run_spmd(4, prog)
+        for losses, shuffles, c2w in results:
+            np.testing.assert_allclose(losses, ref_losses, rtol=RTOL)
+            assert shuffles > 0  # the redistribution actually happened
+            np.testing.assert_allclose(c2w, ref_params["c2"]["w"], rtol=RTOL)
+
+    def test_gradients_identical_across_ranks(self):
+        """After the allreduce, every rank must hold identical gradients —
+        the precondition for replicated SGD."""
+        spec = small_conv_net()
+        x, t = make_batch(spec, n=2, seed=5)
+
+        def prog(comm):
+            net = DistNetwork(spec, comm, LayerParallelism(height=2, width=2))
+            _, grads = net.loss_and_grad(x, t)
+            return {k: {p: a.copy() for p, a in v.items()} for k, v in grads.items()}
+
+        results = run_spmd(4, prog)
+        for other in results[1:]:
+            for lname, lg in results[0].items():
+                for pname, arr in lg.items():
+                    np.testing.assert_array_equal(other[lname][pname], arr)
+
+
+class TestResNetTinyExactness:
+    @pytest.mark.parametrize(
+        "nranks,par",
+        [
+            (4, LayerParallelism(sample=4)),
+            (4, LayerParallelism(height=2, width=2)),
+            (4, LayerParallelism(sample=2, height=2, width=1)),
+        ],
+    )
+    def test_residual_network_matches_local(self, nranks, par):
+        """Bottleneck blocks with projection shortcuts, GAP head, softmax:
+        the full ResNet structure class of the paper's evaluation."""
+        spec = build_resnet_tiny(image_size=16)
+        x, t = make_batch(spec, n=4, seed=6)
+        ref_losses, ref_params = run_local(spec, x, t, steps=2)
+        for losses, params in run_dist(spec, nranks, par, x, t, steps=2):
+            np.testing.assert_allclose(losses, ref_losses, rtol=RTOL)
+            np.testing.assert_allclose(
+                params["conv1"]["w"], ref_params["conv1"]["w"], rtol=RTOL, atol=ATOL
+            )
+            np.testing.assert_allclose(
+                params["res3a_branch1"]["w"],
+                ref_params["res3a_branch1"]["w"],
+                rtol=RTOL,
+                atol=ATOL,
+            )
+
+
+class TestMeshTinyExactness:
+    @pytest.mark.parametrize(
+        "nranks,par",
+        [
+            (2, LayerParallelism(sample=2)),
+            (4, LayerParallelism(height=2, width=2)),
+            (4, LayerParallelism(sample=2, height=1, width=2)),
+        ],
+    )
+    def test_mesh_model_matches_local(self, nranks, par):
+        spec = mesh_model_tiny(resolution=32)
+        x, t = make_batch(spec, n=2, seed=7)
+        ref_losses, _ = run_local(spec, x, t, steps=2)
+        for losses, _ in run_dist(spec, nranks, par, x, t, steps=2):
+            np.testing.assert_allclose(losses, ref_losses, rtol=RTOL)
+
+
+class TestValidation:
+    def test_strategy_rank_mismatch(self):
+        spec = small_conv_net()
+
+        def prog(comm):
+            DistNetwork(spec, comm, LayerParallelism(sample=4))
+
+        with pytest.raises(ValueError, match="strategy uses 4 ranks"):
+            run_spmd(2, prog, timeout=10)
+
+    def test_eval_mode_runs(self):
+        spec = small_conv_net()
+        x, t = make_batch(spec, n=2, seed=8)
+
+        def prog(comm):
+            net = DistNetwork(spec, comm, LayerParallelism(sample=2))
+            trainer = DistTrainer(net)
+            trainer.step(x, t)
+            return trainer.evaluate(x, t)
+
+        losses = run_spmd(2, prog)
+        assert np.isfinite(losses).all()
+        assert losses[0] == pytest.approx(losses[1])
+
+    def test_trainer_fit(self):
+        spec = small_conv_net()
+
+        def prog(comm):
+            net = DistNetwork(spec, comm, LayerParallelism(sample=2))
+            trainer = DistTrainer(net, SGD(lr=0.5))
+            batches = [make_batch(spec, n=2, seed=s) for s in range(3)]
+            stats = trainer.fit(batches, epochs=2)
+            return stats.steps, stats.losses
+
+        for steps, losses in run_spmd(2, prog):
+            assert steps == 6
+            assert losses[-1] < losses[0]

@@ -1,0 +1,259 @@
+"""Pooling, batch norm, ReLU, linear, and loss kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+
+
+class TestMaxPool:
+    def test_known_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        y, _ = F.maxpool2d_forward(x, kernel=2, stride=2)
+        np.testing.assert_array_equal(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_overlapping_windows_resnet_style(self):
+        """ResNet's 3x3/2 maxpool with pad 1."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 3, 8, 8))
+        y, _ = F.maxpool2d_forward(x, kernel=3, stride=2, pad=1)
+        assert y.shape == (2, 3, 4, 4)
+        # Spot-check one window.
+        want = x[0, 0, 0:2, 0:2].max()  # window at (0,0) clipped by padding
+        assert y[0, 0, 0, 0] == pytest.approx(want)
+
+    def test_backward_routes_to_argmax(self):
+        x = np.array([[[[1.0, 5.0], [2.0, 3.0]]]])
+        y, argmax = F.maxpool2d_forward(x, kernel=2, stride=2)
+        dy = np.ones_like(y)
+        dx = F.maxpool2d_backward(dy, argmax, x.shape, kernel=2, stride=2)
+        np.testing.assert_array_equal(dx, [[[[0, 1], [0, 0]]]])
+
+    def test_backward_finite_difference(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 2, 6, 6))
+        y, argmax = F.maxpool2d_forward(x, kernel=3, stride=2, pad=1)
+        dy = rng.standard_normal(y.shape)
+        dx = F.maxpool2d_backward(dy, argmax, x.shape, kernel=3, stride=2, pad=1)
+        eps = 1e-6
+        for idx in [(0, 0, 0, 0), (0, 1, 3, 3), (0, 0, 5, 5)]:
+            xp, xm = x.copy(), x.copy()
+            xp[idx] += eps
+            xm[idx] -= eps
+            yp, _ = F.maxpool2d_forward(xp, kernel=3, stride=2, pad=1)
+            ym, _ = F.maxpool2d_forward(xm, kernel=3, stride=2, pad=1)
+            num = ((yp - ym) * dy).sum() / (2 * eps)
+            np.testing.assert_allclose(dx[idx], num, rtol=1e-4, atol=1e-7)
+
+    def test_padding_never_wins(self):
+        """-inf padding means a padded cell is never the argmax."""
+        x = np.full((1, 1, 2, 2), -100.0)
+        y, argmax = F.maxpool2d_forward(x, kernel=3, stride=1, pad=1)
+        assert (y == -100.0).all()
+        dy = np.ones_like(y)
+        dx = F.maxpool2d_backward(dy, argmax, x.shape, kernel=3, stride=1, pad=1)
+        assert dx.sum() == pytest.approx(dy.size)
+
+
+class TestAvgPool:
+    def test_known_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        y = F.avgpool2d_forward(x, kernel=2, stride=2)
+        np.testing.assert_array_equal(y[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_adjoint(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((2, 3, 9, 9))
+        y = F.avgpool2d_forward(x, kernel=3, stride=2, pad=1)
+        dy = rng.standard_normal(y.shape)
+        dx = F.avgpool2d_backward(dy, x.shape, kernel=3, stride=2, pad=1)
+        np.testing.assert_allclose((y * dy).sum(), (x * dx).sum(), rtol=1e-12)
+
+    def test_global_avgpool(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((2, 4, 5, 5))
+        y = F.global_avgpool_forward(x)
+        np.testing.assert_allclose(y, x.mean(axis=(2, 3)))
+        dy = rng.standard_normal(y.shape)
+        dx = F.global_avgpool_backward(dy, x.shape)
+        np.testing.assert_allclose((y * dy).sum(), (x * dx).sum(), rtol=1e-12)
+
+
+class TestBatchNorm:
+    def test_normalizes(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((8, 3, 6, 6)) * 5 + 2
+        y, _ = F.batchnorm_forward(x, np.ones(3), np.zeros(3))
+        np.testing.assert_allclose(y.mean(axis=(0, 2, 3)), 0, atol=1e-10)
+        np.testing.assert_allclose(y.var(axis=(0, 2, 3)), 1, atol=1e-4)
+
+    def test_gamma_beta(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((4, 2, 3, 3))
+        gamma, beta = np.array([2.0, 3.0]), np.array([-1.0, 1.0])
+        y, _ = F.batchnorm_forward(x, gamma, beta)
+        np.testing.assert_allclose(y.mean(axis=(0, 2, 3)), beta, atol=1e-10)
+
+    def test_backward_finite_difference(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((3, 2, 4, 4))
+        gamma = rng.standard_normal(2) + 1.5
+        beta = rng.standard_normal(2)
+        y, cache = F.batchnorm_forward(x, gamma, beta)
+        dy = rng.standard_normal(y.shape)
+        dx, dgamma, dbeta = F.batchnorm_backward(dy, cache)
+        eps = 1e-6
+
+        def loss(xv, gv, bv):
+            yv, _ = F.batchnorm_forward(xv, gv, bv)
+            return (yv * dy).sum()
+
+        for idx in [(0, 0, 0, 0), (2, 1, 3, 3), (1, 0, 2, 1)]:
+            xp, xm = x.copy(), x.copy()
+            xp[idx] += eps
+            xm[idx] -= eps
+            num = (loss(xp, gamma, beta) - loss(xm, gamma, beta)) / (2 * eps)
+            np.testing.assert_allclose(dx[idx], num, rtol=1e-4, atol=1e-7)
+        for c in range(2):
+            gp, gm = gamma.copy(), gamma.copy()
+            gp[c] += eps
+            gm[c] -= eps
+            num = (loss(x, gp, beta) - loss(x, gm, beta)) / (2 * eps)
+            np.testing.assert_allclose(dgamma[c], num, rtol=1e-5)
+            bp, bm = beta.copy(), beta.copy()
+            bp[c] += eps
+            bm[c] -= eps
+            num = (loss(x, gamma, bp) - loss(x, gamma, bm)) / (2 * eps)
+            np.testing.assert_allclose(dbeta[c], num, rtol=1e-5)
+
+    def test_external_stats_match_local(self):
+        """Supplying the batch's own stats externally must reproduce the
+        local result — the equivalence the distributed BN variants rely on."""
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((4, 3, 5, 5))
+        gamma, beta = np.ones(3), np.zeros(3)
+        y_local, _ = F.batchnorm_forward(x, gamma, beta)
+        s, ss, m = F.batchnorm_stats(x)
+        mean = s / m
+        var = ss / m - mean**2
+        y_ext, _ = F.batchnorm_forward(x, gamma, beta, mean=mean, var=var)
+        np.testing.assert_allclose(y_ext, y_local, rtol=1e-10)
+
+    def test_distributed_backward_formula(self):
+        """batchnorm_backward with stat_sums aggregated over two halves of
+        the batch equals the single-shot backward."""
+        rng = np.random.default_rng(8)
+        x = rng.standard_normal((4, 2, 4, 4))
+        gamma, beta = np.ones(2) * 1.3, np.zeros(2)
+        y, cache = F.batchnorm_forward(x, gamma, beta)
+        dy = rng.standard_normal(y.shape)
+        dx_ref, dg_ref, db_ref = F.batchnorm_backward(dy, cache)
+
+        # Split into two "ranks" along N; each computes local sums; aggregate.
+        halves = [(slice(0, 2)), (slice(2, 4))]
+        mean, var = x.mean(axis=(0, 2, 3)), x.var(axis=(0, 2, 3))
+        partials = []
+        caches = []
+        for sl in halves:
+            yk, ck = F.batchnorm_forward(x[sl], gamma, beta, mean=mean, var=var)
+            caches.append(ck)
+            partials.append(
+                ((dy[sl] * ck["xhat"]).sum(axis=(0, 2, 3)), dy[sl].sum(axis=(0, 2, 3)))
+            )
+        dg = partials[0][0] + partials[1][0]
+        db = partials[0][1] + partials[1][1]
+        m = float(x.shape[0] * x.shape[2] * x.shape[3])
+        for sl, ck in zip(halves, caches):
+            dxk, _, _ = F.batchnorm_backward(dy[sl], ck, stat_sums=(dg, db, m))
+            np.testing.assert_allclose(dxk, dx_ref[sl], rtol=1e-10)
+        np.testing.assert_allclose(dg, dg_ref, rtol=1e-10)
+        np.testing.assert_allclose(db, db_ref, rtol=1e-10)
+
+
+class TestReluLinear:
+    def test_relu(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        y, mask = F.relu_forward(x)
+        np.testing.assert_array_equal(y, [0, 0, 3])
+        np.testing.assert_array_equal(F.relu_backward(np.ones(3), mask), [0, 0, 1])
+
+    def test_linear_adjoint(self):
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal((4, 6))
+        w = rng.standard_normal((3, 6))
+        y = F.linear_forward(x, w)
+        dy = rng.standard_normal(y.shape)
+        dx, dw, db = F.linear_backward(x, w, dy)
+        np.testing.assert_allclose((y * dy).sum(), (x * dx).sum(), rtol=1e-12)
+        np.testing.assert_allclose((y * dy).sum(), (w * dw).sum(), rtol=1e-12)
+        np.testing.assert_allclose(db, dy.sum(axis=0))
+
+
+class TestLosses:
+    def test_softmax_ce_uniform(self):
+        logits = np.zeros((2, 4))
+        loss, grad = F.softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss == pytest.approx(np.log(4))
+        np.testing.assert_allclose(grad.sum(axis=1), 0, atol=1e-12)
+
+    def test_softmax_ce_gradient(self):
+        rng = np.random.default_rng(10)
+        logits = rng.standard_normal((3, 5))
+        labels = np.array([1, 4, 0])
+        _, grad = F.softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        for idx in [(0, 0), (1, 4), (2, 2)]:
+            lp, lm = logits.copy(), logits.copy()
+            lp[idx] += eps
+            lm[idx] -= eps
+            num = (
+                F.softmax_cross_entropy(lp, labels)[0]
+                - F.softmax_cross_entropy(lm, labels)[0]
+            ) / (2 * eps)
+            np.testing.assert_allclose(grad[idx], num, rtol=1e-5, atol=1e-9)
+
+    def test_bce_matches_reference(self):
+        rng = np.random.default_rng(11)
+        z = rng.standard_normal((2, 1, 4, 4)) * 3
+        t = (rng.random((2, 1, 4, 4)) > 0.5).astype(float)
+        loss, grad = F.sigmoid_bce_with_logits(z, t)
+        p = 1 / (1 + np.exp(-z))
+        ref = -(t * np.log(p) + (1 - t) * np.log(1 - p)).mean()
+        assert loss == pytest.approx(ref, rel=1e-9)
+        eps = 1e-6
+        zp, zm = z.copy(), z.copy()
+        zp[0, 0, 0, 0] += eps
+        zm[0, 0, 0, 0] -= eps
+        num = (
+            F.sigmoid_bce_with_logits(zp, t)[0] - F.sigmoid_bce_with_logits(zm, t)[0]
+        ) / (2 * eps)
+        np.testing.assert_allclose(grad[0, 0, 0, 0], num, rtol=1e-5)
+
+    def test_bce_extreme_logits_stable(self):
+        z = np.array([[[[100.0, -100.0]]]])
+        t = np.array([[[[1.0, 0.0]]]])
+        loss, grad = F.sigmoid_bce_with_logits(z, t)
+        assert np.isfinite(loss) and loss < 1e-10
+        assert np.isfinite(grad).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(1, 3),
+    c=st.integers(1, 3),
+    h=st.integers(2, 8),
+    k=st.sampled_from([2, 3]),
+    s=st.integers(1, 2),
+)
+def test_pool_adjoint_property(n, c, h, k, s):
+    """Avg pooling fwd/bwd are adjoint for random geometries."""
+    if h < k:
+        return
+    rng = np.random.default_rng(n * 100 + h * 10 + k)
+    x = rng.standard_normal((n, c, h, h))
+    y = F.avgpool2d_forward(x, kernel=k, stride=s)
+    dy = rng.standard_normal(y.shape)
+    dx = F.avgpool2d_backward(dy, x.shape, kernel=k, stride=s)
+    np.testing.assert_allclose((y * dy).sum(), (x * dx).sum(), rtol=1e-9, atol=1e-9)

@@ -1,0 +1,254 @@
+"""Network specs, shape inference, and single-device execution."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LocalNetwork, NetworkSpec, SGD
+from repro.nn.meshnet import build_mesh_model, mesh_model_1k, mesh_model_2k, mesh_model_tiny
+from repro.nn.resnet import build_resnet50, build_resnet_tiny
+
+
+class TestNetworkSpec:
+    def test_duplicate_name(self):
+        net = NetworkSpec("t")
+        net.add("input", "input", channels=1, height=4, width=4)
+        with pytest.raises(ValueError, match="duplicate"):
+            net.add("input", "relu", ["input"])
+
+    def test_unknown_parent(self):
+        net = NetworkSpec("t")
+        with pytest.raises(ValueError, match="unknown parent"):
+            net.add("a", "relu", ["missing"])
+
+    def test_unknown_kind(self):
+        net = NetworkSpec("t")
+        with pytest.raises(ValueError, match="unknown layer kind"):
+            net.add("a", "frobnicate")
+
+    def test_non_input_needs_parent(self):
+        net = NetworkSpec("t")
+        with pytest.raises(ValueError, match="needs a parent"):
+            net.add("a", "relu")
+
+    def test_children_and_outputs(self):
+        net = NetworkSpec("t")
+        net.add("input", "input", channels=1, height=4, width=4)
+        net.add("c1", "conv", ["input"], filters=2, kernel=3, pad=1)
+        net.add("r1", "relu", ["c1"])
+        net.add("add", "add", ["r1", "c1"])
+        assert net.children_of("c1") == ["r1", "add"]
+        assert [l.name for l in net.outputs()] == ["add"]
+
+    def test_add_shape_mismatch(self):
+        net = NetworkSpec("t")
+        net.add("input", "input", channels=1, height=8, width=8)
+        net.add("c1", "conv", ["input"], filters=2, kernel=3, pad=1)
+        net.add("c2", "conv", ["input"], filters=2, kernel=3, pad=1, stride=2)
+        net.add("bad", "add", ["c1", "c2"])
+        with pytest.raises(ValueError, match="parent shapes differ"):
+            net.infer_shapes()
+
+
+class TestResNet50Spec:
+    def test_paper_benchmark_layer_shapes(self):
+        """The two layers the paper microbenchmarks (Fig. 2) must have
+        exactly the published specifications."""
+        net = build_resnet50()
+        shapes = net.infer_shapes()
+
+        conv1 = net["conv1"]
+        assert shapes["input"] == (3, 224, 224)
+        assert conv1.params == {"filters": 64, "kernel": 7, "stride": 2, "pad": 3}
+        assert shapes["conv1"] == (64, 112, 112)
+
+        layer = net["res3b_branch2a"]
+        parent_shape = shapes[layer.parents[0]]
+        assert parent_shape == (512, 28, 28)  # C=512, H=W=28
+        assert layer.params == {"filters": 128, "kernel": 1, "stride": 1, "pad": 0}
+
+    def test_parameter_count(self):
+        """Standard ResNet-50 has ~25.56M parameters."""
+        net = build_resnet50()
+        total = net.total_params()
+        assert 25.4e6 < total < 25.7e6
+
+    def test_stage_resolutions(self):
+        net = build_resnet50()
+        shapes = net.infer_shapes()
+        assert shapes["res2c_relu"] == (256, 56, 56)
+        assert shapes["res3d_relu"] == (512, 28, 28)
+        assert shapes["res4f_relu"] == (1024, 14, 14)
+        assert shapes["res5c_relu"] == (2048, 7, 7)
+        assert shapes["pool5"] == (2048, 1, 1)
+        assert shapes["fc1000"] == (1000, 1, 1)
+
+
+class TestMeshModelSpec:
+    def test_paper_published_2k_layer_shapes(self):
+        """conv1_1 and conv6_1 of the 2K model (Fig. 3)."""
+        net = mesh_model_2k()
+        shapes = net.infer_shapes()
+
+        c11 = net["conv1_1"]
+        assert shapes["input"] == (18, 2048, 2048)
+        assert c11.params == {"filters": 128, "kernel": 5, "stride": 2, "pad": 2}
+        assert shapes["conv1_1"] == (128, 1024, 1024)
+
+        c61 = net["conv6_1"]
+        parent_shape = shapes[c61.parents[0]]
+        assert parent_shape == (384, 64, 64)  # C=384, H=W=64
+        assert c61.params == {"filters": 128, "kernel": 3, "stride": 2, "pad": 1}
+
+    def test_block_structure(self):
+        net1k = mesh_model_1k()
+        net2k = mesh_model_2k()
+        convs_1k = [l for l in net1k if l.kind == "conv"]
+        convs_2k = [l for l in net2k if l.kind == "conv"]
+        assert len(convs_1k) == 6 * 3 + 1  # + prediction layer
+        assert len(convs_2k) == 6 * 5 + 1
+
+    def test_final_resolution(self):
+        shapes = mesh_model_1k().infer_shapes()
+        assert shapes["predict"] == (1, 16, 16)  # 1024 / 2^6
+
+    def test_bad_resolution(self):
+        with pytest.raises(ValueError, match="divisible"):
+            build_mesh_model(resolution=100)
+
+
+class TestLocalNetworkExecution:
+    def test_mesh_tiny_loss_decreases(self):
+        net = LocalNetwork(mesh_model_tiny(), seed=3)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 4, 64, 64))
+        shapes = net.spec.infer_shapes()
+        _, th, tw = shapes["predict"]
+        t = (rng.random((2, 1, th, tw)) > 0.5).astype(float)
+        opt = SGD(lr=0.5)
+        losses = []
+        for _ in range(8):
+            loss, grads = net.loss_and_grad(x, t)
+            opt.step(net.params, grads)
+            losses.append(loss)
+        assert losses[-1] < losses[0] * 0.9
+
+    def test_resnet_tiny_loss_decreases(self):
+        net = LocalNetwork(build_resnet_tiny(image_size=16), seed=5)
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((4, 3, 16, 16))
+        labels = rng.integers(0, 10, size=4)
+        opt = SGD(lr=0.1, momentum=0.9)
+        losses = []
+        for _ in range(10):
+            loss, grads = net.loss_and_grad(x, labels)
+            opt.step(net.params, grads)
+            losses.append(loss)
+        assert losses[-1] < losses[0]
+
+    def test_gradcheck_through_residual_block(self):
+        """End-to-end finite differences through a residual add."""
+        spec = NetworkSpec("res")
+        spec.add("input", "input", channels=2, height=6, width=6)
+        spec.add("c1", "conv", ["input"], filters=2, kernel=3, pad=1)
+        spec.add("r1", "relu", ["c1"])
+        spec.add("c2", "conv", ["r1"], filters=2, kernel=3, pad=1)
+        spec.add("add", "add", ["c2", "input"])
+        spec.add("gap", "gap", ["add"])
+        spec.add("fc", "fc", ["gap"], units=3)
+        spec.add("loss", "softmax_ce", ["fc"])
+        net = LocalNetwork(spec, seed=7)
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((2, 2, 6, 6))
+        labels = np.array([0, 2])
+        loss, grads = net.loss_and_grad(x, labels)
+
+        eps = 1e-6
+        w = net.params["c1"]["w"]
+        for idx in [(0, 0, 0, 0), (1, 1, 2, 2)]:
+            orig = w[idx]
+            w[idx] = orig + eps
+            lp = net.forward(x, targets=labels)
+            w[idx] = orig - eps
+            lm = net.forward(x, targets=labels)
+            w[idx] = orig
+            num = (lp - lm) / (2 * eps)
+            np.testing.assert_allclose(grads["c1"]["w"][idx], num, rtol=1e-4, atol=1e-8)
+
+    def test_gradcheck_bn_params(self):
+        spec = NetworkSpec("bn")
+        spec.add("input", "input", channels=2, height=4, width=4)
+        spec.add("c1", "conv", ["input"], filters=3, kernel=3, pad=1)
+        spec.add("b1", "bn", ["c1"])
+        spec.add("r1", "relu", ["b1"])
+        spec.add("gap", "gap", ["r1"])
+        spec.add("fc", "fc", ["gap"], units=2)
+        spec.add("loss", "softmax_ce", ["fc"])
+        net = LocalNetwork(spec, seed=9)
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((3, 2, 4, 4))
+        labels = np.array([0, 1, 0])
+        loss, grads = net.loss_and_grad(x, labels)
+        eps = 1e-6
+        gamma = net.params["b1"]["gamma"]
+        for c in range(3):
+            orig = gamma[c]
+            gamma[c] = orig + eps
+            lp = net.forward(x, targets=labels)
+            gamma[c] = orig - eps
+            lm = net.forward(x, targets=labels)
+            gamma[c] = orig
+            num = (lp - lm) / (2 * eps)
+            np.testing.assert_allclose(grads["b1"]["gamma"][c], num, rtol=1e-4, atol=1e-8)
+
+    def test_inference_mode_uses_running_stats(self):
+        spec = NetworkSpec("bn2")
+        spec.add("input", "input", channels=1, height=2, width=2)
+        spec.add("b1", "bn", ["input"])
+        net = LocalNetwork(spec, seed=0)
+        x = np.random.default_rng(4).standard_normal((4, 1, 2, 2)) + 10.0
+        net.forward(x, training=True)
+        out_eval = net.forward(x, training=False)["b1"]
+        # Running stats were only partially updated (momentum), so eval
+        # output differs from exact normalization.
+        assert abs(out_eval.mean()) > 1e-3
+
+    def test_deterministic_init_by_name(self):
+        n1 = LocalNetwork(build_resnet_tiny(), seed=11)
+        n2 = LocalNetwork(build_resnet_tiny(), seed=11)
+        np.testing.assert_array_equal(
+            n1.params["conv1"]["w"], n2.params["conv1"]["w"]
+        )
+        n3 = LocalNetwork(build_resnet_tiny(), seed=12)
+        assert not np.array_equal(n1.params["conv1"]["w"], n3.params["conv1"]["w"])
+
+    def test_summary_renders(self):
+        s = mesh_model_tiny().summary()
+        assert "conv1_1" in s and "mesh-tiny" in s
+
+
+class TestSGD:
+    def test_plain_update(self):
+        params = {"l": {"w": np.array([1.0, 2.0])}}
+        grads = {"l": {"w": np.array([0.5, 0.5])}}
+        SGD(lr=0.1).step(params, grads)
+        np.testing.assert_allclose(params["l"]["w"], [0.95, 1.95])
+
+    def test_momentum_accumulates(self):
+        params = {"l": {"w": np.zeros(1)}}
+        grads = {"l": {"w": np.ones(1)}}
+        opt = SGD(lr=1.0, momentum=0.5)
+        opt.step(params, grads)
+        assert params["l"]["w"][0] == pytest.approx(-1.0)
+        opt.step(params, grads)
+        assert params["l"]["w"][0] == pytest.approx(-2.5)  # v = 1.5
+
+    def test_weight_decay_only_on_weights(self):
+        params = {"l": {"w": np.ones(1), "gamma": np.ones(1)}}
+        grads = {"l": {"w": np.zeros(1), "gamma": np.zeros(1)}}
+        SGD(lr=1.0, weight_decay=0.1).step(params, grads)
+        assert params["l"]["w"][0] == pytest.approx(0.9)
+        assert params["l"]["gamma"][0] == pytest.approx(1.0)
+
+    def test_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)

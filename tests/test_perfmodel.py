@@ -1,0 +1,310 @@
+"""Performance and memory models: components and paper-anchor regressions."""
+
+import numpy as np
+import pytest
+
+from repro.comm.collective_models import (
+    AllreduceAlgorithm,
+    LinkParameters,
+    allreduce_time,
+    alltoall_time,
+    pt2pt_time,
+    select_allreduce_algorithm,
+)
+from repro.core.parallelism import LayerParallelism as LP
+from repro.core.parallelism import ParallelStrategy
+from repro.nn.meshnet import mesh_model_1k, mesh_model_2k
+from repro.nn.resnet import build_resnet50
+from repro.perfmodel import (
+    CalibratedConvModel,
+    EmpiricalConvModel,
+    LASSEN,
+    MemoryModel,
+    NetworkCostModel,
+)
+from repro.perfmodel.conv_model import ConvGeometry
+from repro.perfmodel.layer_cost import conv_layer_cost
+
+LINK = LinkParameters(alpha=5e-6, beta=1e-9, gamma=1e-10)
+
+
+class TestCollectiveModels:
+    def test_pt2pt_linear(self):
+        assert pt2pt_time(0, LINK) == 0.0
+        assert pt2pt_time(1000, LINK) == pytest.approx(5e-6 + 1e-6)
+
+    def test_allreduce_zero_cases(self):
+        assert allreduce_time(1, 1000, LINK) == 0.0
+        assert allreduce_time(8, 0, LINK) == 0.0
+
+    def test_algorithm_selection_thakur(self):
+        assert select_allreduce_algorithm(8, 100) is AllreduceAlgorithm.RECURSIVE_DOUBLING
+        assert select_allreduce_algorithm(8, 1 << 20) is AllreduceAlgorithm.RABENSEIFNER
+        assert select_allreduce_algorithm(6, 1 << 20) is AllreduceAlgorithm.RING
+
+    def test_rabenseifner_beats_recursive_doubling_for_large(self):
+        n = 100e6
+        rd = allreduce_time(16, n, LINK, AllreduceAlgorithm.RECURSIVE_DOUBLING)
+        rab = allreduce_time(16, n, LINK, AllreduceAlgorithm.RABENSEIFNER)
+        assert rab < rd
+
+    def test_ring_latency_grows_linearly(self):
+        small = allreduce_time(4, 10, LINK, AllreduceAlgorithm.RING)
+        big = allreduce_time(64, 10, LINK, AllreduceAlgorithm.RING)
+        assert big > small * 10
+
+    def test_monotone_in_size(self):
+        ts = [allreduce_time(8, n, LINK) for n in (1e3, 1e5, 1e7)]
+        assert ts[0] < ts[1] < ts[2]
+
+    def test_alltoall(self):
+        assert alltoall_time(1, 100, LINK) == 0.0
+        assert alltoall_time(4, 100, LINK) == pytest.approx(3 * (5e-6 + 1e-7))
+
+
+class TestGPUSpec:
+    def test_saturation_curve(self):
+        gpu = LASSEN.gpu
+        lo = gpu.throughput(1e6, gpu.fwd_tflops_max)
+        hi = gpu.throughput(1e11, gpu.fwd_tflops_max)
+        assert lo < hi <= gpu.fwd_tflops_max
+
+    def test_latency_floor(self):
+        gpu = LASSEN.gpu
+        assert gpu.conv_time(1.0, 1.0, gpu.fwd_tflops_max) >= gpu.kernel_latency
+
+    def test_memory_bound_floor(self):
+        gpu = LASSEN.gpu
+        # Tiny flops but huge traffic: memory-bound branch must dominate.
+        t = gpu.conv_time(1e3, 8e9, gpu.fwd_tflops_max)
+        assert t >= 8e9 / gpu.mem_bandwidth
+
+    def test_zero_work(self):
+        assert LASSEN.gpu.conv_time(0, 0, 1e12) == 0.0
+        assert LASSEN.gpu.elementwise_time(0) == 0.0
+
+
+class TestConvModels:
+    def test_calibrated_fp_anchor_conv1_1(self):
+        """The paper's Fig. 3 shows ~7.5 ms FP for the 2K conv1_1 on one
+        GPU; the calibrated model must land within 35%."""
+        model = CalibratedConvModel(LASSEN.gpu)
+        g = ConvGeometry(n=1, c=18, h=2052, w=2052, f=128, kh=5, kw=5, sh=2, sw=2)
+        assert model.fp(g) == pytest.approx(7.5e-3, rel=0.35)
+
+    def test_calibrated_fp_anchor_res3b(self):
+        """Fig. 2: res3b_branch2a FP at N=1 is ~40 us on one GPU."""
+        model = CalibratedConvModel(LASSEN.gpu)
+        g = ConvGeometry(n=1, c=512, h=28, w=28, f=128, kh=1, kw=1)
+        assert 10e-6 < model.fp(g) < 80e-6
+
+    def test_bp_slower_than_fp(self):
+        model = CalibratedConvModel(LASSEN.gpu)
+        g = ConvGeometry(n=4, c=64, h=64, w=64, f=64, kh=3, kw=3)
+        assert model.bp_data(g) >= model.fp(g) * 0.9
+
+    def test_empirical_measures_and_caches(self):
+        model = EmpiricalConvModel(warmup=1, runs=2)
+        g = ConvGeometry(n=1, c=2, h=12, w=12, f=3, kh=3, kw=3)
+        t1 = model.fp(g)
+        assert t1 > 0
+        assert model.fp(g) == t1  # cached
+        assert model.bp_data(g) > 0 and model.bp_filter(g) > 0
+
+    def test_empirical_scales_with_work(self):
+        model = EmpiricalConvModel(warmup=1, runs=3)
+        small = model.fp(ConvGeometry(n=1, c=4, h=16, w=16, f=4, kh=3, kw=3))
+        large = model.fp(ConvGeometry(n=1, c=4, h=64, w=64, f=4, kh=3, kw=3))
+        assert large > small
+
+
+class TestConvLayerCost:
+    def kwargs(self, **over):
+        base = dict(
+            n_global=4, c=64, h=128, w=128, f=64, kernel=3, stride=1, pad=1
+        )
+        base.update(over)
+        return base
+
+    def test_no_halo_for_1x1(self):
+        cost = conv_layer_cost(
+            LASSEN, CalibratedConvModel(LASSEN.gpu),
+            **self.kwargs(kernel=1, pad=0), parallelism=LP(height=2, width=2),
+        )
+        assert cost.fp_halo == 0.0
+
+    def test_no_halo_for_sample_parallel(self):
+        cost = conv_layer_cost(
+            LASSEN, CalibratedConvModel(LASSEN.gpu),
+            **self.kwargs(), parallelism=LP(sample=4),
+        )
+        assert cost.fp_halo == 0.0 and cost.allreduce > 0
+
+    def test_spatial_has_halo(self):
+        cost = conv_layer_cost(
+            LASSEN, CalibratedConvModel(LASSEN.gpu),
+            **self.kwargs(), parallelism=LP(height=2, width=2),
+        )
+        assert cost.fp_halo > 0 and cost.bpx_halo > 0
+
+    def test_overlap_never_slower(self):
+        cost = conv_layer_cost(
+            LASSEN, CalibratedConvModel(LASSEN.gpu),
+            **self.kwargs(), parallelism=LP(height=2, width=2),
+        )
+        assert cost.fp_time(overlap=True) <= cost.fp_time(overlap=False)
+        assert cost.bp_time(overlap=True) <= cost.bp_time(overlap=False)
+
+    def test_spatial_reduces_big_layer_compute(self):
+        model = CalibratedConvModel(LASSEN.gpu)
+        one = conv_layer_cost(
+            LASSEN, model, **self.kwargs(h=1024, w=1024, n_global=1),
+            parallelism=LP(), total_ranks=1,
+        )
+        four = conv_layer_cost(
+            LASSEN, model, **self.kwargs(h=1024, w=1024, n_global=1),
+            parallelism=LP(height=2, width=2), total_ranks=4,
+        )
+        assert four.fp_compute < one.fp_compute / 2
+
+
+class TestNetworkCostAnchors:
+    """Regression-guard the calibration against the paper's anchor cells.
+
+    The acceptance band is generous (the paper itself says absolute numbers
+    need not match) but pins the *shape*: who wins and by roughly how much.
+    """
+
+    @pytest.mark.parametrize(
+        "par,paper",
+        [
+            (LP(sample=4), 0.403),
+            (LP(sample=4, width=2), 0.200),
+            (LP(sample=4, height=2, width=2), 0.121),
+            (LP(sample=4, height=4, width=2), 0.0906),
+            (LP(sample=4, height=4, width=4), 0.066),
+        ],
+    )
+    def test_mesh1k_anchor(self, par, paper):
+        t = NetworkCostModel(mesh_model_1k(), LASSEN).minibatch_time(
+            4, ParallelStrategy.uniform(par)
+        )
+        assert t == pytest.approx(paper, rel=0.35)
+
+    def test_mesh1k_speedup_shape(self):
+        """Table I speedups at N=4: ~2.0, 3.3, 4.4, 6.1."""
+        model = NetworkCostModel(mesh_model_1k(), LASSEN)
+        base = model.minibatch_time(4, ParallelStrategy.uniform(LP(sample=4)))
+        speedups = [
+            base / model.minibatch_time(4, ParallelStrategy.uniform(p))
+            for p in (
+                LP(sample=4, width=2),
+                LP(sample=4, height=2, width=2),
+                LP(sample=4, height=4, width=2),
+                LP(sample=4, height=4, width=4),
+            )
+        ]
+        paper = [2.0, 3.3, 4.4, 6.1]
+        for got, want in zip(speedups, paper):
+            assert got == pytest.approx(want, rel=0.25)
+        # Monotone but sub-linear: each doubling of GPUs gains < 2x.
+        assert speedups[0] < speedups[1] < speedups[2] < speedups[3]
+        assert speedups[3] < 2 * speedups[2]
+
+    def test_mesh2k_speedup_shape(self):
+        """Table II speedups over 2 GPUs/sample: ~2.1, 2.9, 3.6."""
+        model = NetworkCostModel(mesh_model_2k(), LASSEN)
+        base = model.minibatch_time(
+            2, ParallelStrategy.uniform(LP(sample=2, width=2))
+        )
+        speedups = [
+            base / model.minibatch_time(2, ParallelStrategy.uniform(p))
+            for p in (
+                LP(sample=2, height=2, width=2),
+                LP(sample=2, height=4, width=2),
+                LP(sample=2, height=4, width=4),
+            )
+        ]
+        # Our calibration scales the 2K model somewhat better than the
+        # paper measured at the finest decompositions (see EXPERIMENTS.md).
+        for got, want in zip(speedups, [2.1, 2.9, 3.6]):
+            assert got == pytest.approx(want, rel=0.45)
+        assert speedups[0] < speedups[1] < speedups[2]
+
+    def test_resnet_speedup_shape(self):
+        """Table III: hybrid 2-way ~1.4x, 4-way ~1.7x at N=128."""
+        model = NetworkCostModel(build_resnet50(), LASSEN)
+        base = model.minibatch_time(128, ParallelStrategy.uniform(LP(sample=4)))
+        s2 = base / model.minibatch_time(
+            128, ParallelStrategy.uniform(LP(sample=4, width=2))
+        )
+        s4 = base / model.minibatch_time(
+            128, ParallelStrategy.uniform(LP(sample=4, height=2, width=2))
+        )
+        assert s2 == pytest.approx(1.4, rel=0.25)
+        assert s4 == pytest.approx(1.7, rel=0.25)
+        assert 1.0 < s2 < s4 < 4.0  # far from linear: small spatial domains
+
+    def test_weak_scaling_flat(self):
+        """Fig. 4: mini-batch time stays ~flat as N grows with GPUs."""
+        model = NetworkCostModel(mesh_model_1k(), LASSEN)
+        times = [
+            model.minibatch_time(n, ParallelStrategy.uniform(LP(sample=n, width=2)))
+            for n in (4, 32, 256, 1024)
+        ]
+        assert max(times) / min(times) < 1.15
+
+    def test_overlap_helps(self):
+        on = NetworkCostModel(mesh_model_2k(), LASSEN, overlap=True)
+        off = NetworkCostModel(mesh_model_2k(), LASSEN, overlap=False)
+        par = ParallelStrategy.uniform(LP(sample=2, height=4, width=4))
+        assert on.minibatch_time(2, par) < off.minibatch_time(2, par)
+
+    def test_cheap_layers_free_mode(self):
+        free = NetworkCostModel(mesh_model_1k(), LASSEN, cheap_layers="free")
+        mem = NetworkCostModel(mesh_model_1k(), LASSEN, cheap_layers="memory")
+        par = ParallelStrategy.uniform(LP(sample=4))
+        assert free.minibatch_time(4, par) < mem.minibatch_time(4, par)
+
+    def test_invalid_cheap_layers(self):
+        with pytest.raises(ValueError):
+            NetworkCostModel(mesh_model_1k(), LASSEN, cheap_layers="bogus")
+
+
+class TestMemoryModel:
+    """The paper's three feasibility boundaries on 16 GB V100s."""
+
+    def test_mesh1k_fits_exactly_one_sample(self):
+        mm = MemoryModel(mesh_model_1k(), LASSEN)
+        assert mm.fits(1, LP(sample=1))
+        assert not mm.fits(2, LP(sample=1))
+        assert mm.max_samples_per_gpu(LP(sample=1)) == 1
+
+    def test_mesh2k_requires_spatial(self):
+        mm = MemoryModel(mesh_model_2k(), LASSEN)
+        assert not mm.fits(1, LP(sample=1))  # "exceed GPU memory ... even one sample"
+        assert mm.fits(1, LP(width=2))
+
+    def test_resnet_fits_32_per_gpu(self):
+        mm = MemoryModel(build_resnet50(), LASSEN)
+        assert mm.fits(128, LP(sample=4))  # 32 samples/GPU
+        assert mm.max_samples_per_gpu(LP(sample=1)) >= 32
+
+    def test_spatial_reduces_memory(self):
+        mm = MemoryModel(mesh_model_2k(), LASSEN)
+        one = mm.required_bytes(1, ParallelStrategy.uniform(LP()))
+        four = mm.required_bytes(1, ParallelStrategy.uniform(LP(height=2, width=2)))
+        assert four < 0.45 * one  # activations dominate and split 4-way
+
+    def test_breakdown_sums(self):
+        mm = MemoryModel(mesh_model_1k(), LASSEN)
+        bd = mm.breakdown(1, LP(sample=1))
+        parts = (
+            bd.activations + bd.error_signals + bd.bn_saved + bd.halo_buffers
+            + bd.parameters + bd.workspace + bd.comm_buffers + bd.runtime
+        )
+        assert bd.total == pytest.approx(parts)
+        assert "TOTAL" in bd.summary()
+
+    def test_comm_buffers_grow_with_scale(self):
+        assert LASSEN.comm_buffer_bytes(2048) > LASSEN.comm_buffer_bytes(4)
