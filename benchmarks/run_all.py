@@ -23,6 +23,7 @@ import bench_ablation_overlap as ao  # noqa: E402
 import bench_ablation_allreduce as aa  # noqa: E402
 import bench_ablation_batchnorm as ab  # noqa: E402
 import bench_ablation_strategy as ast_  # noqa: E402
+import bench_wallclock as bw  # noqa: E402
 
 
 def main() -> None:
@@ -36,9 +37,11 @@ def main() -> None:
     emit("model_validation_sim", mv.generate_model_vs_sim()[0])
     emit("model_validation_measured", mv.generate_measured_ranking()[0])
     emit("ablation_overlap", ao.generate_overlap_ablation()[0])
+    emit("ablation_overlap_engine", ao.generate_engine_vs_sim()[0])
     emit("ablation_allreduce", aa.generate_allreduce_ablation()[0])
     emit("ablation_batchnorm", ab.generate_bn_ablation()[0])
     emit("ablation_strategy", ast_.generate_strategy_ablation()[0])
+    emit("bench_wallclock", bw.generate_wallclock()[0])
     print("\nAll tables and figures regenerated under benchmarks/results/.")
 
 

@@ -17,11 +17,15 @@ LBANN implementation with a functionally equivalent, thread-based runtime:
 
 The communicator is *buffered and eager*: ``send`` never blocks, so the
 halo-exchange and shuffle patterns used by the distributed tensor library
-cannot deadlock regardless of ordering.
+cannot deadlock regardless of ordering.  Nonblocking variants
+(``isend``/``irecv``/``iallreduce``) return :class:`Request` handles with
+``wait()``/``test()``; contiguous array payloads cross the boundary
+zero-copy as read-only views (see :func:`set_zero_copy`).
 """
 
 from repro.comm.backend import CommAborted, run_spmd
-from repro.comm.communicator import Communicator
+from repro.comm.buffers import BufferPool
+from repro.comm.communicator import Communicator, Request, set_zero_copy
 from repro.comm.stats import CommStats
 from repro.comm.collective_models import (
     AllreduceAlgorithm,
@@ -29,22 +33,29 @@ from repro.comm.collective_models import (
     allreduce_time,
     alltoall_time,
     bcast_time,
+    bucketed_allreduce_time,
     pt2pt_time,
     reduce_scatter_time,
+    segmented_allreduce_time,
     select_allreduce_algorithm,
 )
 
 __all__ = [
     "AllreduceAlgorithm",
+    "BufferPool",
     "CommAborted",
     "CommStats",
     "Communicator",
+    "Request",
     "allgather_time",
     "allreduce_time",
     "alltoall_time",
     "bcast_time",
+    "bucketed_allreduce_time",
     "pt2pt_time",
+    "segmented_allreduce_time",
     "reduce_scatter_time",
     "run_spmd",
     "select_allreduce_algorithm",
+    "set_zero_copy",
 ]

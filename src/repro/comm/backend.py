@@ -6,10 +6,29 @@ for the bulk of the arithmetic.  All shared state (mailboxes for
 point-to-point messages, rendezvous groups for collectives) lives in a
 :class:`World` object created once per :func:`run_spmd` call.
 
+Two completion disciplines coexist, mirroring MPI + NCCL/Aluminum:
+
+* **Blocking collectives** rendezvous at a two-phase barrier around a shared
+  slot array (every member deposits, synchronizes, combines, synchronizes).
+* **Nonblocking collectives** (the engine's gradient-allreduce hot path)
+  skip the barrier entirely: each call deposits its contribution into a
+  sequence-keyed :class:`_PendingOp` and immediately returns a request
+  handle.  A rank only blocks when it *waits* on the handle, and only until
+  every member has deposited — a fast rank never waits for slow peers to
+  *read*, which is what lets the per-layer dL/dw allreduces overlap with the
+  remainder of backpropagation (paper §IV).  Multiple operations per
+  communicator may be in flight at once; completion may be observed out of
+  order.
+
+Payloads cross the boundary zero-copy where possible: C-contiguous ndarrays
+are shared as read-only views instead of being deep-copied (see ``_freeze``
+in :mod:`repro.comm.communicator`), so the sender must treat a buffer as
+transferred once it has been handed to ``send``/``isend``/a collective.
+
 Error handling follows MPI's "abort the job" philosophy: if any rank raises,
-the world is aborted, every barrier is broken, and the original exception is
-re-raised in the caller with :class:`CommAborted` raised inside the
-surviving ranks.
+the world is aborted, every barrier is broken, pending nonblocking requests
+are woken, and the original exception is re-raised in the caller with
+:class:`CommAborted` raised inside the surviving ranks.
 """
 
 from __future__ import annotations
@@ -66,18 +85,56 @@ class _Mailbox:
                             f"recv(source={source}, tag={tag}) timed out"
                         )
 
+    def try_get(self, source: int, tag: int) -> tuple[bool, Any]:
+        """Nonblocking probe-and-pop: ``(True, payload)`` or ``(False, None)``."""
+        key = (source, tag)
+        with self._cv:
+            q = self._queues.get(key)
+            if q:
+                return True, q.popleft()
+            if self._world.aborted:
+                raise CommAborted(
+                    f"irecv(source={source}, tag={tag}) interrupted: world aborted"
+                )
+            return False, None
+
     def pending(self) -> int:
         with self._cv:
             return sum(len(q) for q in self._queues.values())
 
 
+class _PendingOp:
+    """State of one in-flight nonblocking collective.
+
+    Created lazily by the first member to deposit; every member contributes
+    exactly once.  The operation is *complete* once all members have
+    deposited; each member then combines the slots independently (identical
+    deterministic order, so results are bitwise reproducible) and marks
+    itself consumed.  The entry is reclaimed when every member has consumed.
+    """
+
+    __slots__ = ("slots", "deposited", "consumed")
+
+    def __init__(self, nmembers: int) -> None:
+        self.slots: list[Any] = [None] * nmembers
+        self.deposited = 0
+        self.consumed = 0
+
+
 class _Rendezvous:
     """Shared collective context for one communicator group.
 
-    Collectives are implemented as a two-phase barrier around a shared slot
-    array: every member deposits its contribution, synchronizes, reads the
-    (deterministically combined) result, and synchronizes again so a fast
-    rank cannot race ahead into the next collective and clobber the slots.
+    Blocking collectives are implemented as a two-phase barrier around a
+    shared slot array: every member deposits its contribution, synchronizes,
+    reads the (deterministically combined) result, and synchronizes again so
+    a fast rank cannot race ahead into the next collective and clobber the
+    slots.
+
+    Nonblocking collectives instead live in ``pending``, keyed by a
+    per-communicator sequence number (identical across members because
+    collectives must be issued in the same order on every rank).  Entries
+    are independent, so any number may be in flight and they may complete
+    out of order.
     """
 
     def __init__(self, nmembers: int) -> None:
@@ -85,9 +142,36 @@ class _Rendezvous:
         self.slots: list[Any] = [None] * nmembers
         self.scratch: dict[str, Any] = {}
         self.lock = threading.Lock()
+        self.pending_cv = threading.Condition()
+        self.pending: dict[Any, _PendingOp] = {}
+
+    # -- nonblocking-collective state -------------------------------------
+    def deposit(self, key: Any, nmembers: int, rank: int, payload: Any) -> _PendingOp:
+        """Deposit ``rank``'s contribution for the op identified by ``key``.
+
+        Never blocks; wakes any members already waiting on the op.
+        """
+        with self.pending_cv:
+            op = self.pending.get(key)
+            if op is None:
+                op = _PendingOp(nmembers)
+                self.pending[key] = op
+            op.slots[rank] = payload
+            op.deposited += 1
+            self.pending_cv.notify_all()
+        return op
+
+    def consume(self, key: Any, op: _PendingOp) -> None:
+        """Mark one member's result as read; reclaim the entry on the last."""
+        with self.pending_cv:
+            op.consumed += 1
+            if op.consumed >= len(op.slots):
+                self.pending.pop(key, None)
 
     def abort(self) -> None:
         self.barrier.abort()
+        with self.pending_cv:
+            self.pending_cv.notify_all()
 
 
 @dataclass
@@ -115,6 +199,10 @@ class World:
     def collect(self, dest: int, source: int, tag: int) -> Any:
         self._check_rank(source, "source")
         return self._mailboxes[dest].get(source, tag, self.timeout)
+
+    def try_collect(self, dest: int, source: int, tag: int) -> tuple[bool, Any]:
+        self._check_rank(source, "source")
+        return self._mailboxes[dest].try_get(source, tag)
 
     # -- collective rendezvous --------------------------------------------
     def group(self, key: Any, nmembers: int) -> _Rendezvous:

@@ -1,0 +1,65 @@
+"""Reusable staging buffers for gather/halo assembly.
+
+``gather_region`` and ``halo_exchange`` allocate a fresh extended array per
+call (local shard + halo cells); on the training hot path this means two
+large allocations per convolution per step.  A :class:`BufferPool` recycles
+those buffers across steps.
+
+The pool is deliberately conservative about aliasing: only buffers that the
+caller explicitly returns with :meth:`give` are reused, and a buffer must
+never be given back while any communication that references it is still in
+flight (with zero-copy sends, a mailbox may hold a view of a sent buffer —
+*receive/assembly* buffers, which this pool is for, are never sent, so they
+are safe to recycle as soon as the caller is done reading them).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+
+class BufferPool:
+    """A small free-list of ndarrays keyed by (shape, dtype).
+
+    ``take`` returns a matching buffer with *unspecified contents* (the
+    caller must fill it); ``give`` returns a buffer for reuse.  Thread-safe;
+    one pool per layer/rank is typical, but sharing is harmless.
+    """
+
+    def __init__(self, max_buffers_per_key: int = 2) -> None:
+        self._free: dict[tuple[tuple[int, ...], np.dtype], list[np.ndarray]] = {}
+        self._lock = threading.Lock()
+        self._max = max_buffers_per_key
+        self.hits = 0
+        self.misses = 0
+
+    def take(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        key = (tuple(int(s) for s in shape), np.dtype(dtype))
+        with self._lock:
+            stack = self._free.get(key)
+            if stack:
+                self.hits += 1
+                return stack.pop()
+            self.misses += 1
+        return np.empty(key[0], dtype=key[1])
+
+    def give(self, arr: np.ndarray | None) -> None:
+        if arr is None or not isinstance(arr, np.ndarray):
+            return
+        if not (arr.flags.c_contiguous and arr.flags.writeable and arr.base is None):
+            return  # only whole, owned, writable buffers are safe to recycle
+        key = (arr.shape, arr.dtype)
+        with self._lock:
+            stack = self._free.setdefault(key, [])
+            if len(stack) < self._max:
+                stack.append(arr)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._free.clear()
+
+    def stats(self) -> tuple[int, int]:
+        """(hits, misses) — how often ``take`` recycled vs allocated."""
+        return self.hits, self.misses

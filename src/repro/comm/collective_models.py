@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from enum import Enum
+from typing import Sequence
 
 
 class AllreduceAlgorithm(str, Enum):
@@ -93,6 +94,66 @@ def select_allreduce_algorithm(p: int, nbytes: float) -> AllreduceAlgorithm:
     if p & (p - 1) == 0:  # power of two: halving/doubling applies directly
         return AllreduceAlgorithm.RABENSEIFNER
     return AllreduceAlgorithm.RING
+
+
+def segment_sizes(nbytes: float, segment_bytes: float) -> list[float]:
+    """Split ``nbytes`` into near-equal segments of at most ``segment_bytes``."""
+    if nbytes <= 0:
+        return []
+    if not segment_bytes or segment_bytes >= nbytes:
+        return [nbytes]
+    nseg = int(math.ceil(nbytes / segment_bytes))
+    per = nbytes / nseg
+    return [per] * nseg
+
+
+def segmented_allreduce_time(
+    p: int,
+    nbytes: float,
+    link: LinkParameters,
+    segment_bytes: float | None = None,
+    algorithm: AllreduceAlgorithm | None = None,
+) -> float:
+    """Total comm-channel occupancy of an allreduce issued in segments.
+
+    Segmenting pays (nseg - 1) extra latency terms but lets the engine
+    start draining a large gradient while later segments are still being
+    produced — the cost counterpart of the bucketed reducer's pipelining.
+    ``segment_bytes=None`` (or >= nbytes) degenerates to one allreduce.
+    """
+    return sum(
+        allreduce_time(p, s, link, algorithm)
+        for s in segment_sizes(nbytes, segment_bytes or 0)
+    )
+
+
+def bucketed_allreduce_time(
+    p: int,
+    sizes: Sequence[float],
+    link: LinkParameters,
+    bucket_bytes: float,
+) -> float:
+    """Allreduce time for per-tensor ``sizes`` coalesced into buckets.
+
+    Models the engine's :class:`~repro.core.grad_reducer.BucketedGradReducer`:
+    consecutive tensors are merged until the bucket reaches ``bucket_bytes``
+    (a tensor larger than the bucket still goes out whole), so per-collective
+    latency is amortized over many small gradients.
+    """
+    if p <= 1:
+        return 0.0
+    total = 0.0
+    pending = 0.0
+    for n in sizes:
+        if n <= 0:
+            continue
+        pending += n
+        if pending >= bucket_bytes:
+            total += allreduce_time(p, pending, link)
+            pending = 0.0
+    if pending > 0:
+        total += allreduce_time(p, pending, link)
+    return total
 
 
 def reduce_scatter_time(p: int, nbytes: float, link: LinkParameters) -> float:

@@ -1,16 +1,29 @@
 """MPI-style communicator over the thread-based SPMD backend.
 
 The interface mirrors mpi4py's lower-case (object) API: payloads are Python
-objects, numpy arrays are passed by value (defensively copied at the
-communication boundary so neither side can observe later mutations), and
-collectives combine contributions in deterministic comm-rank order so runs
-are bit-reproducible for a fixed rank count.
+objects, collectives combine contributions in deterministic comm-rank order
+so runs are bit-reproducible for a fixed rank count.
+
+Array payloads cross the communication boundary **zero-copy** where
+possible: a C-contiguous ndarray is shared as a read-only view instead of
+being deep-copied (non-contiguous arrays are still copied; see
+:func:`set_zero_copy` to disable the fast path when chasing a suspected
+aliasing bug).  The contract is MPI's: a buffer handed to ``send``/``isend``
+or contributed to a collective must not be mutated afterwards.  Received
+arrays may be read-only; treat them as immutable (``bcast``/``scatter``
+results are exempt — they are private writable copies, since they commonly
+carry small control state the receiver updates in place).
 
 Semantics implemented:
 
 * eager buffered ``send``/``recv``/``sendrecv`` matched on ``(source, tag)``;
 * ``barrier``, ``bcast``, ``gather``, ``scatter``, ``allgather``,
   ``alltoall``, ``reduce``, ``allreduce``, ``reduce_scatter``;
+* **nonblocking** ``isend``/``irecv``/``iallreduce`` returning
+  :class:`Request` handles with MPI-style ``wait()``/``test()``; any number
+  of requests may be in flight per communicator and they may be completed
+  out of order.  This is the primitive the training engine uses to overlap
+  the dL/dw allreduces with backpropagation (paper §IV);
 * ``split(color, key)`` creating sub-communicators, the building block for
   the sample-group × spatial-group process grids of the paper's hybrid
   sample/spatial parallelism.
@@ -19,11 +32,12 @@ Semantics implemented:
 from __future__ import annotations
 
 import threading
+from time import perf_counter
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.comm.backend import CommAborted, World, _Rendezvous
+from repro.comm.backend import CommAborted, World, _PendingOp, _Rendezvous
 from repro.comm.stats import CommStats
 
 _REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
@@ -33,15 +47,56 @@ _REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
     "min": lambda a, b: np.minimum(a, b),
 }
 
+#: When True (default), C-contiguous arrays are shared across the boundary
+#: as read-only views instead of deep copies.
+_ZERO_COPY = True
+
+
+def set_zero_copy(enabled: bool) -> bool:
+    """Enable/disable the zero-copy send fast path; returns the old setting.
+
+    Turning it off restores the historical copy-on-send semantics, which is
+    useful as a bisection tool when debugging a suspected aliasing bug (a
+    behavioral difference between the two modes indicates a sender mutating
+    a buffer after handing it to the communicator).
+    """
+    global _ZERO_COPY
+    prev = _ZERO_COPY
+    _ZERO_COPY = bool(enabled)
+    return prev
+
 
 def _freeze(payload: Any) -> Any:
-    """Defensively copy array payloads crossing the communication boundary."""
+    """Make an array payload safe to hand across the communication boundary.
+
+    C-contiguous ndarrays become read-only *views* (zero-copy): the receiver
+    cannot write through them, and the sender promises not to mutate the
+    buffer after the send — the MPI contract.  Everything else that needs
+    protecting is copied.
+    """
     if isinstance(payload, np.ndarray):
+        if _ZERO_COPY and payload.flags.c_contiguous:
+            if not payload.flags.writeable:
+                return payload
+            view = payload.view()
+            view.flags.writeable = False
+            return view
         return payload.copy()
     if isinstance(payload, tuple):
         return tuple(_freeze(p) for p in payload)
     if isinstance(payload, list):
         return [_freeze(p) for p in payload]
+    return payload
+
+
+def _private(payload: Any) -> Any:
+    """A writable private copy of a (possibly frozen) payload."""
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    if isinstance(payload, tuple):
+        return tuple(_private(p) for p in payload)
+    if isinstance(payload, list):
+        return [_private(p) for p in payload]
     return payload
 
 
@@ -56,6 +111,164 @@ def payload_nbytes(payload: Any) -> int:
     if isinstance(payload, dict):
         return sum(payload_nbytes(v) for v in payload.values())
     return 64  # nominal envelope for small control messages
+
+
+class Request:
+    """Handle to an in-flight nonblocking operation (MPI_Request analogue).
+
+    ``wait()`` blocks until the operation completes and returns its result
+    (``None`` for sends).  ``test()`` polls without blocking and returns
+    whether the operation has completed; once it returns True the result is
+    available from ``wait()`` immediately.  Requests may be completed in any
+    order.  If the world aborts, both raise :class:`CommAborted`.
+    """
+
+    _done: bool = False
+    _result: Any = None
+
+    @property
+    def complete(self) -> bool:
+        return self._done
+
+    def wait(self) -> Any:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def test(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class _CompletedRequest(Request):
+    """A request born complete (eager ``isend``)."""
+
+    def __init__(self, result: Any = None) -> None:
+        self._done = True
+        self._result = result
+
+    def wait(self) -> Any:
+        return self._result
+
+    def test(self) -> bool:
+        return True
+
+
+class _RecvRequest(Request):
+    """Pending point-to-point receive."""
+
+    def __init__(self, comm: "Communicator", source: int, tag: int) -> None:
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._t_launch = perf_counter()
+
+    def _finish(self, payload: Any, waited: float) -> None:
+        comm = self._comm
+        nbytes = payload_nbytes(payload)
+        comm.stats.record_recv(nbytes)
+        overlapped = (perf_counter() - self._t_launch) - waited
+        comm.stats.record_async("irecv", nbytes, waited, overlapped, collective=False)
+        self._result = payload
+        self._done = True
+
+    def wait(self) -> Any:
+        if self._done:
+            return self._result
+        comm = self._comm
+        t0 = perf_counter()
+        payload = comm._world.collect(
+            comm.world_rank, comm._members[self._source], comm._tag_key(self._tag)
+        )
+        self._finish(payload, waited=perf_counter() - t0)
+        return self._result
+
+    def test(self) -> bool:
+        if self._done:
+            return True
+        comm = self._comm
+        got, payload = comm._world.try_collect(
+            comm.world_rank, comm._members[self._source], comm._tag_key(self._tag)
+        )
+        if got:
+            self._finish(payload, waited=0.0)
+        return self._done
+
+
+class _CollectiveRequest(Request):
+    """Pending nonblocking collective on one communicator.
+
+    The underlying :class:`_PendingOp` completes when every member has
+    deposited; waiting never requires peers to have *read* their results,
+    so a fast rank can fire-and-forget many collectives and drain them
+    later, out of order.
+    """
+
+    def __init__(
+        self,
+        comm: "Communicator",
+        key: Any,
+        op: _PendingOp,
+        combine: Callable[[list[Any]], Any],
+        opname: str,
+    ) -> None:
+        self._comm = comm
+        self._key = key
+        self._op = op
+        self._combine = combine
+        self._opname = opname
+        self._t_launch = perf_counter()
+
+    def _complete(self, waited: float) -> None:
+        comm = self._comm
+        t0 = perf_counter()
+        # Slots are fully deposited and read-only by convention; every
+        # member combines independently in identical deterministic order.
+        result = self._combine(self._op.slots)
+        comm._ctx.consume(self._key, self._op)
+        # The caller is blocked while the reduction arithmetic runs, so
+        # combine time counts as wait, never as hidden communication.
+        waited += perf_counter() - t0
+        overlapped = (perf_counter() - self._t_launch) - waited
+        comm.stats.record_async(
+            self._opname, payload_nbytes(result), waited, overlapped
+        )
+        self._result = result
+        self._done = True
+
+    def wait(self) -> Any:
+        if self._done:
+            return self._result
+        comm = self._comm
+        ctx = comm._ctx
+        world = comm._world
+        t0 = perf_counter()
+        budget = world.timeout
+        with ctx.pending_cv:
+            while self._op.deposited < comm.size:
+                if world.aborted:
+                    raise CommAborted(
+                        f"{self._opname} on {comm._key!r} interrupted: world aborted"
+                    )
+                if not ctx.pending_cv.wait(timeout=min(budget, 0.5)):
+                    budget -= 0.5
+                    if budget <= 0:
+                        raise CommAborted(
+                            f"{self._opname} on {comm._key!r} timed out"
+                        )
+        self._complete(waited=perf_counter() - t0)
+        return self._result
+
+    def test(self) -> bool:
+        if self._done:
+            return True
+        comm = self._comm
+        with comm._ctx.pending_cv:
+            if comm._world.aborted:
+                raise CommAborted(
+                    f"{self._opname} on {comm._key!r} interrupted: world aborted"
+                )
+            ready = self._op.deposited >= comm.size
+        if ready:
+            self._complete(waited=0.0)
+        return self._done
 
 
 class Communicator:
@@ -75,6 +288,7 @@ class Communicator:
         self._key = key
         self._ctx: _Rendezvous = world.group(key, self.size)
         self._op_seq = 0
+        self._nb_seq = 0  # nonblocking-collective sequence (matched across ranks)
         self.stats = self._rank_stats(world, members[rank])
 
     # -- construction -------------------------------------------------------
@@ -118,7 +332,9 @@ class Communicator:
     def send(self, payload: Any, dest: int, tag: int = 0) -> None:
         """Eagerly send ``payload`` to comm-rank ``dest`` (never blocks).
 
-        Self-sends (``dest == self.rank``) are legal, as in buffered MPI.
+        Contiguous arrays are handed over zero-copy: the buffer must not be
+        mutated after the call.  Self-sends (``dest == self.rank``) are
+        legal, as in buffered MPI.
         """
         self._check_peer(dest, "dest")
         frozen = _freeze(payload)
@@ -133,6 +349,16 @@ class Communicator:
         )
         self.stats.record_recv(payload_nbytes(payload))
         return payload
+
+    def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send.  Sends are eager, so the request is born complete."""
+        self.send(payload, dest, tag=tag)
+        return _CompletedRequest()
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Nonblocking receive; ``wait()`` returns the payload."""
+        self._check_peer(source, "source")
+        return _RecvRequest(self, source, tag)
 
     def sendrecv(
         self,
@@ -163,7 +389,7 @@ class Communicator:
 
     def bcast(self, payload: Any, root: int = 0) -> Any:
         def combine(slots: list[Any]) -> Any:
-            return _freeze(slots[root])
+            return _private(slots[root])
 
         result = self._collective(payload if self.rank == root else None, combine)
         self.stats.record_collective("bcast", payload_nbytes(result))
@@ -171,7 +397,7 @@ class Communicator:
 
     def gather(self, payload: Any, root: int = 0) -> list[Any] | None:
         def combine(slots: list[Any]) -> list[Any]:
-            return [_freeze(s) for s in slots]
+            return list(slots)
 
         gathered = self._collective(payload, combine)
         self.stats.record_collective("gather", payload_nbytes(payload))
@@ -185,7 +411,7 @@ class Communicator:
                 )
 
         def combine(slots: list[Any]) -> Any:
-            return _freeze(slots[root][self.rank])
+            return _private(slots[root][self.rank])
 
         result = self._collective(payloads if self.rank == root else None, combine)
         self.stats.record_collective("scatter", payload_nbytes(result))
@@ -193,7 +419,7 @@ class Communicator:
 
     def allgather(self, payload: Any) -> list[Any]:
         def combine(slots: list[Any]) -> list[Any]:
-            return [_freeze(s) for s in slots]
+            return list(slots)
 
         result = self._collective(payload, combine)
         self.stats.record_collective("allgather", payload_nbytes(payload))
@@ -205,7 +431,7 @@ class Communicator:
             raise ValueError(f"alltoall requires exactly {self.size} payloads")
 
         def combine(slots: list[Any]) -> list[Any]:
-            return [_freeze(slots[i][self.rank]) for i in range(self.size)]
+            return [slots[i][self.rank] for i in range(self.size)]
 
         result = self._collective(list(payloads), combine)
         self.stats.record_collective(
@@ -218,6 +444,20 @@ class Communicator:
         result = self.allreduce(value, op=op)
         return result if self.rank == root else None
 
+    @staticmethod
+    def _reduce_combine(fn: Callable[[Any, Any], Any]) -> Callable[[list[Any]], Any]:
+        """Fold slots in comm-rank order (bitwise-deterministic)."""
+
+        def combine(slots: list[Any]) -> Any:
+            if len(slots) == 1:
+                return _private(slots[0])
+            acc = fn(slots[0], slots[1])
+            for s in slots[2:]:
+                acc = fn(acc, s)
+            return acc
+
+        return combine
+
     def allreduce(self, value: Any, op: str = "sum") -> Any:
         """Element-wise reduction combined in deterministic comm-rank order."""
         try:
@@ -225,15 +465,24 @@ class Communicator:
         except KeyError:
             raise ValueError(f"unknown reduction op {op!r}") from None
 
-        def combine(slots: list[Any]) -> Any:
-            acc = _freeze(slots[0])
-            for s in slots[1:]:
-                acc = fn(acc, s)
-            return acc
-
-        result = self._collective(value, combine)
+        result = self._collective(value, self._reduce_combine(fn))
         self.stats.record_collective("allreduce", payload_nbytes(result))
         return result
+
+    def iallreduce(self, value: Any, op: str = "sum") -> Request:
+        """Nonblocking allreduce: deposits immediately, returns a handle.
+
+        ``wait()`` blocks only until every member has deposited (never until
+        they have read), then combines in deterministic comm-rank order —
+        bitwise identical to :meth:`allreduce`.  Any number of iallreduces
+        may be in flight per communicator; all members must issue them in
+        the same order.
+        """
+        try:
+            fn = _REDUCE_OPS[op]
+        except KeyError:
+            raise ValueError(f"unknown reduction op {op!r}") from None
+        return self._icollective(value, self._reduce_combine(fn), "iallreduce")
 
     def reduce_scatter(self, parts: Sequence[Any], op: str = "sum") -> Any:
         """``parts[j]`` is this rank's contribution destined for rank ``j``.
@@ -250,8 +499,10 @@ class Communicator:
             raise ValueError(f"unknown reduction op {op!r}") from None
 
         def combine(slots: list[Any]) -> Any:
-            acc = _freeze(slots[0][self.rank])
-            for s in slots[1:]:
+            if len(slots) == 1:
+                return _private(slots[0][self.rank])
+            acc = fn(slots[0][self.rank], slots[1][self.rank])
+            for s in slots[2:]:
                 acc = fn(acc, s[self.rank])
             return acc
 
@@ -295,13 +546,26 @@ class Communicator:
     # -- internals -----------------------------------------------------------
     def _collective(self, contribution: Any, combine: Callable[[list[Any]], Any]) -> Any:
         ctx = self._ctx
-        ctx.slots[self.rank] = contribution
+        ctx.slots[self.rank] = _freeze(contribution)
         self._barrier_wait()
         # Slots are complete and read-only in this phase; every rank combines
-        # independently (identical deterministic order) into a private copy.
+        # independently (identical deterministic order).
         result = combine(ctx.slots)
         self._barrier_wait()
+        # Release this rank's contribution so large buffers don't outlive
+        # the collective (safe: all members have combined by now, and only
+        # this rank writes this slot).
+        ctx.slots[self.rank] = None
         return result
+
+    def _icollective(
+        self, contribution: Any, combine: Callable[[list[Any]], Any], opname: str
+    ) -> Request:
+        seq = self._nb_seq
+        self._nb_seq += 1
+        key = ("nb", seq)
+        op = self._ctx.deposit(key, self.size, self.rank, _freeze(contribution))
+        return _CollectiveRequest(self, key, op, combine, opname)
 
     def _barrier_wait(self) -> None:
         self._op_seq += 1

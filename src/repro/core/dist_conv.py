@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.comm.buffers import BufferPool
 from repro.nn import functional as F
 from repro.tensor.dist_tensor import DistTensor
 from repro.tensor.grid import ProcessGrid
@@ -75,6 +76,10 @@ class DistConv2d:
         self._x_ext: np.ndarray | None = None
         self._x_global_shape: tuple[int, ...] | None = None
         self._x_dist = None
+        # Recycles the gathered input / error-signal staging buffers across
+        # steps (they are assembly-only and never cross the comm boundary,
+        # so reuse cannot alias in-flight zero-copy messages).
+        self._pool = BufferPool()
 
     # -- geometry ------------------------------------------------------------------
     def output_global_shape(self, x_shape: tuple[int, ...]) -> tuple[int, ...]:
@@ -108,7 +113,7 @@ class DistConv2d:
         y_bounds = y_dist.local_bounds(y_shape, self.grid.coords)
 
         lo, hi = self._input_region(x, y_bounds)
-        x_ext = x.gather_region(lo, hi)
+        x_ext = x.gather_region(lo, hi, pool=self._pool)
         self._x_ext = x_ext
         self._x_global_shape = x.global_shape
         self._x_dist = x.dist
@@ -139,6 +144,8 @@ class DistConv2d:
             self._x_ext, dy.local, kernel=self.kernel, stride=self.stride, pad=0
         )
         db = dy.local.sum(axis=(0, 2, 3)) if self.bias is not None else None
+        self._pool.give(self._x_ext)
+        self._x_ext = None
 
         # Eq. 3: gather the dy dependency region of our input block.
         x_dist = self._x_dist
@@ -155,6 +162,7 @@ class DistConv2d:
         dy_ext = dy.gather_region(
             (n_lo, 0, dh_lo, dw_lo),
             (n_hi, dy.global_shape[1], dh_hi, dw_hi),
+            pool=self._pool,
         )
         pad_eff = (xh_lo + ph - sh * dh_lo, xw_lo + pw - sw * dw_lo)
         dx_local = F.conv2d_backward_data(
@@ -164,6 +172,7 @@ class DistConv2d:
             pad=pad_eff,
             x_spatial=(xh_hi - xh_lo, xw_hi - xw_lo),
         )
+        self._pool.give(dy_ext)
         dx = DistTensor(self.grid, x_dist, x_shape, dx_local)
         return dx, dw, db
 

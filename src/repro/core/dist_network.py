@@ -9,6 +9,19 @@ partials are completed with an allreduce over each layer's gradient group
 actually partitioned — the whole grid in the standard replicated-weights
 case, exactly the paper's Eq. 2 allreduce).
 
+Gradient reduction is **overlapped and bucketed by default**: as each
+layer's backward-filter pass produces its ``dw`` partials, they are handed
+to a :class:`~repro.core.grad_reducer.BucketedGradReducer`, which coalesces
+them into per-gradient-group buckets and launches nonblocking
+``iallreduce``s that proceed concurrently with the remaining
+backpropagation; everything is drained before :meth:`backward` returns —
+the paper's §IV communication-hiding discipline.  ``overlap_grad_reduce=
+False`` restores the serial blocking path (one allreduce per parameter
+tensor after the layer's backward).  Both paths perform identical
+floating-point additions in identical order, so loss trajectories are
+bitwise equal (verified by ``tests/test_overlap_reducer.py``); the measured
+wait-vs-overlap split is recorded in ``comm.stats``.
+
 Parameters are replicated on every rank and initialized identically to
 :class:`repro.nn.network.LocalNetwork` (seeded by layer name), so
 distributed runs replicate single-device runs to floating-point
@@ -28,6 +41,7 @@ from repro.tensor.grid import ProcessGrid
 from repro.tensor.shuffle import shuffle
 from repro.core.parallelism import LayerParallelism, ParallelStrategy, activation_dist
 from repro.core.dist_conv import DistConv2d
+from repro.core.grad_reducer import DEFAULT_BUCKET_BYTES, BucketedGradReducer
 from repro.core.dist_layers import (
     DistAdd,
     DistBatchNorm,
@@ -51,6 +65,8 @@ class DistNetwork:
         seed: int = 0,
         dtype=np.float64,
         bn_aggregate: str = "global",
+        overlap_grad_reduce: bool = True,
+        grad_bucket_bytes: int = DEFAULT_BUCKET_BYTES,
     ) -> None:
         if isinstance(strategy, LayerParallelism):
             strategy = ParallelStrategy.uniform(strategy)
@@ -65,6 +81,8 @@ class DistNetwork:
         self.seed = seed
         self.dtype = dtype
         self.bn_aggregate = bn_aggregate
+        self.overlap_grad_reduce = overlap_grad_reduce
+        self.grad_bucket_bytes = grad_bucket_bytes
         self.shapes = spec.infer_shapes()
 
         self._grids: dict[tuple[int, ...], ProcessGrid] = {}
@@ -229,9 +247,26 @@ class DistNetwork:
         return self.loss
 
     def backward(self) -> dict[str, dict[str, np.ndarray]]:
-        """Backpropagate and complete weight gradients with allreduces."""
+        """Backpropagate and complete weight gradients with allreduces.
+
+        With ``overlap_grad_reduce`` (the default), each layer's partials
+        are queued on a bucketed nonblocking reducer as soon as its filter
+        gradients are computed, so the allreduces run concurrently with the
+        rest of backpropagation and are drained just before returning.
+        """
         grads: dict[str, dict[str, np.ndarray]] = {}
         dys: dict[str, DistTensor] = {}
+        reducer = (
+            BucketedGradReducer(self.grad_bucket_bytes)
+            if self.overlap_grad_reduce
+            else None
+        )
+
+        def complete_grads(name: str, g: dict[str, np.ndarray]) -> None:
+            if reducer is not None:
+                reducer.add(name, g, self._grad_comm(self._acts[name]))
+            else:
+                grads[name] = self._reduce_grads(g, self._acts[name])
 
         def accumulate(pname: str, dx: DistTensor) -> None:
             if pname in dys:
@@ -269,15 +304,13 @@ class DistNetwork:
                 g = {"w": dw}
                 if db is not None:
                     g["b"] = db
-                grads[name] = self._reduce_grads(g, self._acts[name])
+                complete_grads(name, g)
                 route_back(name, 0, dx)
             elif layer.kind == "pool":
                 route_back(name, 0, impl.backward(dy))
             elif layer.kind == "bn":
                 dx, dgamma, dbeta = impl.backward(dy)
-                grads[name] = self._reduce_grads(
-                    {"gamma": dgamma, "beta": dbeta}, self._acts[name]
-                )
+                complete_grads(name, {"gamma": dgamma, "beta": dbeta})
                 route_back(name, 0, dx)
             elif layer.kind == "relu":
                 route_back(name, 0, impl.backward(dy))
@@ -288,7 +321,7 @@ class DistNetwork:
                 g = {"w": dw}
                 if db is not None:
                     g["b"] = db
-                grads[name] = self._reduce_grads(g, self._acts[name])
+                complete_grads(name, g)
                 route_back(name, 0, dx)
             elif layer.kind == "add":
                 for idx in range(len(layer.parents)):
@@ -296,22 +329,30 @@ class DistNetwork:
             else:  # pragma: no cover
                 raise AssertionError(layer.kind)
 
+        if reducer is not None:
+            grads.update(reducer.drain())
         self.grads = grads
         return grads
+
+    def _grad_comm(self, y: DistTensor) -> Communicator | None:
+        """The gradient group of a layer with output ``y`` (paper Eq. 2).
+
+        Spans the grid axes along which the layer's output data is
+        partitioned; ``None`` when the layer's partials are already complete
+        (replicas along other axes hold identical partials).
+        """
+        axes = [d for d in range(y.dist.ndim) if y.dist.is_split(d)]
+        if not axes:
+            return None
+        return y.grid.axes_comm(axes)
 
     def _reduce_grads(
         self, partials: dict[str, np.ndarray], y: DistTensor
     ) -> dict[str, np.ndarray]:
-        """Complete weight-gradient partials (paper Eq. 2's allreduce).
-
-        The gradient group spans the grid axes along which the layer's
-        output data is partitioned; replicas along other axes already hold
-        identical partials.
-        """
-        axes = [d for d in range(y.dist.ndim) if y.dist.is_split(d)]
-        if not axes:
+        """Blocking completion of weight-gradient partials (Eq. 2's allreduce)."""
+        comm = self._grad_comm(y)
+        if comm is None:
             return partials
-        comm = y.grid.axes_comm(axes)
         return {k: comm.allreduce(v) for k, v in partials.items()}
 
     # -- convenience -----------------------------------------------------------------

@@ -3,11 +3,18 @@
 After the gradient allreduce every rank holds identical gradients, so "SGD
 can proceed independently on each processor" (§III-A): the optimizer step is
 purely local and replicas stay bitwise consistent.
+
+The trainer also surfaces the communication picture of each run: per-step
+wall time plus the communicator's :class:`~repro.comm.stats.CommStats`,
+whose wait-vs-overlap split measures how much of the (bucketed, nonblocking)
+gradient allreduce was actually hidden behind backpropagation — the
+empirical counterpart of the cost model's exposed-allreduce term (§V-B).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -20,15 +27,21 @@ class TrainStats:
     """Per-step records collected during training."""
 
     losses: list[float] = field(default_factory=list)
+    step_seconds: list[float] = field(default_factory=list)
     steps: int = 0
 
-    def record(self, loss: float) -> None:
+    def record(self, loss: float, seconds: float = 0.0) -> None:
         self.losses.append(float(loss))
+        self.step_seconds.append(float(seconds))
         self.steps += 1
 
     @property
     def last_loss(self) -> float:
         return self.losses[-1]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.step_seconds)
 
 
 class DistTrainer:
@@ -44,23 +57,55 @@ class DistTrainer:
         self.stats = TrainStats()
 
     def step(self, inputs, targets) -> float:
-        """One training step: forward, backward, allreduce, local update."""
+        """One training step: forward, backward+overlapped allreduce, update."""
+        t0 = perf_counter()
         loss, grads = self.network.loss_and_grad(inputs, targets)
         self.optimizer.step(self.network.params, grads)
-        self.stats.record(loss)
+        self.stats.record(loss, perf_counter() - t0)
         return loss
 
-    def fit(self, batches, epochs: int = 1) -> TrainStats:
+    def fit(self, batches, epochs: int = 1, verbose: bool = False) -> TrainStats:
         """Train over an iterable of ``(inputs, targets)`` mini-batches.
 
         ``batches`` may be a list or a generator factory (callable returning
-        a fresh iterable per epoch).
+        a fresh iterable per epoch).  With ``verbose`` (rank 0 only), prints
+        the communication report — collective counts/bytes and the measured
+        wait-vs-overlap time of the nonblocking gradient allreduces.
         """
         for _ in range(epochs):
             iterable = batches() if callable(batches) else batches
             for inputs, targets in iterable:
                 self.step(inputs, targets)
+        if verbose and self.network.comm.rank == 0:
+            print(self.comm_report())
         return self.stats
+
+    def comm_report(self) -> str:
+        """Training + communication summary for this rank.
+
+        Includes the per-op wait time (caller blocked draining a request)
+        and overlap time (request in flight while backprop continued) that
+        :class:`~repro.comm.stats.CommStats` accumulates.
+        """
+        cs = self.network.comm.stats
+        lines = [
+            f"steps: {self.stats.steps}"
+            + (
+                f", avg step {np.mean(self.stats.step_seconds) * 1e3:.2f} ms"
+                if self.stats.step_seconds
+                else ""
+            ),
+            cs.report(),
+        ]
+        wait = cs.total_wait_seconds()
+        hidden = cs.total_overlap_seconds()
+        if wait + hidden > 0:
+            lines.append(
+                f"  nonblocking: {wait * 1e3:.3f} ms exposed (waited), "
+                f"{hidden * 1e3:.3f} ms hidden behind compute "
+                f"({100.0 * hidden / (wait + hidden):.1f}% overlapped)"
+            )
+        return "\n".join(lines)
 
     def evaluate(self, inputs, targets) -> float:
         """Loss without updating parameters (still uses batch statistics in

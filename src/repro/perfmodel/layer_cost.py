@@ -42,6 +42,10 @@ class ConvLayerCost:
     #: Extra kernel launches when the input is decomposed into interior +
     #: boundary regions for overlap (§IV-A).
     boundary_launch: float = 0.0
+    #: Payload and group of the dL/dw allreduce, kept alongside its time so
+    #: schedule-level models (bucketing/segmentation) can re-cost it.
+    allreduce_bytes: float = 0.0
+    allreduce_group: int = 1
 
     def fp_time(self, overlap: bool = True) -> float:
         if overlap and self.fp_halo > 0:
@@ -166,6 +170,8 @@ def conv_layer_cost(
         bpw_compute=bpw_c,
         allreduce=ar,
         boundary_launch=boundary_launch,
+        allreduce_bytes=params_bytes,
+        allreduce_group=total_ranks,
     )
 
 
@@ -254,4 +260,6 @@ def elementwise_layer_cost(
         bpx_halo=halo,
         bpw_compute=0.0,
         allreduce=ar,
+        allreduce_bytes=params_bytes if ar > 0 else 0.0,
+        allreduce_group=total_ranks if ar > 0 else 1,
     )

@@ -10,14 +10,18 @@ Extends the per-layer model to a full network:
 * the dL/dw allreduces are overlapped greedily with backpropagation
   computation: "we estimate allreduce overlap between layers by greedily
   overlapping as much computation as possible with an allreduce.  Only one
-  allreduce at a time is considered to run" (§V-B).
+  allreduce at a time is considered to run" (§V-B);
+* ``allreduce_bucket_bytes`` additionally models the engine's bucketed
+  reducer: consecutive gradients of the same group are coalesced until the
+  bucket fills, amortizing per-collective latency — the analytic
+  counterpart of :class:`repro.core.grad_reducer.BucketedGradReducer`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.comm.collective_models import alltoall_time
+from repro.comm.collective_models import allreduce_time, alltoall_time
 from repro.nn.graph import NetworkSpec
 from repro.perfmodel.conv_model import CalibratedConvModel
 from repro.perfmodel.layer_cost import (
@@ -65,6 +69,7 @@ class NetworkCostModel:
         overlap: bool = True,
         overlap_allreduce: bool = True,
         cheap_layers: str = "memory",
+        allreduce_bucket_bytes: int | None = None,
     ) -> None:
         if cheap_layers not in ("memory", "free"):
             raise ValueError("cheap_layers must be 'memory' or 'free'")
@@ -76,6 +81,7 @@ class NetworkCostModel:
         self.overlap = overlap
         self.overlap_allreduce = overlap_allreduce
         self.cheap_layers = cheap_layers
+        self.allreduce_bucket_bytes = allreduce_bucket_bytes
         self.shapes = spec.infer_shapes()
 
     # -- per-layer costing -------------------------------------------------------
@@ -155,13 +161,16 @@ class NetworkCostModel:
                                gpu.fwd_tflops_max)
             bp = 2 * gpu.conv_time(flops, (i_n * c * h * w + i_n * units) * db,
                                    gpu.bwd_data_tflops_max)
-            from repro.comm.collective_models import allreduce_time
-
+            ar_bytes = units * c * h * w * db
             ar = allreduce_time(
-                strategy.nranks, units * c * h * w * db,
+                strategy.nranks, ar_bytes,
                 self.machine.link_for_group(strategy.nranks),
             )
-            return ConvLayerCost(fp, 0.0, bp, 0.0, 0.0, ar)
+            return ConvLayerCost(
+                fp, 0.0, bp, 0.0, 0.0, ar,
+                allreduce_bytes=ar_bytes,
+                allreduce_group=strategy.nranks,
+            )
         return None  # input / loss layers
 
     def _shuffle_cost(
@@ -198,24 +207,56 @@ class NetworkCostModel:
 
         # Backward pass with greedy allreduce overlap: walk layers in
         # reverse; each allreduce starts when its layer's backprop ends and
-        # the (single) communication channel is free.
+        # the (single) communication channel is free.  With bucketing,
+        # consecutive gradients of the same group are coalesced first.
         t = 0.0
         ar_free_at = 0.0
         ar_end = 0.0
+        # Buckets are keyed by gradient-group *identity* — (group size,
+        # grid shape) — matching the engine's per-communicator buckets:
+        # same-sized groups over different axes must not be coalesced.
+        pending: dict[tuple, float] = {}
+
+        def start_allreduce(duration: float) -> None:
+            nonlocal ar_free_at, ar_end
+            start = max(t, ar_free_at)
+            ar_free_at = start + duration
+            ar_end = ar_free_at
+            bd.allreduce_total += duration
+
+        def flush_bucket(key: tuple) -> None:
+            nbytes = pending.pop(key, 0.0)
+            group = key[0]
+            if nbytes > 0:
+                start_allreduce(
+                    allreduce_time(
+                        group, nbytes, self.machine.link_for_group(group)
+                    )
+                )
+
+        bucketing = bool(self.overlap_allreduce and self.allreduce_bucket_bytes)
         for layer in reversed(order):
             cost = bd.per_layer.get(layer.name)
             if cost is None:
                 continue
             t += cost.bp_time(self.overlap)
             if cost.allreduce > 0:
-                if self.overlap_allreduce:
-                    start = max(t, ar_free_at)
-                    ar_free_at = start + cost.allreduce
-                    ar_end = ar_free_at
+                if bucketing and cost.allreduce_bytes > 0:
+                    key = (
+                        cost.allreduce_group,
+                        strategy.for_layer(layer.name).grid_shape,
+                    )
+                    pending[key] = pending.get(key, 0.0) + cost.allreduce_bytes
+                    if pending[key] >= self.allreduce_bucket_bytes:
+                        flush_bucket(key)
+                elif self.overlap_allreduce:
+                    start_allreduce(cost.allreduce)
                 else:
                     t += cost.allreduce
                     ar_end = t
-            bd.allreduce_total += cost.allreduce
+                    bd.allreduce_total += cost.allreduce
+        for key in list(pending):
+            flush_bucket(key)
         bd.bp_compute_total = t
         if self.overlap_allreduce:
             # Greedy channel model, floored by the machine's overlap

@@ -17,12 +17,20 @@ Builds, for the critical-path rank, the §IV schedule:
 
 With ``overlap_halo=False`` / ``overlap_allreduce=False`` the dependencies
 serialize instead — the ablation benchmark toggles exactly these.
+
+``allreduce_bucket_bytes`` mirrors the engine's bucketed gradient reducer
+(:class:`repro.core.grad_reducer.BucketedGradReducer`): consecutive layers'
+dL/dw payloads destined for the same gradient group are coalesced into one
+comm-stream task that becomes ready when its *last* contributor's filter
+convolution finishes, amortizing per-collective latency at the price of a
+slightly later start — exactly the trade the real reducer makes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.comm.collective_models import allreduce_time
 from repro.nn.graph import NetworkSpec
 from repro.perfmodel.layer_cost import ConvLayerCost
 from repro.perfmodel.machine import MachineSpec
@@ -58,11 +66,13 @@ class TrainingStepSimulator:
         conv_model=None,
         overlap_halo: bool = True,
         overlap_allreduce: bool = True,
+        allreduce_bucket_bytes: int | None = None,
     ) -> None:
         self.spec = spec
         self.machine = machine
         self.overlap_halo = overlap_halo
         self.overlap_allreduce = overlap_allreduce
+        self.allreduce_bucket_bytes = allreduce_bucket_bytes
         # Reuse the analytic per-layer component costs; the simulator only
         # re-derives the *schedule*, never the kernel times.
         self.cost_model = NetworkCostModel(
@@ -112,6 +122,29 @@ class TrainingStepSimulator:
         prev_bwd = prev_fwd
         allreduces: list[str] = []
         last_ar: str | None = None
+        bucketing = bool(self.overlap_allreduce and self.allreduce_bucket_bytes)
+        # Keyed by gradient-group identity — (size, grid shape) — mirroring
+        # the engine's per-communicator buckets; the value is
+        # (pending bytes, contributing filter-conv task names).
+        buckets: dict[tuple, tuple[float, list[str]]] = {}
+
+        def flush_bucket(key: tuple) -> None:
+            nonlocal last_ar
+            nbytes, contributors = buckets.pop(key)
+            group = key[0]
+            if nbytes <= 0:
+                return
+            dur = allreduce_time(
+                group, nbytes, self.machine.link_for_group(group)
+            )
+            deps = list(contributors)
+            if last_ar is not None:
+                deps.append(last_ar)  # one allreduce at a time
+            name = f"ar:bucket{len(allreduces)}:g{group}"
+            eng.add(name, dur, "comm", tuple(deps))
+            allreduces.append(name)
+            last_ar = name
+
         for layer in reversed(order):
             c = costs.get(layer.name)
             if c is None:
@@ -139,6 +172,17 @@ class TrainingStepSimulator:
                 )
             prev_bwd = f"bwd:{name}:data"
             if c.allreduce > 0:
+                if bucketing and c.allreduce_bytes > 0:
+                    key = (
+                        c.allreduce_group,
+                        strategy.for_layer(name).grid_shape,
+                    )
+                    nbytes, contributors = buckets.get(key, (0.0, []))
+                    contributors.append(f"bwd:{name}:filter")
+                    buckets[key] = (nbytes + c.allreduce_bytes, contributors)
+                    if buckets[key][0] >= self.allreduce_bucket_bytes:
+                        flush_bucket(key)
+                    continue
                 ar_deps = [f"bwd:{name}:filter"]
                 if not self.overlap_allreduce and prev_bwd:
                     ar_deps.append(prev_bwd)
@@ -152,6 +196,9 @@ class TrainingStepSimulator:
                 last_ar = ar_name
                 if not self.overlap_allreduce:
                     prev_bwd = ar_name
+
+        for key in list(buckets):
+            flush_bucket(key)
 
         # -- optimizer ------------------------------------------------------------
         params = self.spec.total_params()

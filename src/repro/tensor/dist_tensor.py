@@ -175,12 +175,16 @@ class DistTensor:
         lo: Sequence[int],
         hi: Sequence[int],
         fill: float = 0.0,
+        pool=None,
     ) -> np.ndarray:
         """Collectively fetch global region ``[lo, hi)`` into a local array.
 
         All grid ranks must call this together (each with its own region —
         pass an empty region to participate without fetching).  Out-of-range
-        parts are filled with ``fill``.
+        parts are filled with ``fill``.  ``pool`` (a
+        :class:`~repro.comm.buffers.BufferPool`) supplies the assembly
+        buffer; the caller owns the result and may ``give`` it back once
+        done reading it.
         """
         lo = tuple(int(v) for v in lo)
         hi = tuple(int(v) for v in hi)
@@ -213,7 +217,11 @@ class DistTensor:
         )
         data_back = comm.alltoall(replies)
 
-        out = np.full(out_shape, fill, dtype=self.dtype)
+        if pool is not None:
+            out = pool.take(out_shape, self.dtype)
+            out.fill(fill)
+        else:
+            out = np.full(out_shape, fill, dtype=self.dtype)
         for rank in range(comm.size):
             for region, data in zip(requests[rank], data_back[rank]):
                 offset = tuple(r[0] - l for r, l in zip(region, lo))

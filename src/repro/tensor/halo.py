@@ -28,12 +28,16 @@ def halo_exchange(
     dt: DistTensor,
     widths: Sequence[int],
     fill: float = 0.0,
+    pool=None,
 ) -> np.ndarray:
     """Exchange halos of ``widths[d]`` cells on both sides of each split axis.
 
     Returns the local shard extended by the halo cells: received data at
     interior partition boundaries, ``fill`` (virtual padding) at global
     tensor boundaries.  Collective over the grid communicator.
+
+    ``pool`` (a :class:`~repro.comm.buffers.BufferPool`) supplies the
+    extended staging buffer; the caller may ``give`` it back once done.
 
     Raises ``ValueError`` if a neighbor owns fewer cells than the requested
     width (the exchange would need data from beyond the immediate neighbor).
@@ -52,7 +56,11 @@ def halo_exchange(
     eff = widths
 
     ext_shape = tuple(s + 2 * w for s, w in zip(local.shape, eff))
-    out = np.full(ext_shape, fill, dtype=dt.dtype)
+    if pool is not None:
+        out = pool.take(ext_shape, dt.dtype)
+        out.fill(fill)
+    else:
+        out = np.full(ext_shape, fill, dtype=dt.dtype)
     out[tuple(slice(w, w + s) for w, s in zip(eff, local.shape))] = local
 
     for axis in range(dt.dist.ndim):
@@ -82,10 +90,14 @@ def halo_exchange(
         hi_halo = strip((w + local.shape[axis], 2 * w + local.shape[axis]))
 
         tag = 100 + axis
+        # With a pool, `out` may be recycled before a slow peer pops its
+        # mailbox, so sent strips must be materialized (never alias `out`);
+        # without one, `out` is fresh per call and zero-copy views are safe.
+        stage = (lambda a: a.copy()) if pool is not None else np.ascontiguousarray
         if left is not None:
-            comm.send(np.ascontiguousarray(out[lo_owned]), dest=left, tag=tag)
+            comm.send(stage(out[lo_owned]), dest=left, tag=tag)
         if right is not None:
-            comm.send(np.ascontiguousarray(out[hi_owned]), dest=right, tag=tag + 1000)
+            comm.send(stage(out[hi_owned]), dest=right, tag=tag + 1000)
         if right is not None:
             out[hi_halo] = comm.recv(source=right, tag=tag)
         if left is not None:

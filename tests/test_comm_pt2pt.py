@@ -27,8 +27,33 @@ class TestSendRecv:
         results = run_spmd(2, prog)
         np.testing.assert_array_equal(results[1], np.arange(1000, dtype=np.float64))
 
-    def test_send_copies_payload(self):
-        """Mutating a sent array after send must not affect the receiver."""
+    def test_send_transfers_contiguous_payload_zero_copy(self):
+        """Contiguous arrays are handed over zero-copy as read-only views.
+
+        The contract is MPI's: the sender must not mutate the buffer after
+        the send.  The receiver sees the sender's memory (no copy) but
+        cannot write through it.
+        """
+
+        def prog(comm):
+            if comm.rank == 0:
+                data = np.ones(8)
+                comm.send(data, dest=1)
+                comm.barrier()
+                return data
+            got = comm.recv(source=0)
+            comm.barrier()
+            return got
+
+        results = run_spmd(2, prog)
+        sent, got = results
+        np.testing.assert_array_equal(got, np.ones(8))
+        assert not got.flags.writeable
+        assert np.shares_memory(sent, got)
+
+    def test_send_copies_payload_when_zero_copy_disabled(self):
+        """set_zero_copy(False) restores the defensive copy-on-send path."""
+        from repro.comm import set_zero_copy
 
         def prog(comm):
             if comm.rank == 0:
@@ -40,8 +65,28 @@ class TestSendRecv:
             comm.barrier()
             return comm.recv(source=0)
 
-        results = run_spmd(2, prog)
+        prev = set_zero_copy(False)
+        try:
+            results = run_spmd(2, prog)
+        finally:
+            set_zero_copy(prev)
         np.testing.assert_array_equal(results[1], np.ones(8))
+
+    def test_send_copies_noncontiguous_payload(self):
+        """Non-contiguous views are still copied at the boundary."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                data = np.arange(16, dtype=np.float64)[::2]
+                comm.send(data, dest=1)
+                data[:] = -1.0
+                comm.barrier()
+                return None
+            comm.barrier()
+            return comm.recv(source=0)
+
+        results = run_spmd(2, prog)
+        np.testing.assert_array_equal(results[1], np.arange(0, 16, 2, dtype=np.float64))
 
     def test_tag_matching_out_of_order(self):
         """A recv on tag 2 must not consume the tag-1 message."""

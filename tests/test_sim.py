@@ -110,3 +110,37 @@ class TestTrainingSimulator:
             n for n in res.engine._tasks if "halo" in n
         ]
         assert halo_tasks == []
+
+    def test_bucketed_allreduce_schedule(self):
+        """Bucketing coalesces per-layer allreduces into fewer comm tasks
+        and never beats compute alone, but stays close to the per-layer
+        overlap schedule."""
+        spec = mesh_model_1k()
+        strategy = ParallelStrategy.uniform(LP(sample=4, height=2, width=2))
+        per_layer = TrainingStepSimulator(spec, LASSEN).simulate(4, strategy)
+        bucketed = TrainingStepSimulator(
+            spec, LASSEN, allreduce_bucket_bytes=1 << 22
+        ).simulate(4, strategy)
+        n_ar_per_layer = sum(
+            1 for n in per_layer.engine._tasks if n.startswith("ar:")
+        )
+        n_ar_bucketed = sum(
+            1 for n in bucketed.engine._tasks if n.startswith("ar:")
+        )
+        assert 0 < n_ar_bucketed < n_ar_per_layer
+        assert bucketed.minibatch_time >= per_layer.compute_busy - 1e-12
+        assert bucketed.minibatch_time == pytest.approx(
+            per_layer.minibatch_time, rel=0.05
+        )
+
+    def test_bucketing_requires_overlap(self):
+        """Bucket bytes are ignored when allreduce overlap is disabled."""
+        spec = mesh_model_1k()
+        strategy = ParallelStrategy.uniform(LP(sample=4))
+        plain = TrainingStepSimulator(
+            spec, LASSEN, overlap_allreduce=False
+        ).simulate(4, strategy)
+        with_bucket = TrainingStepSimulator(
+            spec, LASSEN, overlap_allreduce=False, allreduce_bucket_bytes=1 << 22
+        ).simulate(4, strategy)
+        assert with_bucket.minibatch_time == plain.minibatch_time
