@@ -9,7 +9,6 @@ their measured communication volume in the functional runtime.
 """
 
 import numpy as np
-import pytest
 
 from repro.comm import run_spmd
 from repro.core.dist_layers import DistBatchNorm

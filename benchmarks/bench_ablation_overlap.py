@@ -12,7 +12,6 @@ to the simulated timeline.
 from time import perf_counter
 
 import numpy as np
-import pytest
 
 from repro.comm import run_spmd
 from repro.core import DistNetwork, DistTrainer, LayerParallelism, ParallelStrategy

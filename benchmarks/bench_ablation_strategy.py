@@ -7,7 +7,6 @@ The strategy optimizer is exactly that future work: this ablation shows
 where per-layer strategies beat the best uniform one.
 """
 
-import pytest
 
 from repro.core.parallelism import LayerParallelism, ParallelStrategy
 from repro.core.strategy import StrategyOptimizer, factorizations

@@ -8,7 +8,6 @@ substrate's analogue of the paper's cuDNN timings.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.parallelism import LayerParallelism
 from repro.nn import functional as F
@@ -16,11 +15,9 @@ from repro.perfmodel import CalibratedConvModel, LASSEN
 from repro.perfmodel.layer_cost import conv_layer_cost
 
 try:
-    from benchmarks.common import (
-        PAPER_FIG2_CONV1, PAPER_FIG2_RES3B, emit, render_table,
-    )
+    from benchmarks.common import emit, render_table
 except ImportError:
-    from common import PAPER_FIG2_CONV1, PAPER_FIG2_RES3B, emit, render_table
+    from common import emit, render_table
 
 #: The two layers, exactly as published above the paper's plots.
 LAYERS = {

@@ -12,9 +12,9 @@ from repro.perfmodel import CalibratedConvModel, LASSEN
 from repro.perfmodel.layer_cost import conv_layer_cost
 
 try:
-    from benchmarks.common import PAPER_FIG3_CONV1_1, PAPER_FIG3_CONV6_1, emit, render_table
+    from benchmarks.common import PAPER_FIG3_CONV1_1, emit, render_table
 except ImportError:
-    from common import PAPER_FIG3_CONV1_1, PAPER_FIG3_CONV6_1, emit, render_table
+    from common import PAPER_FIG3_CONV1_1, emit, render_table
 
 #: Published above the paper's plots.
 LAYERS = {

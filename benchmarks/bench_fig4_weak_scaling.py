@@ -12,7 +12,6 @@ mini-batch grows with the machine) for 1/2/4/8/16 GPUs/sample.  Flat curves
   reports insufficient workspace headroom at scale.
 """
 
-import pytest
 
 from repro.core.parallelism import LayerParallelism, ParallelStrategy
 from repro.nn.meshnet import mesh_model_1k, mesh_model_2k

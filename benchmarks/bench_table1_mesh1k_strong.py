@@ -8,7 +8,6 @@ Run directly (``python benchmarks/bench_table1_mesh1k_strong.py``) or under
 ``pytest benchmarks/ --benchmark-only``.
 """
 
-import pytest
 
 from repro.core.parallelism import LayerParallelism, ParallelStrategy
 from repro.nn.meshnet import mesh_model_1k

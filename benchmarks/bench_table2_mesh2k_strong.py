@@ -1,6 +1,5 @@
 """Table II: 2K mesh model strong scaling (speedup over 2 GPUs/sample)."""
 
-import pytest
 
 from repro.core.parallelism import LayerParallelism, ParallelStrategy
 from repro.nn.meshnet import mesh_model_2k

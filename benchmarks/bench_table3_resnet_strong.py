@@ -4,7 +4,6 @@ Sample parallelism at 32 samples/GPU vs hybrid parallelism with the same
 32 samples spread over 2 or 4 GPUs, for mini-batch sizes 128..32768.
 """
 
-import pytest
 
 from repro.core.parallelism import LayerParallelism, ParallelStrategy
 from repro.nn.resnet import build_resnet50

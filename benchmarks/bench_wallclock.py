@@ -91,8 +91,13 @@ def _measure(nranks: int, overlap: bool, steps: int, batch: int) -> tuple[float,
 
 
 def generate_wallclock(
-    steps: int = 6, batch: int = BATCH, repeats: int = 3
+    steps: int = 6,
+    batch: int = BATCH,
+    repeats: int = 3,
+    json_path: str | None = JSON_PATH,
 ) -> tuple[str, dict]:
+    """``json_path=None`` skips the JSON emission; smoke runs pass a scratch
+    path so reduced-size numbers never overwrite the tracked trajectory."""
     rows = []
     configs = []
     for nranks in (4, 8):
@@ -134,16 +139,16 @@ def generate_wallclock(
         rows,
     )
     payload = {"steps": steps, "batch": batch, "configs": configs}
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(JSON_PATH, "w") as f:
-        json.dump(payload, f, indent=2)
+    if json_path is not None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(json_path, "w") as f:
+            json.dump(payload, f, indent=2)
     return text, payload
 
 
 def test_wallclock_smoke():
-    """The benchmark runs, reports a sane ratio, and writes BENCH_overlap.json."""
-    text, payload = generate_wallclock(steps=2, repeats=1)
-    assert os.path.exists(JSON_PATH)
+    """The benchmark runs and reports a sane ratio."""
+    text, payload = generate_wallclock(steps=2, repeats=1, json_path=None)
     for cfg in payload["configs"]:
         assert cfg["overlapped_step_s"] > 0 and cfg["blocking_step_s"] > 0
         # Regression floor only: overlap must never be a big loss.  The

@@ -3,8 +3,15 @@
 Writes rendered tables to ``benchmarks/results/`` and prints them.
 
 Run:  python benchmarks/run_all.py
+      python benchmarks/run_all.py --smoke   # reduced sizes, seconds not minutes
+
+``--smoke`` exists so CI can exercise every benchmark entry point on tiny
+shapes (2-4 in-process ranks, a couple of steps) — the numbers are
+meaningless, but import errors, API drift, and crashed generators are
+caught before they rot.
 """
 
+import argparse
 import sys
 import os
 
@@ -24,9 +31,29 @@ import bench_ablation_allreduce as aa  # noqa: E402
 import bench_ablation_batchnorm as ab  # noqa: E402
 import bench_ablation_strategy as ast_  # noqa: E402
 import bench_wallclock as bw  # noqa: E402
+import bench_halo_overlap as bh  # noqa: E402
 
 
-def main() -> None:
+def run_smoke() -> None:
+    """Fast subset: one analytic table, the overlap ablation (simulated),
+    and both measured engine benchmarks at minimum size.
+
+    Reduced-size JSONs go to ``*_smoke.json`` scratch paths (gitignored) so
+    a smoke pass can never overwrite the tracked perf-trajectory files.
+    """
+    results = os.path.join(os.path.dirname(__file__), "results")
+    emit("table1_mesh1k_strong", t1.generate_table1()[0])
+    emit("ablation_overlap", ao.generate_overlap_ablation()[0])
+    emit("bench_wallclock", bw.generate_wallclock(
+        steps=2, repeats=1,
+        json_path=os.path.join(results, "BENCH_overlap_smoke.json"))[0])
+    emit("bench_halo_overlap", bh.generate_halo_overlap(
+        steps=2, repeats=1,
+        json_path=os.path.join(results, "BENCH_halo_overlap_smoke.json"))[0])
+    print("\nSmoke subset regenerated under benchmarks/results/.")
+
+
+def run_full() -> None:
     emit("table1_mesh1k_strong", t1.generate_table1()[0])
     emit("table2_mesh2k_strong", t2.generate_table2()[0])
     emit("table3_resnet_strong", t3.generate_table3()[0])
@@ -42,7 +69,22 @@ def main() -> None:
     emit("ablation_batchnorm", ab.generate_bn_ablation()[0])
     emit("ablation_strategy", ast_.generate_strategy_ablation()[0])
     emit("bench_wallclock", bw.generate_wallclock()[0])
+    emit("bench_halo_overlap", bh.generate_halo_overlap()[0])
     print("\nAll tables and figures regenerated under benchmarks/results/.")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run a reduced-size subset (tiny shapes, few steps) in seconds",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        run_smoke()
+    else:
+        run_full()
 
 
 if __name__ == "__main__":

@@ -10,7 +10,6 @@ sample x spatial parallelism, and report loss and pixel accuracy.
 Run:  python examples/mesh_tangling_training.py
 """
 
-import numpy as np
 
 from repro.comm import run_spmd
 from repro.core import DistNetwork, DistTrainer, LayerParallelism

@@ -92,8 +92,8 @@ def part2_hybrid_training() -> None:
         return [trainer.step(x, t) for _ in range(5)]
 
     dist_losses = run_spmd(4, prog)[0]
-    print(f"  single-device losses: {[f'{l:.6f}' for l in ref_losses]}")
-    print(f"  distributed  losses: {[f'{l:.6f}' for l in dist_losses]}")
+    print(f"  single-device losses: {[f'{v:.6f}' for v in ref_losses]}")
+    print(f"  distributed  losses: {[f'{v:.6f}' for v in dist_losses]}")
     assert np.allclose(ref_losses, dist_losses, rtol=1e-9)
     print("  bitwise-matching training trajectories (to fp accumulation).")
 

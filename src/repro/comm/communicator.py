@@ -154,10 +154,13 @@ class _CompletedRequest(Request):
 class _RecvRequest(Request):
     """Pending point-to-point receive."""
 
-    def __init__(self, comm: "Communicator", source: int, tag: int) -> None:
+    def __init__(
+        self, comm: "Communicator", source: int, tag: int, opname: str = "irecv"
+    ) -> None:
         self._comm = comm
         self._source = source
         self._tag = tag
+        self._opname = opname
         self._t_launch = perf_counter()
 
     def _finish(self, payload: Any, waited: float) -> None:
@@ -165,7 +168,7 @@ class _RecvRequest(Request):
         nbytes = payload_nbytes(payload)
         comm.stats.record_recv(nbytes)
         overlapped = (perf_counter() - self._t_launch) - waited
-        comm.stats.record_async("irecv", nbytes, waited, overlapped, collective=False)
+        comm.stats.record_async(self._opname, nbytes, waited, overlapped, collective=False)
         self._result = payload
         self._done = True
 
@@ -289,6 +292,7 @@ class Communicator:
         self._ctx: _Rendezvous = world.group(key, self.size)
         self._op_seq = 0
         self._nb_seq = 0  # nonblocking-collective sequence (matched across ranks)
+        self._xchg_seq = 0  # pt2pt exchange-pattern sequence (matched across ranks)
         self.stats = self._rank_stats(world, members[rank])
 
     # -- construction -------------------------------------------------------
@@ -355,10 +359,16 @@ class Communicator:
         self.send(payload, dest, tag=tag)
         return _CompletedRequest()
 
-    def irecv(self, source: int, tag: int = 0) -> Request:
-        """Nonblocking receive; ``wait()`` returns the payload."""
+    def irecv(self, source: int, tag: int = 0, *, opname: str = "irecv") -> Request:
+        """Nonblocking receive; ``wait()`` returns the payload.
+
+        ``opname`` labels the request in :class:`~repro.comm.stats.CommStats`
+        so structured exchange patterns (e.g. the overlapped halo exchange)
+        can surface their wait-vs-overlap split separately from generic
+        point-to-point traffic.
+        """
         self._check_peer(source, "source")
-        return _RecvRequest(self, source, tag)
+        return _RecvRequest(self, source, tag, opname=opname)
 
     def sendrecv(
         self,
@@ -377,6 +387,19 @@ class Communicator:
             raise ValueError(
                 f"{what}={peer} out of range for communicator of size {self.size}"
             )
+
+    def next_exchange_seq(self) -> int:
+        """Sequence number for one symmetric point-to-point exchange pattern.
+
+        Structured exchanges (halo gathers) tag their messages with this
+        sequence so concurrent or skewed exchanges on the same communicator
+        can never mis-match.  Every rank must call it at the same logical
+        point (once per exchange, in program order) — the same discipline
+        MPI imposes on collective call order.
+        """
+        seq = self._xchg_seq
+        self._xchg_seq += 1
+        return seq
 
     def _tag_key(self, tag: int) -> Any:
         # Namespacing tags by communicator key keeps traffic on different

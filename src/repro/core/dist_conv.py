@@ -7,9 +7,9 @@ the output's H dimension; W symmetric).  With kernel K, stride S, padding P:
 * **forward** — output row ``j`` reads input rows ``[jS - P, jS - P + K)``,
   so the rank gathers input region ``[q_o S - P, (r_o - 1) S - P + K)``
   (its own block plus halo; out-of-range parts are virtual padding,
-  zero-filled by ``gather_region``) and runs a *local* convolution with
-  ``pad=0``.  When S=1 the halo is exactly ``O = floor(K/2)`` rows on each
-  side — the paper's halo exchange;
+  zero-filled by the gather) and runs a *local* convolution with ``pad=0``.
+  When S=1 the halo is exactly ``O = floor(K/2)`` rows on each side — the
+  paper's halo exchange;
 * **backward-filter** (Eq. 2) — reuses the forward's gathered input region
   against the local error signal, again with ``pad=0``; the partial ``dw``
   is then summed over the grid by an allreduce;
@@ -21,14 +21,32 @@ the output's H dimension; W symmetric).  With kernel K, stride S, padding P:
   ``p'' = x_lo + P - S*d_lo`` (>= K-1 by construction), which aligns the
   gathered region with the local block exactly.
 
-Because all communication is expressed through ``gather_region``, the same
-code handles pure sample parallelism (the gather degenerates to the local
-block: zero communication), pure spatial, hybrid, strides, uneven
-partitions, and replicated dimensions — and replicates the single-device
-result to floating-point accumulation order.
+**Overlapped halo exchange (§IV-A).**  When the layer is spatially
+partitioned, the local output block is decomposed into an *interior* region
+— output points whose input windows lie entirely in locally owned data (or
+virtual padding) — and up to four *boundary* strips that depend on halo
+cells.  With ``overlap_halo`` (the default), the halo strips are posted as
+nonblocking ``isend``/``irecv`` up front (:func:`start_region_exchange`),
+the interior kernel runs while they travel, received pieces are assembled
+as each request lands, and the boundary kernels complete the output; in
+backward the error-signal exchange additionally hides inside the filter
+convolution (Eq. 2 needs no halo).  With ``overlap_halo=False`` the same
+interior + boundary kernels run after a blocking ``gather_region`` — the
+two modes perform *identical* floating-point operations on identical data,
+so they are bitwise equal over entire training runs (BLAS kernels are not
+sub-block invariant, which is why the synchronous mode must decompose too
+rather than issue one fused kernel).
+
+Because communication is expressed through the same region algebra as
+``gather_region``, the same code handles pure sample parallelism (zero
+communication), pure spatial, hybrid, strides, uneven partitions, and
+replicated dimensions — and replicates the single-device result to
+floating-point accumulation order.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -36,6 +54,8 @@ from repro.comm.buffers import BufferPool
 from repro.nn import functional as F
 from repro.tensor.dist_tensor import DistTensor
 from repro.tensor.grid import ProcessGrid
+from repro.tensor.halo import ExchangePlan, plan_region_exchange, start_region_exchange
+from repro.tensor.indexing import ceil_div
 from repro.core.parallelism import activation_dist
 
 
@@ -45,12 +65,68 @@ def _pair(v) -> tuple[int, int]:
     return int(v), int(v)
 
 
+def _frame_pieces(
+    outer_h: tuple[int, int],
+    outer_w: tuple[int, int],
+    inner_h: tuple[int, int],
+    inner_w: tuple[int, int],
+) -> list[tuple[tuple[int, int], tuple[int, int], bool]]:
+    """Decompose rectangle ``outer`` into the ``inner`` core plus a frame.
+
+    Returns ``[(rows, cols, is_interior), ...]`` in a fixed deterministic
+    order (interior, top, bottom, left, right; empty pieces dropped).  When
+    the interior is empty the whole outer rectangle is one boundary piece.
+    """
+    (oh_lo, oh_hi), (ow_lo, ow_hi) = outer_h, outer_w
+    ih_lo = max(inner_h[0], oh_lo)
+    ih_hi = min(inner_h[1], oh_hi)
+    iw_lo = max(inner_w[0], ow_lo)
+    iw_hi = min(inner_w[1], ow_hi)
+    if oh_hi <= oh_lo or ow_hi <= ow_lo:
+        return []
+    if ih_hi <= ih_lo or iw_hi <= iw_lo:
+        return [((oh_lo, oh_hi), (ow_lo, ow_hi), False)]
+    pieces = [((ih_lo, ih_hi), (iw_lo, iw_hi), True)]
+    if ih_lo > oh_lo:
+        pieces.append(((oh_lo, ih_lo), (ow_lo, ow_hi), False))
+    if oh_hi > ih_hi:
+        pieces.append(((ih_hi, oh_hi), (ow_lo, ow_hi), False))
+    if iw_lo > ow_lo:
+        pieces.append(((ih_lo, ih_hi), (ow_lo, iw_lo), False))
+    if ow_hi > iw_hi:
+        pieces.append(((ih_lo, ih_hi), (iw_hi, ow_hi), False))
+    return pieces
+
+
+@dataclass(frozen=True)
+class _ConvGeometry:
+    """Static per-layer execution geometry, cached across steps.
+
+    Everything here is a pure function of (global shape, distribution,
+    layer hyper-parameters), so it is computed once per layer and direction
+    — including the halo :class:`ExchangePlan` — rather than per step.
+    """
+
+    bounds: tuple            # this rank's output (fwd) / input (bwd) bounds
+    lo: tuple[int, ...]      # gathered dependency region, inclusive start
+    hi: tuple[int, ...]      # gathered dependency region, exclusive end
+    exchanged: bool          # does any rank need remote data?
+    pieces: tuple            # ((rows, cols, is_interior), ...) decomposition
+    plan: ExchangePlan | None
+    y_dist: object = None    # forward only: output distribution
+    y_shape: tuple[int, ...] | None = None
+
+
 class DistConv2d:
     """A distributed 2D convolutional layer.
 
     Weights (and bias) are replicated on every rank of ``grid``; the
     activation tensors are distributed along (N, H, W) per the grid shape
     (the channel axis is handled by :mod:`repro.core.channel_filter`).
+
+    ``overlap_halo`` selects the nonblocking, interior-first execution of
+    the halo exchange; the synchronous mode runs the identical kernel
+    decomposition after a blocking gather, so both modes are bitwise equal.
     """
 
     def __init__(
@@ -60,6 +136,7 @@ class DistConv2d:
         stride=1,
         pad=0,
         bias: np.ndarray | None = None,
+        overlap_halo: bool = True,
     ) -> None:
         if grid.ndim != 4:
             raise ValueError("DistConv2d expects a 4D (N, C, H, W) grid")
@@ -73,13 +150,17 @@ class DistConv2d:
         self.stride = _pair(stride)
         self.pad = _pair(pad)
         self.kernel = (weights.shape[2], weights.shape[3])
+        self.overlap_halo = bool(overlap_halo)
         self._x_ext: np.ndarray | None = None
         self._x_global_shape: tuple[int, ...] | None = None
         self._x_dist = None
         # Recycles the gathered input / error-signal staging buffers across
-        # steps (they are assembly-only and never cross the comm boundary,
-        # so reuse cannot alias in-flight zero-copy messages).
+        # steps, plus (deferred) the contiguous halo send strips of the
+        # overlapped exchange.
         self._pool = BufferPool()
+        # Static geometry (regions, decompositions, exchange plans) per
+        # (direction, global shape, distribution).
+        self._geom: dict = {}
 
     # -- geometry ------------------------------------------------------------------
     def output_global_shape(self, x_shape: tuple[int, ...]) -> tuple[int, ...]:
@@ -90,9 +171,9 @@ class DistConv2d:
         return (n, self.w.shape[0], oh, ow)
 
     def _input_region(
-        self, x: DistTensor, y_bounds
+        self, x_shape: tuple[int, ...], y_bounds
     ) -> tuple[tuple[int, ...], tuple[int, ...]]:
-        """Global input region needed for the local output block (fwd dep)."""
+        """Global input region needed for an output block (fwd dependency)."""
         (n_lo, n_hi), _, (oh_lo, oh_hi), (ow_lo, ow_hi) = y_bounds
         kh, kw = self.kernel
         sh, sw = self.stride
@@ -100,28 +181,236 @@ class DistConv2d:
         lo = (n_lo, 0, oh_lo * sh - ph, ow_lo * sw - pw)
         hi = (
             n_hi,
-            x.global_shape[1],
+            x_shape[1],
             (oh_hi - 1) * sh - ph + kh if oh_hi > oh_lo else oh_lo * sh - ph,
             (ow_hi - 1) * sw - pw + kw if ow_hi > ow_lo else ow_lo * sw - pw,
         )
         return lo, hi
 
-    # -- forward ---------------------------------------------------------------------
-    def forward(self, x: DistTensor) -> DistTensor:
+    def _dy_region(
+        self, dy_shape: tuple[int, ...], x_bounds
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Global dy region needed for an input block (bwd-data dependency)."""
+        (n_lo, n_hi), _, (xh_lo, xh_hi), (xw_lo, xw_hi) = x_bounds
+        kh, kw = self.kernel
+        sh, sw = self.stride
+        ph, pw = self.pad
+        dh_lo = _floor_div(xh_lo + ph - (kh - 1), sh)
+        dh_hi = _floor_div(xh_hi - 1 + ph, sh) + 1 if xh_hi > xh_lo else dh_lo
+        dw_lo = _floor_div(xw_lo + pw - (kw - 1), sw)
+        dw_hi = _floor_div(xw_hi - 1 + pw, sw) + 1 if xw_hi > xw_lo else dw_lo
+        return (n_lo, 0, dh_lo, dw_lo), (n_hi, dy_shape[1], dh_hi, dw_hi)
+
+    def _peer_regions(self, maker, dist, global_shape) -> list:
+        """Every rank's dependency region, derived from shared geometry."""
+        return [
+            maker(dist.local_bounds(global_shape, self.grid.coords_of(r)))
+            for r in range(self.grid.comm.size)
+        ]
+
+    @staticmethod
+    def _any_region_remote(dt: DistTensor, regions) -> bool:
+        """True if any rank's region reaches beyond its own shard (so a
+        halo exchange is required; identical on every rank by construction)."""
+        dist, shape, grid = dt.dist, dt.global_shape, dt.grid
+        for r, (lo, hi) in enumerate(regions):
+            bounds = dist.local_bounds(shape, grid.coords_of(r))
+            clipped = [
+                (max(int(b), 0), min(int(h), shape[d]))
+                for d, (b, h) in enumerate(zip(lo, hi))
+            ]
+            if any(c_hi <= c_lo for c_lo, c_hi in clipped):
+                continue  # empty region: nothing to fetch
+            for (c_lo, c_hi), (b_lo, b_hi) in zip(clipped, bounds):
+                if c_lo < b_lo or c_hi > b_hi:
+                    return True
+        return False
+
+    def _local_region(self, dt: DistTensor, lo, hi) -> np.ndarray:
+        """Materialize a region that is fully local (plus virtual padding)
+        without communication — the overlap-mode fast path."""
+        out_shape = tuple(int(h) - int(b) for b, h in zip(lo, hi))
+        out = self._pool.take(out_shape, dt.dtype)
+        out.fill(0.0)
+        if all(s > 0 for s in out_shape):
+            clipped = tuple(
+                (max(int(b), 0), min(int(h), dt.global_shape[d]))
+                for d, (b, h) in enumerate(zip(lo, hi))
+            )
+            if all(c_hi > c_lo for c_lo, c_hi in clipped):
+                sl = tuple(
+                    slice(c_lo - int(b), c_hi - int(b))
+                    for (c_lo, c_hi), b in zip(clipped, lo)
+                )
+                out[sl] = dt._local_slice_of(clipped)
+        return out
+
+    # -- interior/boundary decomposition (§IV-A) -----------------------------------
+    def _fwd_interior(self, x: DistTensor, y_bounds) -> tuple:
+        """Output rows/cols whose windows need only locally owned input
+        (windows reaching past the global edge read virtual padding, which
+        is local knowledge, so global-boundary ranks keep a full interior)."""
+        xb = x.dist.local_bounds(x.global_shape, self.grid.coords)
+        spans = []
+        for axis, k, s, p in (
+            (2, self.kernel[0], self.stride[0], self.pad[0]),
+            (3, self.kernel[1], self.stride[1], self.pad[1]),
+        ):
+            b_lo, b_hi = xb[axis]
+            o_lo, o_hi = y_bounds[axis]
+            extent = x.global_shape[axis]
+            lo = o_lo if b_lo == 0 else max(o_lo, ceil_div(b_lo + p, s))
+            hi = o_hi if b_hi == extent else min(o_hi, (b_hi + p - k) // s + 1)
+            spans.append((lo, hi))
+        return tuple(spans)
+
+    def _bwd_interior(self, dy: DistTensor, x_bounds) -> tuple:
+        """Input rows/cols whose influencing output windows are locally
+        owned in dy (Eq. 3's dependency, inverted)."""
+        gb = dy.dist.local_bounds(dy.global_shape, self.grid.coords)
+        spans = []
+        for axis, k, s, p in (
+            (2, self.kernel[0], self.stride[0], self.pad[0]),
+            (3, self.kernel[1], self.stride[1], self.pad[1]),
+        ):
+            g_lo, g_hi = gb[axis]
+            x_lo, x_hi = x_bounds[axis]
+            extent = dy.global_shape[axis]
+            lo = x_lo if g_lo == 0 else max(x_lo, s * (g_lo - 1) + k - p)
+            hi = x_hi if g_hi == extent else min(x_hi, s * g_hi - p)
+            spans.append((lo, hi))
+        return tuple(spans)
+
+    def _fwd_piece(self, x_ext, y_bounds, rows, cols, y_local) -> None:
+        """Convolve one output sub-rectangle from its slice of ``x_ext``."""
+        (a, b), (c, d) = rows, cols
+        sh, sw = self.stride
+        kh, kw = self.kernel
+        _, _, (oh_lo, _), (ow_lo, _) = y_bounds
+        hs = (a - oh_lo) * sh
+        ws = (c - ow_lo) * sw
+        piece = F.conv2d_forward(
+            x_ext[:, :, hs : hs + (b - a - 1) * sh + kh, ws : ws + (d - c - 1) * sw + kw],
+            self.w,
+            stride=self.stride,
+            pad=0,
+            bias=self.bias,
+        )
+        y_local[:, :, a - oh_lo : b - oh_lo, c - ow_lo : d - ow_lo] = piece
+
+    def _bwd_piece(self, dy_ext, dy_reg_lo, x_bounds, rows, cols, dx_local) -> None:
+        """Transposed-convolve one input sub-rectangle from ``dy_ext``."""
+        (a, b), (c, d) = rows, cols
+        sh, sw = self.stride
+        kh, kw = self.kernel
+        ph, pw = self.pad
+        _, _, (xh_lo, _), (xw_lo, _) = x_bounds
+        dh_a = _floor_div(a + ph - (kh - 1), sh)
+        dh_b = _floor_div(b - 1 + ph, sh) + 1
+        dw_c = _floor_div(c + pw - (kw - 1), sw)
+        dw_d = _floor_div(d - 1 + pw, sw) + 1
+        piece = F.conv2d_backward_data(
+            dy_ext[
+                :, :, dh_a - dy_reg_lo[2] : dh_b - dy_reg_lo[2],
+                dw_c - dy_reg_lo[3] : dw_d - dy_reg_lo[3],
+            ],
+            self.w,
+            stride=self.stride,
+            pad=(a + ph - sh * dh_a, c + pw - sw * dw_c),
+            x_spatial=(b - a, d - c),
+        )
+        dx_local[:, :, a - xh_lo : b - xh_lo, c - xw_lo : d - xw_lo] = piece
+
+    def _fwd_geom(self, x: DistTensor) -> _ConvGeometry:
+        key = ("fwd", x.global_shape, x.dist)
+        geom = self._geom.get(key)
+        if geom is not None:
+            return geom
         y_shape = self.output_global_shape(x.global_shape)
         y_dist = activation_dist(self.grid.shape, y_shape)
         y_bounds = y_dist.local_bounds(y_shape, self.grid.coords)
+        lo, hi = self._input_region(x.global_shape, y_bounds)
 
-        lo, hi = self._input_region(x, y_bounds)
-        x_ext = x.gather_region(lo, hi, pool=self._pool)
+        def region_of(bounds):
+            return self._input_region(x.global_shape, bounds)
+
+        regions = self._peer_regions(region_of, y_dist, y_shape)
+        exchanged = self._any_region_remote(x, regions)
+        pieces: tuple = ()
+        plan = None
+        if exchanged:
+            inner_h, inner_w = self._fwd_interior(x, y_bounds)
+            pieces = tuple(_frame_pieces(y_bounds[2], y_bounds[3], inner_h, inner_w))
+            plan = plan_region_exchange(x, lo, hi, regions)
+        geom = _ConvGeometry(
+            y_bounds, lo, hi, exchanged, pieces, plan, y_dist, y_shape
+        )
+        self._geom[key] = geom
+        return geom
+
+    def _bwd_geom(self, dy: DistTensor, x_dist, x_shape) -> _ConvGeometry:
+        key = ("bwd", dy.global_shape, dy.dist, x_shape, x_dist)
+        geom = self._geom.get(key)
+        if geom is not None:
+            return geom
+        xb = x_dist.local_bounds(x_shape, self.grid.coords)
+        lo, hi = self._dy_region(dy.global_shape, xb)
+
+        def region_of(bounds):
+            return self._dy_region(dy.global_shape, bounds)
+
+        regions = self._peer_regions(region_of, x_dist, x_shape)
+        exchanged = self._any_region_remote(dy, regions)
+        pieces: tuple = ()
+        plan = None
+        if exchanged:
+            inner_h, inner_w = self._bwd_interior(dy, xb)
+            pieces = tuple(_frame_pieces(xb[2], xb[3], inner_h, inner_w))
+            plan = plan_region_exchange(dy, lo, hi, regions)
+        geom = _ConvGeometry(xb, lo, hi, exchanged, pieces, plan)
+        self._geom[key] = geom
+        return geom
+
+    # -- forward ---------------------------------------------------------------------
+    def forward(self, x: DistTensor) -> DistTensor:
+        g = self._fwd_geom(x)
+        y_bounds = g.bounds
+
+        if not g.exchanged:
+            # Degenerate gather (pure sample parallelism / replicated
+            # spatial dims): a single fused kernel, no decomposition.
+            if self.overlap_halo:
+                x_ext = self._local_region(x, g.lo, g.hi)
+            else:
+                x_ext = x.gather_region(g.lo, g.hi, pool=self._pool)
+            y_local = F.conv2d_forward(
+                x_ext, self.w, stride=self.stride, pad=0, bias=self.bias
+            )
+        else:
+            (n_lo, n_hi), _, (oh_lo, oh_hi), (ow_lo, ow_hi) = y_bounds
+            y_local = np.empty(
+                (n_hi - n_lo, self.w.shape[0], oh_hi - oh_lo, ow_hi - ow_lo),
+                dtype=np.result_type(x.dtype, self.w.dtype),
+            )
+            if self.overlap_halo:
+                ex = start_region_exchange(x, g.lo, g.hi, pool=self._pool, plan=g.plan)
+                x_ext = ex.out
+                for rows, cols, interior in g.pieces:
+                    if interior:
+                        self._fwd_piece(x_ext, y_bounds, rows, cols, y_local)
+                ex.finish()
+                for rows, cols, interior in g.pieces:
+                    if not interior:
+                        self._fwd_piece(x_ext, y_bounds, rows, cols, y_local)
+            else:
+                x_ext = x.gather_region(g.lo, g.hi, pool=self._pool)
+                for rows, cols, _ in g.pieces:
+                    self._fwd_piece(x_ext, y_bounds, rows, cols, y_local)
+
         self._x_ext = x_ext
         self._x_global_shape = x.global_shape
         self._x_dist = x.dist
-
-        y_local = F.conv2d_forward(
-            x_ext, self.w, stride=self.stride, pad=0, bias=self.bias
-        )
-        return DistTensor(self.grid, y_dist, y_shape, y_local)
+        return DistTensor(self.grid, g.y_dist, g.y_shape, y_local)
 
     # -- backward --------------------------------------------------------------------
     def backward(
@@ -131,13 +420,26 @@ class DistConv2d:
 
         The weight-gradient partials still need the allreduce over the
         layer's gradient group (paper Eq. 2's sum over N) — performed by the
-        network so it can be overlapped/batched.
+        network so it can be overlapped/batched.  With ``overlap_halo`` the
+        error-signal halo exchange is posted first and hides behind the
+        filter convolution and the interior data convolution.
         """
         if self._x_ext is None:
             raise RuntimeError("backward() before forward()")
-        kh, kw = self.kernel
-        sh, sw = self.stride
-        ph, pw = self.pad
+
+        x_dist = self._x_dist
+        x_shape = self._x_global_shape
+        assert x_dist is not None and x_shape is not None
+        g = self._bwd_geom(dy, x_dist, x_shape)
+        xb = g.bounds
+        (n_lo, n_hi), (_, c_all), (xh_lo, xh_hi), (xw_lo, xw_hi) = xb
+        lo, hi = g.lo, g.hi
+
+        ex = None
+        if g.exchanged and self.overlap_halo:
+            # Post the dy halo exchange before Eq. 2: the filter convolution
+            # needs no remote data, so the strips travel behind it.
+            ex = start_region_exchange(dy, lo, hi, pool=self._pool, plan=g.plan)
 
         # Eq. 2: local filter gradients from the saved extended input region.
         dw = F.conv2d_backward_filter(
@@ -147,31 +449,41 @@ class DistConv2d:
         self._pool.give(self._x_ext)
         self._x_ext = None
 
-        # Eq. 3: gather the dy dependency region of our input block.
-        x_dist = self._x_dist
-        x_shape = self._x_global_shape
-        assert x_dist is not None and x_shape is not None
-        xb = x_dist.local_bounds(x_shape, self.grid.coords)
-        (n_lo, n_hi), (_, c_all), (xh_lo, xh_hi), (xw_lo, xw_hi) = xb
+        # Eq. 3: the dy dependency region of our input block.
+        if not g.exchanged:
+            if self.overlap_halo:
+                dy_ext = self._local_region(dy, lo, hi)
+            else:
+                dy_ext = dy.gather_region(lo, hi, pool=self._pool)
+            pad_eff = (xh_lo + self.pad[0] - self.stride[0] * lo[2],
+                       xw_lo + self.pad[1] - self.stride[1] * lo[3])
+            dx_local = F.conv2d_backward_data(
+                dy_ext,
+                self.w,
+                stride=self.stride,
+                pad=pad_eff,
+                x_spatial=(xh_hi - xh_lo, xw_hi - xw_lo),
+            )
+        else:
+            dx_local = np.empty(
+                (n_hi - n_lo, c_all, xh_hi - xh_lo, xw_hi - xw_lo),
+                dtype=np.result_type(dy.dtype, self.w.dtype),
+            )
+            if ex is not None:
+                dy_ext = ex.out
+                ex.poll()
+                for rows, cols, interior in g.pieces:
+                    if interior:
+                        self._bwd_piece(dy_ext, lo, xb, rows, cols, dx_local)
+                ex.finish()
+                for rows, cols, interior in g.pieces:
+                    if not interior:
+                        self._bwd_piece(dy_ext, lo, xb, rows, cols, dx_local)
+            else:
+                dy_ext = dy.gather_region(lo, hi, pool=self._pool)
+                for rows, cols, _ in g.pieces:
+                    self._bwd_piece(dy_ext, lo, xb, rows, cols, dx_local)
 
-        dh_lo = _floor_div(xh_lo + ph - (kh - 1), sh)
-        dh_hi = _floor_div(xh_hi - 1 + ph, sh) + 1 if xh_hi > xh_lo else dh_lo
-        dw_lo = _floor_div(xw_lo + pw - (kw - 1), sw)
-        dw_hi = _floor_div(xw_hi - 1 + pw, sw) + 1 if xw_hi > xw_lo else dw_lo
-
-        dy_ext = dy.gather_region(
-            (n_lo, 0, dh_lo, dw_lo),
-            (n_hi, dy.global_shape[1], dh_hi, dw_hi),
-            pool=self._pool,
-        )
-        pad_eff = (xh_lo + ph - sh * dh_lo, xw_lo + pw - sw * dw_lo)
-        dx_local = F.conv2d_backward_data(
-            dy_ext,
-            self.w,
-            stride=self.stride,
-            pad=pad_eff,
-            x_spatial=(xh_hi - xh_lo, xw_hi - xw_lo),
-        )
         self._pool.give(dy_ext)
         dx = DistTensor(self.grid, x_dist, x_shape, dx_local)
         return dx, dw, db

@@ -166,7 +166,7 @@ class StrategyOptimizer:
     def _decision_graph(self) -> nx.DiGraph:
         """DAG over decision layers (+virtual source/sink)."""
         g = nx.DiGraph()
-        decision = [l.name for l in self.spec if l.kind in DECISION_KINDS]
+        decision = [layer.name for layer in self.spec if layer.kind in DECISION_KINDS]
         g.add_nodes_from(decision)
 
         def decision_ancestors(name: str) -> list[str]:
@@ -254,7 +254,7 @@ class StrategyOptimizer:
                 return 1e-12
             return max(self._layer_cost(v, reference), 1e-12)
 
-        decision_layers = [l.name for l in self.spec if l.kind in DECISION_KINDS]
+        decision_layers = [layer.name for layer in self.spec if layer.kind in DECISION_KINDS]
         while any(n not in assigned for n in decision_layers):
             paths += 1
             longest = nx.dag_longest_path(

@@ -105,6 +105,14 @@ class DistTrainer:
                 f"{hidden * 1e3:.3f} ms hidden behind compute "
                 f"({100.0 * hidden / (wait + hidden):.1f}% overlapped)"
             )
+        halo_wait = cs.wait_seconds.get("halo_exchange", 0.0)
+        halo_hidden = cs.overlap_seconds.get("halo_exchange", 0.0)
+        if halo_wait + halo_hidden > 0:
+            lines.append(
+                f"  halo exchange: {halo_wait * 1e3:.3f} ms exposed, "
+                f"{halo_hidden * 1e3:.3f} ms hidden behind interior conv "
+                f"({100.0 * halo_hidden / (halo_wait + halo_hidden):.1f}% overlapped)"
+            )
         return "\n".join(lines)
 
     def evaluate(self, inputs, targets) -> float:

@@ -17,7 +17,6 @@ which makes insertion order a topological order.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -92,15 +91,15 @@ class NetworkSpec:
         return list(self._layers.values())
 
     def children_of(self, name: str) -> list[str]:
-        return [l.name for l in self._layers.values() if name in l.parents]
+        return [layer.name for layer in self._layers.values() if name in layer.parents]
 
     def inputs(self) -> list[LayerSpec]:
-        return [l for l in self._layers.values() if l.kind == "input"]
+        return [layer for layer in self._layers.values() if layer.kind == "input"]
 
     def outputs(self) -> list[LayerSpec]:
         """Layers with no children (typically the loss)."""
-        with_children = {p for l in self._layers.values() for p in l.parents}
-        return [l for l in self._layers.values() if l.name not in with_children]
+        with_children = {p for layer in self._layers.values() for p in layer.parents}
+        return [layer for layer in self._layers.values() if layer.name not in with_children]
 
     # -- shape inference --------------------------------------------------------
     def infer_shapes(self) -> dict[str, tuple[int, int, int]]:
@@ -182,25 +181,26 @@ class NetworkSpec:
 
     def total_params(self) -> int:
         shapes = self.infer_shapes()
-        return sum(self.param_count(l.name, shapes) for l in self)
+        return sum(self.param_count(layer.name, shapes) for layer in self)
 
     def conv_layers(self) -> list[LayerSpec]:
-        return [l for l in self if l.kind == "conv"]
+        return [layer for layer in self if layer.kind == "conv"]
 
     def summary(self) -> str:
         """Human-readable layer table."""
         shapes = self.infer_shapes()
         lines = [f"Network {self.name!r}: {len(self)} layers, "
                  f"{self.total_params():,} params"]
-        for l in self:
-            c, h, w = shapes[l.name]
+        for layer in self:
+            c, h, w = shapes[layer.name]
             extra = ""
-            if l.kind == "conv":
+            if layer.kind == "conv":
                 extra = (
-                    f" K={l.params['kernel']} S={l.params.get('stride', 1)} "
-                    f"P={l.params.get('pad', 0)} F={l.params['filters']}"
+                    f" K={layer.params['kernel']} S={layer.params.get('stride', 1)} "
+                    f"P={layer.params.get('pad', 0)} F={layer.params['filters']}"
                 )
             lines.append(
-                f"  {l.name:<28s} {l.kind:<10s} -> ({c:>4d},{h:>5d},{w:>5d}){extra}"
+                f"  {layer.name:<28s} {layer.kind:<10s} "
+                f"-> ({c:>4d},{h:>5d},{w:>5d}){extra}"
             )
         return "\n".join(lines)

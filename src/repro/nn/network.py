@@ -157,7 +157,7 @@ class LocalNetwork:
         self.activations = acts
         if loss_value is not None:
             return loss_value
-        return {l.name: acts[l.name] for l in self.spec.outputs()}
+        return {out.name: acts[out.name] for out in self.spec.outputs()}
 
     def backward(self) -> dict[str, dict[str, np.ndarray]]:
         """Backpropagate from the loss layer; returns gradients by layer."""

@@ -11,11 +11,21 @@ local extents I_N, I_C, I_H, I_W:
 
 Halo terms drop out when a spatial dimension is not split (or when K = 1),
 and "if the implementation supports it, the halo exchanges can be
-overlapped with interior computation" — modeled by ``overlap=True``:
+overlapped with interior computation" — modeled by ``overlap=True`` with
+the engine's actual interior/boundary kernel decomposition: a fraction
+``beta`` of the convolution (the boundary strips, derived from the local
+block geometry) must wait for the halo, while the interior ``1 - beta``
+runs concurrently with the exchange:
 
-    FP(overlap)  = max(C, halo) + boundary-kernel launch overhead
-    BP(overlap)  = max(C_w, halo) + C_x  (the data-conv halo hides inside
-                   the filter convolution, §IV-A) + launch overhead
+    FP(overlap)  = max((1-beta) C, halo) + beta C + launch overhead
+    BP(overlap)  = max(C_w + (1-beta) C_x, halo) + beta C_x + launch
+                   (the error-signal halo hides inside the filter
+                   convolution *and* the interior data convolution, §IV-A)
+
+Layers the engine does not decompose (pooling halos, batch-norm statistics
+allreduces) carry ``boundary_fraction=1``, which degenerates both formulas
+to the synchronous cost — the model matches what the engine actually
+overlaps rather than the best case.
 """
 
 from __future__ import annotations
@@ -23,9 +33,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.comm.collective_models import allreduce_time, pt2pt_time
-from repro.perfmodel.conv_model import CalibratedConvModel, ConvGeometry
+from repro.perfmodel.conv_model import ConvGeometry
 from repro.perfmodel.machine import MachineSpec
-from repro.tensor.indexing import block_size
+from repro.tensor.indexing import block_size, ceil_div
 from repro.core.parallelism import LayerParallelism
 
 
@@ -46,17 +56,25 @@ class ConvLayerCost:
     #: schedule-level models (bucketing/segmentation) can re-cost it.
     allreduce_bytes: float = 0.0
     allreduce_group: int = 1
+    #: Fraction of the layer's compute that belongs to the boundary kernels
+    #: (must wait for the halo).  0 = everything overlaps the exchange,
+    #: 1 = nothing does (the engine's synchronous layers).
+    boundary_fraction: float = 1.0
 
     def fp_time(self, overlap: bool = True) -> float:
         if overlap and self.fp_halo > 0:
-            return max(self.fp_compute, self.fp_halo) + self.boundary_launch
+            interior = self.fp_compute * (1.0 - self.boundary_fraction)
+            boundary = self.fp_compute - interior
+            return max(interior, self.fp_halo) + boundary + self.boundary_launch
         return self.fp_compute + self.fp_halo
 
     def bp_time(self, overlap: bool = True, include_allreduce: bool = False) -> float:
         """BPx + BPw; the dL/dw allreduce is overlapped at network level
         unless ``include_allreduce``."""
         if overlap and self.bpx_halo > 0:
-            t = max(self.bpw_compute, self.bpx_halo) + self.bpx_compute
+            interior = self.bpx_compute * (1.0 - self.boundary_fraction)
+            boundary = self.bpx_compute - interior
+            t = max(self.bpw_compute + interior, self.bpx_halo) + boundary
             t += self.boundary_launch
         else:
             t = self.bpw_compute + self.bpx_halo + self.bpx_compute
@@ -157,6 +175,19 @@ def conv_layer_cost(
     n_boundary = 2 * (int(split_h) + int(split_w))
     boundary_launch = n_boundary * machine.gpu.kernel_latency
 
+    # Interior/boundary split of the local output block, mirroring the
+    # engine's decomposition: the boundary strips are the output rows/cols
+    # whose windows reach into halo cells — ceil(O/S) rows per split side
+    # on the critical-path (interior) rank.
+    t_h = ceil_div(o_h, sh) if split_h else 0
+    t_w = ceil_div(o_w, sw) if split_w else 0
+    out_elems = i_oh * i_ow
+    if (split_h or split_w) and out_elems > 0:
+        interior_elems = max(0, i_oh - 2 * t_h) * max(0, i_ow - 2 * t_w)
+        boundary_fraction = 1.0 - interior_elems / float(out_elems)
+    else:
+        boundary_fraction = 1.0  # no decomposition: synchronous semantics
+
     # -- gradient allreduce: AR(|P(D(C), D(F))|, F*C*K^2) --------------------------
     params_bytes = f * c * kh * kw * db
     ar_link = machine.link_for_group(total_ranks)
@@ -172,6 +203,7 @@ def conv_layer_cost(
         boundary_launch=boundary_launch,
         allreduce_bytes=params_bytes,
         allreduce_group=total_ranks,
+        boundary_fraction=boundary_fraction,
     )
 
 

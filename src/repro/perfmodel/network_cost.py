@@ -32,7 +32,7 @@ from repro.perfmodel.layer_cost import (
     pool_layer_cost,
 )
 from repro.perfmodel.machine import MachineSpec
-from repro.core.parallelism import LayerParallelism, ParallelStrategy
+from repro.core.parallelism import ParallelStrategy
 
 
 @dataclass

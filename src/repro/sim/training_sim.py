@@ -7,10 +7,15 @@ Builds, for the critical-path rank, the §IV schedule:
   run after both ("our implementation automatically decomposes an input
   tensor into its interior domain and boundary domains ... so that halo
   exchanges can be run concurrently with the convolution of the interior
-  domain");
+  domain").  The interior/boundary split is the per-layer
+  ``boundary_fraction`` the cost model derives from the local block
+  geometry — the same decomposition the engine's
+  :class:`~repro.core.dist_conv.DistConv2d` executes;
 * backward, per layer: the error-signal halo exchange is hidden inside the
   filter convolution ("we exploit the task-level parallelism of backward
-  data and filter convolutions"), then the data convolution runs;
+  data and filter convolutions") *and* the interior data convolution, with
+  only the boundary strips of the data convolution waiting on the halo —
+  matching the engine's overlapped backward;
 * each layer's dL/dw allreduce is queued on the communication stream as
   soon as its filter convolution finishes (one allreduce at a time);
 * the optimizer step waits for all compute and all allreduces.
@@ -37,11 +42,6 @@ from repro.perfmodel.machine import MachineSpec
 from repro.perfmodel.network_cost import NetworkCostModel
 from repro.core.parallelism import LayerParallelism, ParallelStrategy
 from repro.sim.engine import SimEngine
-
-
-#: Fraction of a spatially partitioned convolution that is boundary work
-#: (small for the large domains where overlap matters).
-BOUNDARY_FRACTION = 0.08
 
 
 @dataclass
@@ -85,7 +85,7 @@ class TrainingStepSimulator:
         if isinstance(strategy, LayerParallelism):
             strategy = ParallelStrategy.uniform(strategy)
         eng = SimEngine()
-        order = [l for l in self.spec.topo_order() if l.kind != "input"]
+        order = [layer for layer in self.spec.topo_order() if layer.kind != "input"]
         costs: dict[str, ConvLayerCost] = {}
         for layer in order:
             c = self.cost_model.layer_cost(layer.name, n_global, strategy)
@@ -101,8 +101,8 @@ class TrainingStepSimulator:
             base_deps = (prev_fwd,) if prev_fwd else ()
             name = layer.name
             if c.fp_halo > 0 and self.overlap_halo:
-                interior = c.fp_compute * (1 - BOUNDARY_FRACTION)
-                boundary = c.fp_compute * BOUNDARY_FRACTION + c.boundary_launch
+                interior = c.fp_compute * (1 - c.boundary_fraction)
+                boundary = c.fp_compute * c.boundary_fraction + c.boundary_launch
                 eng.add(f"fwd:{name}:halo", c.fp_halo, "comm", base_deps)
                 eng.add(f"fwd:{name}:interior", interior, "compute", base_deps)
                 eng.add(
@@ -152,13 +152,21 @@ class TrainingStepSimulator:
             name = layer.name
             base_deps = (prev_bwd,) if prev_bwd else ()
             if c.bpx_halo > 0 and self.overlap_halo:
+                interior = c.bpx_compute * (1 - c.boundary_fraction)
+                boundary = c.bpx_compute * c.boundary_fraction + c.boundary_launch
                 eng.add(f"bwd:{name}:halo", c.bpx_halo, "comm", base_deps)
                 eng.add(f"bwd:{name}:filter", c.bpw_compute, "compute", base_deps)
                 eng.add(
-                    f"bwd:{name}:data",
-                    c.bpx_compute + c.boundary_launch,
+                    f"bwd:{name}:data_interior",
+                    interior,
                     "compute",
-                    (f"bwd:{name}:halo", f"bwd:{name}:filter"),
+                    (f"bwd:{name}:filter",),
+                )
+                eng.add(
+                    f"bwd:{name}:data",
+                    boundary,
+                    "compute",
+                    (f"bwd:{name}:halo", f"bwd:{name}:data_interior"),
                 )
             else:
                 deps = base_deps

@@ -14,7 +14,9 @@ partitioned global view of multidimensional tensors" with halo exchange
   global metadata, collective ``gather_region`` (generalized halo) and
   ``scatter_region_add`` (reverse halo accumulation).
 * :mod:`repro.tensor.halo` — the optimized neighbor-to-neighbor halo
-  exchange for uniformly partitioned tensors (§III-A / §IV-A).
+  exchange for uniformly partitioned tensors (§III-A) and the overlapped,
+  request-driven :class:`~repro.tensor.halo.RegionExchange` that hides
+  exchanges behind interior computation (§IV-A).
 * :mod:`repro.tensor.shuffle` — all-to-all redistribution between two
   distributions (§III-C).
 """
@@ -29,7 +31,7 @@ from repro.tensor.indexing import (
 from repro.tensor.grid import ProcessGrid
 from repro.tensor.distribution import DimKind, Distribution
 from repro.tensor.dist_tensor import DistTensor
-from repro.tensor.halo import halo_exchange
+from repro.tensor.halo import RegionExchange, halo_exchange, start_region_exchange
 from repro.tensor.shuffle import shuffle
 
 __all__ = [
@@ -37,6 +39,7 @@ __all__ = [
     "DistTensor",
     "Distribution",
     "ProcessGrid",
+    "RegionExchange",
     "block_bounds",
     "block_coords_of_interval",
     "block_size",
@@ -44,4 +47,5 @@ __all__ = [
     "halo_exchange",
     "intersect",
     "shuffle",
+    "start_region_exchange",
 ]

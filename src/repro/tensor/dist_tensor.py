@@ -28,7 +28,6 @@ bitwise consistent without extra synchronization.
 from __future__ import annotations
 
 import itertools
-import math
 from typing import Sequence
 
 import numpy as np
@@ -121,13 +120,22 @@ class DistTensor:
 
     # -- ownership resolution ----------------------------------------------------
     def _owners_of_region(
-        self, lo: Sequence[int], hi: Sequence[int]
+        self,
+        lo: Sequence[int],
+        hi: Sequence[int],
+        coords: Sequence[int] | None = None,
     ) -> list[tuple[int, tuple[tuple[int, int], ...]]]:
         """Ranks owning parts of global region ``[lo, hi)`` and their overlaps.
 
-        Replicated dimensions resolve to the caller's own replica group.
+        Replicated dimensions resolve to the replica group of ``coords`` (the
+        caller's own coordinates by default) — passing another rank's
+        coordinates answers "whom would *that* rank fetch this region from",
+        which is what the sender side of the overlapped halo exchange needs
+        to mirror the receive side without a request round-trip.
         Returns ``[(comm_rank, per-dim clipped interval), ...]``.
         """
+        if coords is None:
+            coords = self.grid.coords
         per_dim: list[list[tuple[int, tuple[int, int]]]] = []
         for d in range(self.dist.ndim):
             n = self.global_shape[d]
@@ -147,8 +155,8 @@ class DistTensor:
                         options.append((c, overlap))
                 per_dim.append(options)
             else:
-                # Unsplit: stay within our own replica group along this axis.
-                per_dim.append([(self.grid.coords[d], clipped)])
+                # Unsplit: stay within the requester's replica group.
+                per_dim.append([(coords[d], clipped)])
 
         owners = []
         for combo in itertools.product(*per_dim):
@@ -188,7 +196,7 @@ class DistTensor:
         """
         lo = tuple(int(v) for v in lo)
         hi = tuple(int(v) for v in hi)
-        out_shape = tuple(h - l for l, h in zip(lo, hi))
+        out_shape = tuple(h - b for b, h in zip(lo, hi))
         if any(s < 0 for s in out_shape):
             raise ValueError(f"negative region shape {out_shape}")
 
@@ -224,7 +232,7 @@ class DistTensor:
             out = np.full(out_shape, fill, dtype=self.dtype)
         for rank in range(comm.size):
             for region, data in zip(requests[rank], data_back[rank]):
-                offset = tuple(r[0] - l for r, l in zip(region, lo))
+                offset = tuple(r[0] - b for r, b in zip(region, lo))
                 place_region(out, data, offset)
         return out
 
@@ -240,7 +248,7 @@ class DistTensor:
         correspond to virtual padding).  All grid ranks must call together.
         """
         lo = tuple(int(v) for v in lo)
-        hi = tuple(l + s for l, s in zip(lo, region.shape))
+        hi = tuple(b + s for b, s in zip(lo, region.shape))
         owners = self._owners_of_region(lo, hi)
         comm = self.comm
 
@@ -249,7 +257,7 @@ class DistTensor:
         ]
         for rank, overlap in owners:
             sl = tuple(
-                slice(iv[0] - l, iv[1] - l) for iv, l in zip(overlap, lo)
+                slice(iv[0] - b, iv[1] - b) for iv, b in zip(overlap, lo)
             )
             sends[rank].append((overlap, region[sl]))
 

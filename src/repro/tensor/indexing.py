@@ -12,6 +12,11 @@ from __future__ import annotations
 import numpy as np
 
 
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division, exact for negative numerators (floor-based)."""
+    return -(-a // b)
+
+
 def block_bounds(n: int, nparts: int, part: int) -> tuple[int, int]:
     """Half-open interval ``[lo, hi)`` of indices owned by ``part``.
 
@@ -91,25 +96,25 @@ def extract_padded(
         raise ValueError(
             f"lo/hi must have {arr.ndim} entries, got {len(lo)}/{len(hi)}"
         )
-    out_shape = tuple(h - l for l, h in zip(lo, hi))
+    out_shape = tuple(h - b for b, h in zip(lo, hi))
     if any(s < 0 for s in out_shape):
         raise ValueError(f"negative extraction shape {out_shape}")
 
     in_bounds = all(
-        l >= 0 and h <= n for l, h, n in zip(lo, hi, arr.shape)
+        b >= 0 and h <= n for b, h, n in zip(lo, hi, arr.shape)
     )
     if in_bounds:
-        sl = tuple(slice(l, h) for l, h in zip(lo, hi))
+        sl = tuple(slice(b, h) for b, h in zip(lo, hi))
         return arr[sl].copy()
 
     out = np.full(out_shape, fill, dtype=arr.dtype)
     src_sl, dst_sl = [], []
-    for l, h, n in zip(lo, hi, arr.shape):
-        s_lo, s_hi = max(l, 0), min(h, n)
+    for b, h, n in zip(lo, hi, arr.shape):
+        s_lo, s_hi = max(b, 0), min(h, n)
         if s_lo >= s_hi:
             return out  # fully out of range along this dim
         src_sl.append(slice(s_lo, s_hi))
-        dst_sl.append(slice(s_lo - l, s_hi - l))
+        dst_sl.append(slice(s_lo - b, s_hi - b))
     out[tuple(dst_sl)] = arr[tuple(src_sl)]
     return out
 

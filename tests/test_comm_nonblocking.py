@@ -11,7 +11,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.comm import CommAborted, run_spmd, set_zero_copy
+from repro.comm import run_spmd, set_zero_copy
 
 
 class TestIallreduce:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.comm import CommAborted, run_spmd
+from repro.comm import run_spmd
 
 
 class TestSendRecv:

@@ -11,7 +11,6 @@ from hypothesis import strategies as st
 
 from repro.comm import run_spmd
 from repro.core.dist_conv import DistConv2d
-from repro.core.parallelism import LayerParallelism
 from repro.nn import functional as F
 from repro.tensor import DistTensor, ProcessGrid
 from repro.core.parallelism import activation_dist

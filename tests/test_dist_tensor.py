@@ -258,7 +258,7 @@ class TestScatterRegionAdd:
         x = rng.standard_normal((6, 6))
         dist = Distribution.make((2, 2))
         lo, hi = (-1, 2), (4, 7)
-        y = rng.standard_normal(tuple(h - l for l, h in zip(lo, hi)))
+        y = rng.standard_normal(tuple(h - b for b, h in zip(lo, hi)))
 
         def prog(comm):
             grid = ProcessGrid(comm, (2, 2))

@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.tensor.indexing import (
     block_bounds,
     block_coords_of_interval,
-    block_size,
     extract_padded,
     intersect,
     interval_is_empty,

@@ -37,7 +37,7 @@ class TestNetworkSpec:
         net.add("r1", "relu", ["c1"])
         net.add("add", "add", ["r1", "c1"])
         assert net.children_of("c1") == ["r1", "add"]
-        assert [l.name for l in net.outputs()] == ["add"]
+        assert [out.name for out in net.outputs()] == ["add"]
 
     def test_add_shape_mismatch(self):
         net = NetworkSpec("t")
@@ -102,8 +102,8 @@ class TestMeshModelSpec:
     def test_block_structure(self):
         net1k = mesh_model_1k()
         net2k = mesh_model_2k()
-        convs_1k = [l for l in net1k if l.kind == "conv"]
-        convs_2k = [l for l in net2k if l.kind == "conv"]
+        convs_1k = [layer for layer in net1k if layer.kind == "conv"]
+        convs_2k = [layer for layer in net2k if layer.kind == "conv"]
         assert len(convs_1k) == 6 * 3 + 1  # + prediction layer
         assert len(convs_2k) == 6 * 5 + 1
 

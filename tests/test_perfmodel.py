@@ -1,6 +1,5 @@
 """Performance and memory models: components and paper-anchor regressions."""
 
-import numpy as np
 import pytest
 
 from repro.comm.collective_models import (

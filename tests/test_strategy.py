@@ -1,6 +1,5 @@
 """Strategy optimizer (§V-C): candidates, shortest path, branchy networks."""
 
-import numpy as np
 import pytest
 
 from repro.core.parallelism import LayerParallelism as LP
@@ -85,7 +84,7 @@ class TestOptimizer:
     def test_resnet_picks_sample_when_memory_allows(self):
         opt = StrategyOptimizer(build_resnet50(), LASSEN, total_ranks=8, n_global=256)
         report = opt.optimize()
-        convs = [l.name for l in build_resnet50().conv_layers()]
+        convs = [layer.name for layer in build_resnet50().conv_layers()]
         assert all(
             report.strategy.for_layer(n) == LP(sample=8) for n in convs
         )
