@@ -1,0 +1,294 @@
+"""Wall-clock microbenchmark: blocking vs overlapped inter-layer shuffle.
+
+Runs real training steps of the in-process engine on a *residual* conv
+stack whose per-block strategies alternate, so every block boundary —
+including each skip connection — redistributes its activations and error
+signals (paper §III-C).  With the overlapped shuffle on (the default), each
+redistribution is a nonblocking all-to-all launched the moment the
+producer's activation exists and drained where the consumer runs; the skip
+edges therefore travel behind the main branch's convolutions, and in
+backward behind the gradient bucketing.  Off, every redistribution is a
+blocking collective at the consumption point, costing two rendezvous
+barriers and re-synchronizing all ranks mid-step.  Both modes assemble
+identical pieces from identical cached plans, so the measured delta is
+purely the communication discipline.
+
+Two levels are measured and emitted to
+``benchmarks/results/BENCH_shuffle_overlap.json``:
+
+* **engine steps** — full training-step times per config, plus the
+  exposed-vs-hidden shuffle split from
+  :class:`~repro.comm.stats.CommStats`.  On few-core hosts the in-process
+  ranks time-share the CPU, so step time approaches the *sum* of all
+  ranks' work and the overlap win is synchronization-bound and noisy
+  (exactly the caveat recorded for the allreduce and halo overlap PRs);
+* **collective layer** — the redistribution primitive itself: K
+  activation-sized shuffles driven blocking vs. overlapped with the
+  engine's launch-early/finish-late window.  This isolates the work the
+  nonblocking path genuinely removes (two rendezvous barriers per
+  collective) and is robust to scheduler noise.
+
+Run:  PYTHONPATH=src python benchmarks/bench_shuffle_overlap.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from time import perf_counter
+
+import numpy as np
+
+from repro.comm import run_spmd
+from repro.core import DistNetwork, DistTrainer, LayerParallelism
+from repro.core.parallelism import ParallelStrategy
+from repro.nn import NetworkSpec, SGD
+from repro.tensor import DistTensor, Distribution, ProcessGrid
+from repro.tensor.shuffle import SHUFFLE_OP, shuffle, start_shuffle
+
+try:
+    from benchmarks.common import RESULTS_DIR, emit, render_table
+except ImportError:
+    from common import RESULTS_DIR, emit, render_table
+
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_shuffle_overlap.json")
+
+#: Geometry chosen to be shuffle-bound on the thread backend: every block
+#: boundary (and every skip connection) redistributes, so each step performs
+#: several forward and backward shuffles whose blocking form costs two
+#: barrier waits each, while the overlapped form launches the skip-edge
+#: exchanges an entire branch of compute before they are consumed.
+HW = 16
+CHANNELS = 4
+DEPTH = 3
+BATCH = 4
+
+
+def shuffle_model() -> NetworkSpec:
+    """Residual blocks whose skip connections cross strategy boundaries."""
+    net = NetworkSpec("shuffle-bench")
+    net.add("input", "input", channels=CHANNELS, height=HW, width=HW)
+    prev = "input"
+    for i in range(DEPTH):
+        net.add(
+            f"b{i}_c0", "conv", [prev],
+            filters=CHANNELS, kernel=3, pad=1, bias=True,
+        )
+        net.add(f"b{i}_r", "relu", [f"b{i}_c0"])
+        net.add(
+            f"b{i}_c1", "conv", [f"b{i}_r"],
+            filters=CHANNELS, kernel=3, pad=1, bias=True,
+        )
+        net.add(f"b{i}_add", "add", [f"b{i}_c1", prev])
+        prev = f"b{i}_add"
+    net.add("gap", "gap", [prev])
+    net.add("fc", "fc", ["gap"], units=10, bias=True)
+    net.add("loss", "softmax_ce", ["fc"])
+    return net
+
+
+def _alternating(even: LayerParallelism, odd: LayerParallelism) -> ParallelStrategy:
+    """Assign ``even``/``odd`` to alternating residual blocks: the skip edge
+    of each block then crosses a strategy boundary, so its shuffle can hide
+    behind the block's two convolutions."""
+    assignments = {"input": even}
+    for i in range(DEPTH):
+        par = even if i % 2 == 0 else odd
+        for suffix in ("c0", "r", "c1", "add"):
+            assignments[f"b{i}_{suffix}"] = par
+    return ParallelStrategy(assignments, default=even)
+
+
+CONFIGS = [
+    (
+        "sample<->spatial 2x2",
+        _alternating(
+            LayerParallelism(sample=4), LayerParallelism(height=2, width=2)
+        ),
+    ),
+    (
+        "spatial<->hybrid 2x(2x1)",
+        _alternating(
+            LayerParallelism(height=2, width=2),
+            LayerParallelism(sample=2, height=2),
+        ),
+    ),
+]
+
+
+def _measure(
+    strategy: ParallelStrategy, overlap_shuffle: bool, steps: int
+) -> tuple[float, dict]:
+    """Max-over-ranks seconds/step plus rank-0 shuffle wait/overlap totals."""
+    spec = shuffle_model()
+    rng = np.random.default_rng(11)
+    x = rng.standard_normal((BATCH, CHANNELS, HW, HW))
+    t = rng.integers(0, 10, size=BATCH)
+
+    def prog(comm):
+        net = DistNetwork(
+            spec, comm, strategy, seed=0, overlap_shuffle=overlap_shuffle
+        )
+        trainer = DistTrainer(net, SGD(lr=0.05))
+        trainer.step(x, t)  # warmup: builds plans, sub-communicators, pools
+        comm.stats.reset()
+        comm.barrier()
+        t0 = perf_counter()
+        for _ in range(steps):
+            trainer.step(x, t)
+        elapsed = perf_counter() - t0
+        return (
+            elapsed,
+            comm.stats.wait_seconds.get(SHUFFLE_OP, 0.0),
+            comm.stats.overlap_seconds.get(SHUFFLE_OP, 0.0),
+        )
+
+    results = run_spmd(4, prog)
+    per_step = max(r[0] for r in results) / steps
+    detail = {
+        "shuffle_exposed_s": results[0][1] / steps,
+        "shuffle_hidden_s": results[0][2] / steps,
+    }
+    return per_step, detail
+
+
+def _measure_collective(iters: int, repeats: int = 3) -> dict:
+    """The redistribution primitive itself: blocking vs overlapped.
+
+    Latency-bound payloads (the paper's strong-scaling regime: tiny
+    per-rank activations), min-of-``repeats`` per mode.  The overlapped
+    driver keeps a small window of exchanges in flight — the engine's
+    skip-edge pattern, where :meth:`ShuffleExchange.start` runs a whole
+    branch of compute before :meth:`finish` — so deposits are long since
+    complete when each exchange is drained and the two rendezvous barriers
+    of the blocking collective are the measured delta.
+    """
+    x = np.zeros((BATCH, CHANNELS, 4, 4))
+
+    def prog(comm):
+        g1, g2 = ProcessGrid(comm, (4, 1, 1, 1)), ProcessGrid(comm, (1, 1, 2, 2))
+        d1, d2 = Distribution.make((4, 1, 1, 1)), Distribution.make((1, 1, 2, 2))
+        src = DistTensor.from_global(g1, d1, x)
+        shuffle(src, g2, d2)  # warmup: plans + sub-communicator state
+        blocking = overlapped = None
+        for _ in range(repeats):
+            comm.barrier()
+            t0 = perf_counter()
+            for _ in range(iters):
+                shuffle(src, g2, d2)
+            t = perf_counter() - t0
+            blocking = t if blocking is None else min(blocking, t)
+            comm.barrier()
+            t0 = perf_counter()
+            window: list = []
+            for _ in range(iters):
+                window.append(start_shuffle(src, g2, d2))
+                if len(window) >= 4:
+                    window.pop(0).finish()
+            for ex in window:
+                ex.finish()
+            t = perf_counter() - t0
+            overlapped = t if overlapped is None else min(overlapped, t)
+        return blocking, overlapped
+
+    results = run_spmd(4, prog)
+    blocking = max(r[0] for r in results) / iters
+    overlapped = max(r[1] for r in results) / iters
+    return {
+        "iters": iters,
+        "blocking_s": blocking,
+        "overlap_s": overlapped,
+        "collective_speedup": blocking / overlapped,
+    }
+
+
+def generate_shuffle_overlap(
+    steps: int = 6, repeats: int = 3, json_path: str | None = JSON_PATH
+) -> tuple[str, dict]:
+    """``json_path=None`` skips the JSON emission; smoke runs pass a scratch
+    path so reduced-size numbers never overwrite the tracked trajectory."""
+    rows, configs = [], []
+    for label, strategy in CONFIGS:
+        sync = min(
+            _measure(strategy, overlap_shuffle=False, steps=steps)[0]
+            for _ in range(repeats)
+        )
+        best = None
+        detail: dict = {}
+        for _ in range(repeats):
+            per_step, d = _measure(strategy, overlap_shuffle=True, steps=steps)
+            if best is None or per_step < best:
+                best, detail = per_step, d
+        speedup = sync / best
+        configs.append(
+            {
+                "label": label,
+                "nranks": 4,
+                "sync_step_s": sync,
+                "overlap_step_s": best,
+                "speedup": speedup,
+                **detail,
+            }
+        )
+        rows.append(
+            [
+                label,
+                "4",
+                f"{sync * 1e3:8.2f}",
+                f"{best * 1e3:8.2f}",
+                f"{speedup:5.2f}x",
+                f"{detail['shuffle_hidden_s'] * 1e3:7.2f}",
+                f"{detail['shuffle_exposed_s'] * 1e3:7.2f}",
+            ]
+        )
+    collective = _measure_collective(
+        iters=max(50, 100 * steps), repeats=max(2, repeats)
+    )
+    rows.append(
+        [
+            "collective layer (us/shuffle)",
+            "4",
+            f"{collective['blocking_s'] * 1e6:8.2f}",
+            f"{collective['overlap_s'] * 1e6:8.2f}",
+            f"{collective['collective_speedup']:5.2f}x",
+            "      -",
+            "      -",
+        ]
+    )
+    text = render_table(
+        "Wall clock — blocking vs overlapped inter-layer shuffle "
+        f"(measured ms/step, {steps} steps, batch {BATCH}, {HW}x{HW})",
+        ["config", "ranks", "sync", "overlapped", "speedup", "hidden", "exposed"],
+        rows,
+    )
+    payload = {
+        "steps": steps,
+        "batch": BATCH,
+        "image": HW,
+        "configs": configs,
+        "collective": collective,
+    }
+    if json_path is not None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(json_path, "w") as f:
+            json.dump(payload, f, indent=2)
+    return text, payload
+
+
+def test_shuffle_overlap_bench_smoke():
+    """The benchmark runs, engine-level overlap is never a serious
+    regression (step time is scheduler-noise-bound on shared hosts), and
+    the collective-level win — the work the nonblocking path removes — is
+    real.  The collected tier-1 counterpart lives in
+    tests/test_shuffle_overlap.py."""
+    text, payload = generate_shuffle_overlap(steps=2, repeats=1, json_path=None)
+    for cfg in payload["configs"]:
+        assert cfg["overlap_step_s"] > 0 and cfg["sync_step_s"] > 0
+        assert cfg["speedup"] > 0.8, text
+        # The shuffle split is actually measured on the overlapped path.
+        assert cfg["shuffle_hidden_s"] + cfg["shuffle_exposed_s"] > 0, text
+    assert payload["collective"]["collective_speedup"] > 0.8, text
+
+
+if __name__ == "__main__":
+    emit("bench_shuffle_overlap", generate_shuffle_overlap()[0])

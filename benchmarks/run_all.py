@@ -32,6 +32,7 @@ import bench_ablation_batchnorm as ab  # noqa: E402
 import bench_ablation_strategy as ast_  # noqa: E402
 import bench_wallclock as bw  # noqa: E402
 import bench_halo_overlap as bh  # noqa: E402
+import bench_shuffle_overlap as bs  # noqa: E402
 
 
 def run_smoke() -> None:
@@ -50,6 +51,9 @@ def run_smoke() -> None:
     emit("bench_halo_overlap", bh.generate_halo_overlap(
         steps=2, repeats=1,
         json_path=os.path.join(results, "BENCH_halo_overlap_smoke.json"))[0])
+    emit("bench_shuffle_overlap", bs.generate_shuffle_overlap(
+        steps=2, repeats=1,
+        json_path=os.path.join(results, "BENCH_shuffle_overlap_smoke.json"))[0])
     print("\nSmoke subset regenerated under benchmarks/results/.")
 
 
@@ -70,6 +74,7 @@ def run_full() -> None:
     emit("ablation_strategy", ast_.generate_strategy_ablation()[0])
     emit("bench_wallclock", bw.generate_wallclock()[0])
     emit("bench_halo_overlap", bh.generate_halo_overlap()[0])
+    emit("bench_shuffle_overlap", bs.generate_shuffle_overlap()[0])
     print("\nAll tables and figures regenerated under benchmarks/results/.")
 
 

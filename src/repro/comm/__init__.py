@@ -32,6 +32,7 @@ from repro.comm.collective_models import (
     allgather_time,
     allreduce_time,
     alltoall_time,
+    barrier_time,
     bcast_time,
     bucketed_allreduce_time,
     pt2pt_time,
@@ -50,6 +51,7 @@ __all__ = [
     "allgather_time",
     "allreduce_time",
     "alltoall_time",
+    "barrier_time",
     "bcast_time",
     "bucketed_allreduce_time",
     "pt2pt_time",

@@ -149,7 +149,9 @@ class _Rendezvous:
     def deposit(self, key: Any, nmembers: int, rank: int, payload: Any) -> _PendingOp:
         """Deposit ``rank``'s contribution for the op identified by ``key``.
 
-        Never blocks; wakes any members already waiting on the op.
+        Never blocks.  Waiters are woken only by the *completing* deposit —
+        an incomplete op cannot unblock anyone, so notifying earlier would
+        just burn context switches on every waiter.
         """
         with self.pending_cv:
             op = self.pending.get(key)
@@ -158,7 +160,8 @@ class _Rendezvous:
                 self.pending[key] = op
             op.slots[rank] = payload
             op.deposited += 1
-            self.pending_cv.notify_all()
+            if op.deposited >= nmembers:
+                self.pending_cv.notify_all()
         return op
 
     def consume(self, key: Any, op: _PendingOp) -> None:

@@ -211,12 +211,14 @@ class _CollectiveRequest(Request):
         op: _PendingOp,
         combine: Callable[[list[Any]], Any],
         opname: str,
+        count_stats: bool = True,
     ) -> None:
         self._comm = comm
         self._key = key
         self._op = op
         self._combine = combine
         self._opname = opname
+        self._count_stats = count_stats
         self._t_launch = perf_counter()
 
     def _complete(self, waited: float) -> None:
@@ -231,7 +233,11 @@ class _CollectiveRequest(Request):
         waited += perf_counter() - t0
         overlapped = (perf_counter() - self._t_launch) - waited
         comm.stats.record_async(
-            self._opname, payload_nbytes(result), waited, overlapped
+            self._opname,
+            payload_nbytes(result),
+            waited,
+            overlapped,
+            collective=self._count_stats,
         )
         self._result = result
         self._done = True
@@ -448,8 +454,14 @@ class Communicator:
         self.stats.record_collective("allgather", payload_nbytes(payload))
         return result
 
-    def alltoall(self, payloads: Sequence[Any]) -> list[Any]:
-        """``payloads[j]`` is sent to comm-rank ``j``; returns what each rank sent us."""
+    def alltoall(self, payloads: Sequence[Any], *, count_stats: bool = True) -> list[Any]:
+        """``payloads[j]`` is sent to comm-rank ``j``; returns what each rank sent us.
+
+        ``count_stats=False`` skips the generic "alltoall" accounting —
+        used by structured patterns (the blocking shuffle) that record
+        their traffic under their own op name, keeping per-op counters
+        comparable between the blocking and nonblocking paths.
+        """
         if len(payloads) != self.size:
             raise ValueError(f"alltoall requires exactly {self.size} payloads")
 
@@ -457,11 +469,42 @@ class Communicator:
             return [slots[i][self.rank] for i in range(self.size)]
 
         result = self._collective(list(payloads), combine)
-        self.stats.record_collective(
-            "alltoall",
-            sum(payload_nbytes(p) for i, p in enumerate(payloads) if i != self.rank),
-        )
+        if count_stats:
+            self.stats.record_collective(
+                "alltoall",
+                sum(payload_nbytes(p) for i, p in enumerate(payloads) if i != self.rank),
+            )
         return result
+
+    def ialltoall(
+        self,
+        payloads: Sequence[Any],
+        *,
+        opname: str = "ialltoall",
+        count_stats: bool = True,
+    ) -> Request:
+        """Nonblocking all-to-all: deposits immediately, returns a handle.
+
+        ``wait()`` blocks only until every member has deposited (never until
+        they have read), then picks this rank's slice of each contribution —
+        bitwise identical to :meth:`alltoall` but without the collective's
+        rendezvous barriers, so a fast rank keeps computing while peers are
+        still producing their payloads.  All members must issue their
+        nonblocking collectives on a communicator in the same order.
+
+        ``opname``/``count_stats`` label the request in
+        :class:`~repro.comm.stats.CommStats`: structured patterns (e.g. the
+        overlapped shuffle) pass their own op name and account volume
+        themselves, keeping per-op counters comparable between the blocking
+        and nonblocking paths.
+        """
+        if len(payloads) != self.size:
+            raise ValueError(f"alltoall requires exactly {self.size} payloads")
+
+        def combine(slots: list[Any]) -> list[Any]:
+            return [slots[i][self.rank] for i in range(self.size)]
+
+        return self._icollective(list(payloads), combine, opname, count_stats)
 
     def reduce(self, value: Any, op: str = "sum", root: int = 0) -> Any | None:
         result = self.allreduce(value, op=op)
@@ -582,13 +625,17 @@ class Communicator:
         return result
 
     def _icollective(
-        self, contribution: Any, combine: Callable[[list[Any]], Any], opname: str
+        self,
+        contribution: Any,
+        combine: Callable[[list[Any]], Any],
+        opname: str,
+        count_stats: bool = True,
     ) -> Request:
         seq = self._nb_seq
         self._nb_seq += 1
         key = ("nb", seq)
         op = self._ctx.deposit(key, self.size, self.rank, _freeze(contribution))
-        return _CollectiveRequest(self, key, op, combine, opname)
+        return _CollectiveRequest(self, key, op, combine, opname, count_stats)
 
     def _barrier_wait(self) -> None:
         self._op_seq += 1

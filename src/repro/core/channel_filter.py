@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.comm.buffers import BufferPool
 from repro.nn import functional as F
 from repro.tensor.dist_tensor import DistTensor
 from repro.tensor.distribution import DimKind, Distribution
@@ -67,6 +68,9 @@ class ChannelParallelConv2d:
         self.w_local = np.ascontiguousarray(weights[:, self.c_lo : self.c_hi])
         self._x_ext: np.ndarray | None = None
         self._x_meta: tuple | None = None
+        # Recycles the gathered input / error-signal regions and the
+        # alltoall reply payloads across steps.
+        self._pool = BufferPool()
 
     def forward(self, x: DistTensor) -> DistTensor:
         if not x.dist.is_split(1):
@@ -84,7 +88,7 @@ class ChannelParallelConv2d:
 
         lo = (n_lo, self.c_lo, oh_lo * sh - ph, ow_lo * sw - pw)
         hi = (n_hi, self.c_hi, (oh_hi - 1) * sh - ph + kh, (ow_hi - 1) * sw - pw + kw)
-        x_ext = x.gather_region(lo, hi)
+        x_ext = x.gather_region(lo, hi, pool=self._pool)
         self._x_ext = x_ext
         self._x_meta = (x.dist, x.global_shape)
 
@@ -113,13 +117,17 @@ class ChannelParallelConv2d:
         dw_lo_ = _floor_div(xw_lo + pw - (kw - 1), sw)
         dw_hi = _floor_div(xw_hi - 1 + pw, sw) + 1
         dy_ext = dy.gather_region(
-            (n_lo, 0, dh_lo, dw_lo_), (n_hi, dy.global_shape[1], dh_hi, dw_hi)
+            (n_lo, 0, dh_lo, dw_lo_), (n_hi, dy.global_shape[1], dh_hi, dw_hi),
+            pool=self._pool,
         )
         pad_eff = (xh_lo + ph - sh * dh_lo, xw_lo + pw - sw * dw_lo_)
         dx_local = F.conv2d_backward_data(
             dy_ext, self.w_local, stride=self.stride, pad=pad_eff,
             x_spatial=(xh_hi - xh_lo, xw_hi - xw_lo),
         )
+        self._pool.give(self._x_ext)
+        self._x_ext = None
+        self._pool.give(dy_ext)
         dx = DistTensor(self.grid, x_dist, x_shape, dx_local)
         return dx, dw_local
 
@@ -146,6 +154,7 @@ class FilterParallelConv2d:
         self.w_local = np.ascontiguousarray(weights[self.f_lo : self.f_hi])
         self._x_ext: np.ndarray | None = None
         self._x_meta: tuple | None = None
+        self._pool = BufferPool()
 
     def forward(self, x: DistTensor) -> DistTensor:
         if x.dist.is_split(1):
@@ -169,7 +178,7 @@ class FilterParallelConv2d:
 
         lo = (n_lo, 0, oh_lo * sh - ph, ow_lo * sw - pw)
         hi = (n_hi, c, (oh_hi - 1) * sh - ph + kh, (ow_hi - 1) * sw - pw + kw)
-        x_ext = x.gather_region(lo, hi)
+        x_ext = x.gather_region(lo, hi, pool=self._pool)
         self._x_ext = x_ext
         self._x_meta = (x.dist, x.global_shape)
         y_local = F.conv2d_forward(x_ext, self.w_local, stride=self.stride, pad=0)
@@ -195,13 +204,17 @@ class FilterParallelConv2d:
         dw_lo_ = _floor_div(xw_lo + pw - (kw - 1), sw)
         dw_hi = _floor_div(xw_hi - 1 + pw, sw) + 1
         dy_ext = dy.gather_region(
-            (n_lo, self.f_lo, dh_lo, dw_lo_), (n_hi, self.f_hi, dh_hi, dw_hi)
+            (n_lo, self.f_lo, dh_lo, dw_lo_), (n_hi, self.f_hi, dh_hi, dw_hi),
+            pool=self._pool,
         )
         pad_eff = (xh_lo + ph - sh * dh_lo, xw_lo + pw - sw * dw_lo_)
         partial_dx = F.conv2d_backward_data(
             dy_ext, self.w_local, stride=self.stride, pad=pad_eff,
             x_spatial=(xh_hi - xh_lo, xw_hi - xw_lo),
         )
+        self._pool.give(self._x_ext)
+        self._x_ext = None
+        self._pool.give(dy_ext)
         # Complete the filter summation of Eq. 3 over the filter group.
         dx_local = self.grid.axis_comm(1).allreduce(partial_dx)
         dx = DistTensor(self.grid, x_dist, x_shape, dx_local)

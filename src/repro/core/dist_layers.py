@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.comm.buffers import BufferPool
 from repro.nn import functional as F
 from repro.tensor.dist_tensor import DistTensor
 from repro.tensor.grid import ProcessGrid
@@ -45,6 +46,9 @@ class DistPool2d:
         self.stride = _pair(stride if stride is not None else kernel)
         self.pad = _pair(pad)
         self._cache: dict = {}
+        # Recycles the gathered extended region and the alltoall payloads
+        # (gather replies, scatter-add contributions) across steps.
+        self._pool = BufferPool()
 
     def output_global_shape(self, x_shape: tuple[int, ...]) -> tuple[int, ...]:
         n, c, h, w = x_shape
@@ -70,7 +74,7 @@ class DistPool2d:
         hi = (n_hi, c_hi, (oh_hi - 1) * sh - ph + kh, (ow_hi - 1) * sw - pw + kw)
         # Max pooling must not let virtual padding win: fill with -inf-like.
         fill = -np.inf if self.mode == "max" else 0.0
-        x_ext = x.gather_region(lo, hi, fill=fill)
+        x_ext = x.gather_region(lo, hi, fill=fill, pool=self._pool)
         if self.mode == "max":
             y_local, argmax = F.maxpool2d_forward(x_ext, self.kernel, self.stride, 0)
             self._cache = {"argmax": argmax}
@@ -79,6 +83,7 @@ class DistPool2d:
         self._cache.update(
             {"region_lo": lo, "x_ext_shape": x_ext.shape, "x": x}
         )
+        self._pool.give(x_ext)  # backward needs only its shape (and argmax)
         return DistTensor(self.grid, y_dist, y_shape, y_local)
 
     def backward(self, dy: DistTensor) -> DistTensor:
@@ -96,7 +101,7 @@ class DistPool2d:
             )
         x: DistTensor = cache["x"]
         dx = DistTensor.zeros(x.grid, x.dist, x.global_shape, dtype=dy.dtype)
-        dx.scatter_region_add(dx_ext, cache["region_lo"])
+        dx.scatter_region_add(dx_ext, cache["region_lo"], pool=self._pool)
         # Replicated output dims mean every replica scattered identical
         # contributions into disjoint replica groups — already consistent.
         return dx

@@ -31,6 +31,23 @@ travel, and completes the boundary strips as the receives land (paper
 kernels after a blocking gather, so the two modes are bitwise equal
 (verified by ``tests/test_halo_overlap.py``).
 
+Inter-layer *shuffles* (§III-C redistributions at layer boundaries whose
+distributions differ) are **overlapped by default** too
+(``overlap_shuffle=True``): a layer's activation is launched toward each
+child's distribution as a nonblocking
+:class:`~repro.tensor.shuffle.ShuffleExchange` the moment it is produced
+and finished only where the child consumes it, so the pieces travel behind
+whatever runs in between (sibling branches of a DAG, the reducer's gradient
+bucketing in backward); in backward the error-signal shuffle toward a
+parent is started before the layer's weight-gradient allreduce is queued.
+Plans (the per-rank send/receive schedules) are cached on the communicator
+across steps, and send payloads are staged through a network-level
+:class:`~repro.comm.buffers.BufferPool`.  ``overlap_shuffle=False`` runs
+the identical plan through a blocking ``alltoall``; both modes assemble the
+same pieces into the same zero-initialized blocks and are bitwise equal
+(verified by ``tests/test_shuffle_overlap.py`` /
+``tests/test_shuffle_property.py``).
+
 Parameters are replicated on every rank and initialized identically to
 :class:`repro.nn.network.LocalNetwork` (seeded by layer name), so
 distributed runs replicate single-device runs to floating-point
@@ -42,12 +59,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.comm.buffers import BufferPool
 from repro.comm.communicator import Communicator
 from repro.nn import init as I
 from repro.nn.graph import NetworkSpec
 from repro.tensor.dist_tensor import DistTensor
 from repro.tensor.grid import ProcessGrid
-from repro.tensor.shuffle import shuffle
+from repro.tensor.shuffle import ShuffleExchange, shuffle, start_shuffle
 from repro.core.parallelism import LayerParallelism, ParallelStrategy, activation_dist
 from repro.core.dist_conv import DistConv2d
 from repro.core.grad_reducer import DEFAULT_BUCKET_BYTES, BucketedGradReducer
@@ -77,6 +95,7 @@ class DistNetwork:
         overlap_grad_reduce: bool = True,
         grad_bucket_bytes: int = DEFAULT_BUCKET_BYTES,
         overlap_halo: bool = True,
+        overlap_shuffle: bool = True,
     ) -> None:
         if isinstance(strategy, LayerParallelism):
             strategy = ParallelStrategy.uniform(strategy)
@@ -94,7 +113,13 @@ class DistNetwork:
         self.overlap_grad_reduce = overlap_grad_reduce
         self.grad_bucket_bytes = grad_bucket_bytes
         self.overlap_halo = overlap_halo
+        self.overlap_shuffle = overlap_shuffle
         self.shapes = spec.infer_shapes()
+        # Recycles the staged shuffle send payloads across steps (deferred
+        # reclamation once the receivers drop their zero-copy views).
+        self._shuffle_pool = BufferPool()
+        # In-flight forward shuffles keyed by (child layer, parent index).
+        self._pending_fwd: dict[tuple[str, int], ShuffleExchange] = {}
 
         self._grids: dict[tuple[int, ...], ProcessGrid] = {}
         self.params: dict[str, dict[str, np.ndarray]] = {}
@@ -187,15 +212,41 @@ class DistNetwork:
                 raise AssertionError(layer.kind)
 
     # -- execution ---------------------------------------------------------------------
+    def _want_dist(self, act: DistTensor, grid: ProcessGrid):
+        """The distribution a layer on ``grid`` expects ``act`` in, or
+        ``None`` when no redistribution is needed."""
+        want = activation_dist(grid.shape, act.global_shape)
+        if act.dist == want and (act.grid is grid or act.grid.shape == grid.shape):
+            return None
+        return want
+
     def _to_layer_dist(self, act: DistTensor, grid: ProcessGrid) -> DistTensor:
         """Shuffle an activation to a layer's expected input distribution."""
-        want = activation_dist(grid.shape, act.global_shape)
-        if act.grid is grid and act.dist == want:
-            return act
-        if act.dist == want and act.grid.shape == grid.shape:
+        want = self._want_dist(act, grid)
+        if want is None:
             return act
         self.shuffle_count += 1
-        return shuffle(act, grid, want)
+        return shuffle(act, grid, want, pool=self._shuffle_pool)
+
+    def _start_child_shuffles(self, name: str) -> None:
+        """Launch the redistributions every child of ``name`` will need.
+
+        Called right after a layer's activation is produced (overlap mode):
+        the exchanges travel behind whatever computes next — sibling
+        branches of the DAG, the remaining forward layers — and are
+        finished where each child consumes its input.
+        """
+        act = self._acts[name]
+        for child in self.spec.children_of(name):
+            grid = self._grid(self.strategy.for_layer(child).grid_shape)
+            want = self._want_dist(act, grid)
+            if want is None:
+                continue
+            for idx, pname in enumerate(self.spec[child].parents):
+                if pname == name:
+                    self._pending_fwd[(child, idx)] = start_shuffle(
+                        act, grid, want, pool=self._shuffle_pool
+                    )
 
     def forward(
         self,
@@ -215,6 +266,7 @@ class DistNetwork:
             inputs = {inp.name: inputs}
         self._acts = {}
         self._fwd_dist = {}
+        self._pending_fwd = {}
         self.loss = None
 
         for layer in self.spec.topo_order():
@@ -224,13 +276,23 @@ class DistNetwork:
                 x_global = np.asarray(inputs[name], dtype=self.dtype)
                 dist = activation_dist(grid.shape, x_global.shape)
                 self._acts[name] = DistTensor.from_global(grid, dist, x_global)
+                if self.overlap_shuffle:
+                    self._start_child_shuffles(name)
                 continue
 
             parents = [self._acts[p] for p in layer.parents]
             # Record the parent's original placement so backward can route
             # the error signal back through the same shuffle.
             self._fwd_dist[name] = [(p.grid, p.dist) for p in parents]
-            parents = [self._to_layer_dist(p, grid) for p in parents]
+            resolved = []
+            for idx, p in enumerate(parents):
+                ex = self._pending_fwd.pop((name, idx), None)
+                if ex is not None:
+                    self.shuffle_count += 1
+                    resolved.append(ex.finish())
+                else:
+                    resolved.append(self._to_layer_dist(p, grid))
+            parents = resolved
             impl = self._layers[name]
 
             if layer.kind == "conv":
@@ -256,6 +318,8 @@ class DistNetwork:
             else:  # pragma: no cover
                 raise AssertionError(layer.kind)
             self._acts[name] = y
+            if self.overlap_shuffle:
+                self._start_child_shuffles(name)
         return self.loss
 
     def backward(self) -> dict[str, dict[str, np.ndarray]]:
@@ -265,9 +329,20 @@ class DistNetwork:
         are queued on a bucketed nonblocking reducer as soon as its filter
         gradients are computed, so the allreduces run concurrently with the
         rest of backpropagation and are drained just before returning.
+
+        With ``overlap_shuffle`` (the default), the error-signal shuffle
+        toward a parent with a different distribution is *started* as soon
+        as the layer's ``dx`` exists — before the layer's own gradient
+        bucketing — and finished only when the parent consumes its error
+        signal, so the pieces travel behind the reducer work and any
+        sibling branches.  Contributions are accumulated in the same
+        arrival order as the blocking path, so both modes perform identical
+        floating-point additions.
         """
         grads: dict[str, dict[str, np.ndarray]] = {}
-        dys: dict[str, DistTensor] = {}
+        #: Per-parent error contributions (DistTensor or in-flight
+        #: ShuffleExchange), in route_back arrival order.
+        pending: dict[str, list] = {}
         reducer = (
             BucketedGradReducer(self.grad_bucket_bytes)
             if self.overlap_grad_reduce
@@ -280,24 +355,44 @@ class DistNetwork:
             else:
                 grads[name] = self._reduce_grads(g, self._acts[name])
 
-        def accumulate(pname: str, dx: DistTensor) -> None:
-            if pname in dys:
-                prev = dys[pname]
-                if prev.dist != dx.dist:
-                    dx = shuffle(dx, prev.grid, prev.dist)
-                prev.local += dx.local
-            else:
-                dys[pname] = DistTensor(
-                    dx.grid, dx.dist, dx.global_shape, dx.local.copy()
-                )
-
         def route_back(name: str, idx: int, dx: DistTensor) -> None:
             """Undo the forward shuffle for parent #idx of layer `name`."""
             pgrid, pdist = self._fwd_dist[name][idx]
+            pname = self.spec[name].parents[idx]
             if dx.dist != pdist or dx.grid.shape != pgrid.shape:
                 self.shuffle_count += 1
-                dx = shuffle(dx, pgrid, pdist)
-            accumulate(self.spec[name].parents[idx], dx)
+                if self.overlap_shuffle:
+                    pending.setdefault(pname, []).append(
+                        start_shuffle(dx, pgrid, pdist, pool=self._shuffle_pool)
+                    )
+                    return
+                dx = shuffle(dx, pgrid, pdist, pool=self._shuffle_pool)
+            pending.setdefault(pname, []).append(dx)
+
+        def consume_dy(name: str) -> DistTensor | None:
+            """Materialize a layer's accumulated error signal.
+
+            Entries are folded in arrival order; later contributions with a
+            mismatched distribution are shuffled to the first's, exactly as
+            the historical eager accumulation did.
+            """
+            entries = pending.pop(name, None)
+            if not entries:
+                return None
+            out: DistTensor | None = None
+            for e in entries:
+                dx = e.finish() if isinstance(e, ShuffleExchange) else e
+                if out is None:
+                    out = DistTensor(
+                        dx.grid, dx.dist, dx.global_shape, dx.local.copy()
+                    )
+                else:
+                    if dx.dist != out.dist:
+                        dx = shuffle(
+                            dx, out.grid, out.dist, pool=self._shuffle_pool
+                        )
+                    out.local += dx.local
+            return out
 
         for layer in reversed(self.spec.topo_order()):
             name = layer.name
@@ -307,7 +402,7 @@ class DistNetwork:
             if layer.kind in ("softmax_ce", "bce"):
                 route_back(name, 0, impl.backward())
                 continue
-            dy = dys.get(name)
+            dy = consume_dy(name)
             if dy is None:
                 continue  # no path to the loss
 
@@ -316,14 +411,16 @@ class DistNetwork:
                 g = {"w": dw}
                 if db is not None:
                     g["b"] = db
-                complete_grads(name, g)
+                # The dx shuffle first: it is in flight while the reducer
+                # coalesces and launches this layer's gradient allreduce.
                 route_back(name, 0, dx)
+                complete_grads(name, g)
             elif layer.kind == "pool":
                 route_back(name, 0, impl.backward(dy))
             elif layer.kind == "bn":
                 dx, dgamma, dbeta = impl.backward(dy)
-                complete_grads(name, {"gamma": dgamma, "beta": dbeta})
                 route_back(name, 0, dx)
+                complete_grads(name, {"gamma": dgamma, "beta": dbeta})
             elif layer.kind == "relu":
                 route_back(name, 0, impl.backward(dy))
             elif layer.kind == "gap":
@@ -333,13 +430,20 @@ class DistNetwork:
                 g = {"w": dw}
                 if db is not None:
                     g["b"] = db
-                complete_grads(name, g)
                 route_back(name, 0, dx)
+                complete_grads(name, g)
             elif layer.kind == "add":
                 for idx in range(len(layer.parents)):
                     route_back(name, idx, dy)
             else:  # pragma: no cover
                 raise AssertionError(layer.kind)
+
+        # Error signals routed to input layers are never consumed; drain
+        # their in-flight exchanges so no irecv outlives the step.
+        for entries in pending.values():
+            for e in entries:
+                if isinstance(e, ShuffleExchange):
+                    e.finish()
 
         if reducer is not None:
             grads.update(reducer.drain())

@@ -113,6 +113,14 @@ class DistTrainer:
                 f"{halo_hidden * 1e3:.3f} ms hidden behind interior conv "
                 f"({100.0 * halo_hidden / (halo_wait + halo_hidden):.1f}% overlapped)"
             )
+        sh_wait = cs.wait_seconds.get("shuffle", 0.0)
+        sh_hidden = cs.overlap_seconds.get("shuffle", 0.0)
+        if sh_wait + sh_hidden > 0:
+            lines.append(
+                f"  shuffle: {sh_wait * 1e3:.3f} ms exposed, "
+                f"{sh_hidden * 1e3:.3f} ms hidden behind adjacent compute "
+                f"({100.0 * sh_hidden / (sh_wait + sh_hidden):.1f}% overlapped)"
+            )
         return "\n".join(lines)
 
     def evaluate(self, inputs, targets) -> float:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.comm.collective_models import allreduce_time, alltoall_time
+from repro.comm.collective_models import allreduce_time, alltoall_time, barrier_time
 from repro.nn.graph import NetworkSpec
 from repro.perfmodel.conv_model import CalibratedConvModel
 from repro.perfmodel.layer_cost import (
@@ -43,7 +43,14 @@ class NetworkCostBreakdown:
     bp_compute_total: float = 0.0
     allreduce_total: float = 0.0
     allreduce_exposed: float = 0.0
+    #: Payload time of all shuffles (forward + backward, every edge).
     shuffle_total: float = 0.0
+    #: What the critical path actually pays for shuffles: the payload time
+    #: plus, on the blocking path, the collective's synchronization
+    #: overhead (two rendezvous barriers per shuffle).  The overlapped
+    #: engine removes the barriers; DAG-level hiding behind sibling-branch
+    #: compute is refined by the task-graph simulator, not here.
+    shuffle_exposed: float = 0.0
     optimizer_total: float = 0.0
     per_layer: dict[str, ConvLayerCost] = field(default_factory=dict)
 
@@ -53,7 +60,7 @@ class NetworkCostBreakdown:
             self.fp_total
             + self.bp_compute_total
             + self.allreduce_exposed
-            + self.shuffle_total
+            + self.shuffle_exposed
             + self.optimizer_total
         )
 
@@ -70,6 +77,7 @@ class NetworkCostModel:
         overlap_allreduce: bool = True,
         cheap_layers: str = "memory",
         allreduce_bucket_bytes: int | None = None,
+        overlap_shuffle: bool = True,
     ) -> None:
         if cheap_layers not in ("memory", "free"):
             raise ValueError("cheap_layers must be 'memory' or 'free'")
@@ -82,6 +90,7 @@ class NetworkCostModel:
         self.overlap_allreduce = overlap_allreduce
         self.cheap_layers = cheap_layers
         self.allreduce_bucket_bytes = allreduce_bucket_bytes
+        self.overlap_shuffle = overlap_shuffle
         self.shapes = spec.infer_shapes()
 
     # -- per-layer costing -------------------------------------------------------
@@ -183,6 +192,24 @@ class NetworkCostModel:
         per_pair = nbytes_global / (nranks * nranks)
         return alltoall_time(nranks, per_pair, link)
 
+    def shuffle_edge_cost(self, parent: str, n_global: int, strategy) -> float:
+        """Payload time of one redistribution of ``parent``'s activation
+        (one direction — forward and backward each pay it once).  This is
+        the duration the training-step simulator assigns its shuffle tasks,
+        guarded by ``tests/test_sim.py`` the same way ``boundary_fraction``
+        guards the halo decomposition."""
+        c, h, w = self.shapes[parent]
+        nbytes = float(n_global) * c * h * w * self.machine.dtype_bytes
+        return self._shuffle_cost(nbytes, strategy.nranks)
+
+    def shuffle_sync_overhead(self, nranks: int) -> float:
+        """Synchronization a *blocking* shuffle pays beyond its payload:
+        the all-to-all collective's two rendezvous barriers, which the
+        nonblocking exchange removes."""
+        if nranks <= 1:
+            return 0.0
+        return 2.0 * barrier_time(nranks, self.machine.link_for_group(nranks))
+
     # -- whole network -------------------------------------------------------------
     def cost(self, n_global: int, strategy: ParallelStrategy) -> NetworkCostBreakdown:
         bd = NetworkCostBreakdown()
@@ -200,10 +227,14 @@ class NetworkCostModel:
                     strategy.for_layer(p).grid_shape
                     != strategy.for_layer(layer.name).grid_shape
                 ):
-                    c, h, w = self.shapes[p]
-                    nbytes = float(n_global) * c * h * w * db
                     # Forward and backward each shuffle once.
-                    bd.shuffle_total += 2 * self._shuffle_cost(nbytes, strategy.nranks)
+                    edge = 2 * self.shuffle_edge_cost(p, n_global, strategy)
+                    bd.shuffle_total += edge
+                    bd.shuffle_exposed += edge
+                    if not self.overlap_shuffle:
+                        bd.shuffle_exposed += 2 * self.shuffle_sync_overhead(
+                            strategy.nranks
+                        )
 
         # Backward pass with greedy allreduce overlap: walk layers in
         # reverse; each allreduce starts when its layer's backprop ends and

@@ -18,10 +18,24 @@ Builds, for the critical-path rank, the §IV schedule:
   matching the engine's overlapped backward;
 * each layer's dL/dw allreduce is queued on the communication stream as
   soon as its filter convolution finishes (one allreduce at a time);
+* inter-layer *shuffles* (§III-C redistributions where adjacent layers'
+  grids differ) are communication-stream tasks whose dependencies mirror
+  the engine's overlapped :class:`~repro.tensor.shuffle.ShuffleExchange`:
+  a forward shuffle becomes ready the moment its *producer* finishes (not
+  when the consumer is reached), so it hides behind sibling-branch compute
+  in DAGs and contends with allreduces for the communication channel; the
+  backward error-signal shuffle likewise becomes ready with the producing
+  layer's data convolution;
 * the optimizer step waits for all compute and all allreduces.
 
-With ``overlap_halo=False`` / ``overlap_allreduce=False`` the dependencies
-serialize instead — the ablation benchmark toggles exactly these.
+With ``overlap_halo=False`` / ``overlap_allreduce=False`` /
+``overlap_shuffle=False`` the dependencies serialize instead — a blocking
+shuffle waits for *all* preceding compute, gates everything after it, and
+additionally pays the collective's rendezvous-barrier synchronization
+(:meth:`~repro.perfmodel.network_cost.NetworkCostModel.shuffle_sync_overhead`),
+which is exactly what the engine's blocking ``alltoall`` pays and the
+nonblocking exchange removes.  The ablation benchmarks toggle exactly
+these.
 
 ``allreduce_bucket_bytes`` mirrors the engine's bucketed gradient reducer
 (:class:`repro.core.grad_reducer.BucketedGradReducer`): consecutive layers'
@@ -67,12 +81,14 @@ class TrainingStepSimulator:
         overlap_halo: bool = True,
         overlap_allreduce: bool = True,
         allreduce_bucket_bytes: int | None = None,
+        overlap_shuffle: bool = True,
     ) -> None:
         self.spec = spec
         self.machine = machine
         self.overlap_halo = overlap_halo
         self.overlap_allreduce = overlap_allreduce
         self.allreduce_bucket_bytes = allreduce_bucket_bytes
+        self.overlap_shuffle = overlap_shuffle
         # Reuse the analytic per-layer component costs; the simulator only
         # re-derives the *schedule*, never the kernel times.
         self.cost_model = NetworkCostModel(
@@ -92,14 +108,55 @@ class TrainingStepSimulator:
             if c is not None:
                 costs[layer.name] = c
 
+        # -- shuffle edges (§III-C layer boundaries) ------------------------------
+        # child layer -> parents whose activations must be redistributed.
+        shuffle_edges: dict[str, list[str]] = {}
+        for layer in order:
+            for p in self.spec[layer.name].parents:
+                if (
+                    strategy.for_layer(p).grid_shape
+                    != strategy.for_layer(layer.name).grid_shape
+                ):
+                    shuffle_edges.setdefault(layer.name, []).append(p)
+        shuffle_sync = (
+            0.0
+            if self.overlap_shuffle
+            else self.cost_model.shuffle_sync_overhead(strategy.nranks)
+        )
+
         # -- forward ------------------------------------------------------------
         prev_fwd: str | None = None
+        fwd_done: dict[str, str] = {}  # layer -> task marking its output ready
+        carry: list[str] = []  # shuffle tasks consumed by cost-less layers
         for layer in order:
             c = costs.get(layer.name)
-            if c is None:
-                continue
-            base_deps = (prev_fwd,) if prev_fwd else ()
             name = layer.name
+            base_deps = (prev_fwd,) if prev_fwd else ()
+            shuf_deps: list[str] = []
+            for p in shuffle_edges.get(name, ()):
+                sname = f"fwd:shuf:{p}->{name}"
+                dur = self.cost_model.shuffle_edge_cost(p, n_global, strategy)
+                if self.overlap_shuffle:
+                    # Ready the moment the producer finishes — the engine
+                    # launches the exchange as the activation is produced.
+                    dep = fwd_done.get(p)
+                    deps = (dep,) if dep else ()
+                else:
+                    # Blocking collective at consumption time: waits for all
+                    # preceding compute and pays the rendezvous barriers.
+                    dur += shuffle_sync
+                    deps = base_deps
+                eng.add(sname, dur, "comm", deps)
+                shuf_deps.append(sname)
+            if c is None:
+                carry.extend(shuf_deps)
+                if shuf_deps:
+                    fwd_done[name] = shuf_deps[-1]
+                elif layer.parents and layer.parents[0] in fwd_done:
+                    fwd_done[name] = fwd_done[layer.parents[0]]
+                continue
+            base_deps = base_deps + tuple(carry) + tuple(shuf_deps)
+            carry = []
             if c.fp_halo > 0 and self.overlap_halo:
                 interior = c.fp_compute * (1 - c.boundary_fraction)
                 boundary = c.fp_compute * c.boundary_fraction + c.boundary_launch
@@ -117,6 +174,7 @@ class TrainingStepSimulator:
                     base_deps = (f"fwd:{name}:halo",)
                 eng.add(f"fwd:{name}", c.fp_compute, "compute", base_deps)
             prev_fwd = f"fwd:{name}"
+            fwd_done[name] = prev_fwd
 
         # -- backward -------------------------------------------------------------
         prev_bwd = prev_fwd
@@ -145,12 +203,33 @@ class TrainingStepSimulator:
             allreduces.append(name)
             last_ar = name
 
+        # parent layer -> error-signal shuffle tasks it must wait for.
+        incoming: dict[str, list[str]] = {}
+        carry_b: list[str] = []
+
+        def route_back_shuffles(name: str, producer: str | None) -> None:
+            nonlocal prev_bwd
+            for p in shuffle_edges.get(name, ()):
+                sname = f"bwd:shuf:{name}->{p}"
+                dur = self.cost_model.shuffle_edge_cost(p, n_global, strategy)
+                if not self.overlap_shuffle:
+                    dur += shuffle_sync
+                deps = (producer,) if producer else ()
+                eng.add(sname, dur, "comm", deps)
+                incoming.setdefault(p, []).append(sname)
+                if not self.overlap_shuffle:
+                    prev_bwd = sname  # blocking: gates everything after it
+
         for layer in reversed(order):
             c = costs.get(layer.name)
-            if c is None:
-                continue
             name = layer.name
+            if c is None:
+                carry_b.extend(incoming.pop(name, ()))
+                route_back_shuffles(name, prev_bwd)
+                continue
             base_deps = (prev_bwd,) if prev_bwd else ()
+            base_deps = base_deps + tuple(carry_b) + tuple(incoming.pop(name, ()))
+            carry_b = []
             if c.bpx_halo > 0 and self.overlap_halo:
                 interior = c.bpx_compute * (1 - c.boundary_fraction)
                 boundary = c.bpx_compute * c.boundary_fraction + c.boundary_launch
@@ -179,6 +258,7 @@ class TrainingStepSimulator:
                     (f"bwd:{name}:filter",),
                 )
             prev_bwd = f"bwd:{name}:data"
+            route_back_shuffles(name, prev_bwd)
             if c.allreduce > 0:
                 if bucketing and c.allreduce_bytes > 0:
                     key = (

@@ -17,8 +17,9 @@ partitioned global view of multidimensional tensors" with halo exchange
   exchange for uniformly partitioned tensors (§III-A) and the overlapped,
   request-driven :class:`~repro.tensor.halo.RegionExchange` that hides
   exchanges behind interior computation (§IV-A).
-* :mod:`repro.tensor.shuffle` — all-to-all redistribution between two
-  distributions (§III-C).
+* :mod:`repro.tensor.shuffle` — redistribution between two distributions
+  (§III-C): blocking all-to-all and the overlapped, plan-cached
+  :class:`~repro.tensor.shuffle.ShuffleExchange`.
 """
 
 from repro.tensor.indexing import (
@@ -32,7 +33,14 @@ from repro.tensor.grid import ProcessGrid
 from repro.tensor.distribution import DimKind, Distribution
 from repro.tensor.dist_tensor import DistTensor
 from repro.tensor.halo import RegionExchange, halo_exchange, start_region_exchange
-from repro.tensor.shuffle import shuffle
+from repro.tensor.shuffle import (
+    ShuffleExchange,
+    ShufflePlan,
+    plan_shuffle,
+    shuffle,
+    shuffle_plan_stats,
+    start_shuffle,
+)
 
 __all__ = [
     "DimKind",
@@ -40,12 +48,17 @@ __all__ = [
     "Distribution",
     "ProcessGrid",
     "RegionExchange",
+    "ShuffleExchange",
+    "ShufflePlan",
     "block_bounds",
     "block_coords_of_interval",
     "block_size",
     "extract_padded",
     "halo_exchange",
     "intersect",
+    "plan_shuffle",
     "shuffle",
+    "shuffle_plan_stats",
     "start_region_exchange",
+    "start_shuffle",
 ]

@@ -165,6 +165,25 @@ class DistTensor:
             owners.append((self.grid.rank_of(coords), overlap))
         return owners
 
+    @staticmethod
+    def _stage_payload(arr: np.ndarray, pool) -> np.ndarray:
+        """Stage an off-rank alltoall payload through ``pool``.
+
+        Without a pool the raw view is returned (the communicator copies or
+        freezes it as needed).  With a pool, the data is copied into a
+        recycled contiguous buffer whose read-only view crosses the
+        boundary; the buffer returns to the pool (deferred) once every
+        receiver drops the view — the halo send-strip discipline.
+        """
+        if pool is None:
+            return arr
+        buf = pool.take(arr.shape, arr.dtype)
+        np.copyto(buf, arr)
+        view = buf.view()
+        view.flags.writeable = False
+        pool.give_deferred(buf, view)
+        return view
+
     def _local_slice_of(self, region: tuple[tuple[int, int], ...]) -> np.ndarray:
         """View of the local shard covering global ``region`` (must be owned)."""
         my = self.bounds
@@ -191,8 +210,10 @@ class DistTensor:
         pass an empty region to participate without fetching).  Out-of-range
         parts are filled with ``fill``.  ``pool`` (a
         :class:`~repro.comm.buffers.BufferPool`) supplies the assembly
-        buffer; the caller owns the result and may ``give`` it back once
-        done reading it.
+        buffer *and* stages the off-rank reply payloads (recycled across
+        calls via deferred reclamation once the requesters drop the
+        zero-copy views); the caller owns the result and may ``give`` it
+        back once done reading it.
         """
         lo = tuple(int(v) for v in lo)
         hi = tuple(int(v) for v in hi)
@@ -211,8 +232,13 @@ class DistTensor:
 
         incoming = comm.alltoall(requests)
         replies = [
-            [self._local_slice_of(region) for region in regions]
-            for regions in incoming
+            [
+                self._stage_payload(self._local_slice_of(region), pool)
+                if j != comm.rank
+                else self._local_slice_of(region)
+                for region in regions
+            ]
+            for j, regions in enumerate(incoming)
         ]
         comm.stats.record_collective(
             "region_data",
@@ -240,12 +266,15 @@ class DistTensor:
         self,
         region: np.ndarray,
         lo: Sequence[int],
+        pool=None,
     ) -> None:
         """Collectively scatter ``region`` (anchored at global ``lo``) to its
         owners, *adding* into their local shards.
 
         Parts of the region outside the global tensor are dropped (they
         correspond to virtual padding).  All grid ranks must call together.
+        ``pool`` stages the off-rank contribution payloads (same deferred
+        recycling as :meth:`gather_region`'s replies).
         """
         lo = tuple(int(v) for v in lo)
         hi = tuple(b + s for b, s in zip(lo, region.shape))
@@ -259,7 +288,10 @@ class DistTensor:
             sl = tuple(
                 slice(iv[0] - b, iv[1] - b) for iv, b in zip(overlap, lo)
             )
-            sends[rank].append((overlap, region[sl]))
+            piece = region[sl]
+            if rank != comm.rank:
+                piece = self._stage_payload(piece, pool)
+            sends[rank].append((overlap, piece))
 
         comm.stats.record_collective(
             "region_data",

@@ -1,8 +1,12 @@
-"""BufferPool recycling: immediate reuse and deferred send-strip reclaim."""
+"""BufferPool recycling: immediate reuse, deferred send-strip reclaim, and
+pooled gather/scatter alltoall payloads."""
 
 import numpy as np
 
 from repro.comm import BufferPool, run_spmd
+from repro.core.dist_layers import DistPool2d
+from repro.core.parallelism import activation_dist
+from repro.nn import functional as F
 from repro.tensor import DistTensor, Distribution, ProcessGrid, halo_exchange
 
 
@@ -89,3 +93,99 @@ class TestDeferredReclaim:
             return True
 
         assert all(run_spmd(4, prog))
+
+
+class TestGatherScatterPayloadPooling:
+    """gather_region replies and scatter_region_add contributions are
+    staged through the pool and recycled across calls."""
+
+    def test_gather_region_reply_payloads_recycled(self):
+        x = np.arange(144.0).reshape(12, 12)
+        dist = Distribution.make((2, 2))
+        iters = 6
+
+        def prog(comm):
+            grid = ProcessGrid(comm, (2, 2))
+            dt = DistTensor.from_global(grid, dist, x)
+            pool = BufferPool(max_buffers_per_key=16)
+            (hlo, hhi), (wlo, whi) = dt.bounds
+            for _ in range(iters):
+                out = dt.gather_region((hlo - 2, wlo - 2), (hhi + 2, whi + 2), pool=pool)
+                comm.barrier()  # peers drain -> reply views reclaimable
+                pool.give(out)
+            return pool.stats()
+
+        for hits, misses in run_spmd(4, prog):
+            # O(1) allocations over O(iters) takes: only the warmup
+            # populations miss, everything afterwards recycles.
+            assert hits > misses, (hits, misses)
+
+    def test_gather_region_pooled_matches_unpooled(self):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((9, 13))
+        dist = Distribution.make((2, 2))
+
+        def prog(comm):
+            grid = ProcessGrid(comm, (2, 2))
+            dt = DistTensor.from_global(grid, dist, x)
+            pool = BufferPool()
+            (hlo, hhi), (wlo, whi) = dt.bounds
+            region = ((hlo - 1, wlo - 2), (hhi + 2, whi + 1))
+            for _ in range(3):
+                got = dt.gather_region(*region, pool=pool)
+                want = dt.gather_region(*region)
+                np.testing.assert_array_equal(got, want)
+                pool.give(got)
+            return True
+
+        assert all(run_spmd(4, prog))
+
+    def test_scatter_region_add_pooled_matches_unpooled(self):
+        rng = np.random.default_rng(8)
+        contributions = rng.standard_normal((4, 7, 7))
+        dist = Distribution.make((2, 2))
+
+        def prog(comm):
+            grid = ProcessGrid(comm, (2, 2))
+            pool = BufferPool()
+            outs = []
+            for pooled in (True, False):
+                dt = DistTensor.zeros(grid, dist, (10, 10))
+                for _ in range(2):
+                    dt.scatter_region_add(
+                        contributions[comm.rank], (comm.rank, comm.rank),
+                        pool=pool if pooled else None,
+                    )
+                outs.append(dt.to_global())
+            np.testing.assert_array_equal(outs[0], outs[1])
+            return True
+
+        assert all(run_spmd(4, prog))
+
+    def test_dist_pool2d_numerics_unchanged_under_pooling(self):
+        """DistPool2d now routes its gather/scatter traffic through an
+        internal pool; forward/backward must replicate the single-device
+        result exactly, and repeated steps must recycle buffers."""
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal((2, 3, 8, 8))
+        y_ref, argmax = F.maxpool2d_forward(x, (2, 2), (2, 2), 0)
+        dy = rng.standard_normal(y_ref.shape)
+        dx_ref = F.maxpool2d_backward(dy, argmax, x.shape, (2, 2), (2, 2), 0)
+        grid_shape = (1, 1, 2, 2)
+
+        def prog(comm):
+            grid = ProcessGrid(comm, grid_shape)
+            dist = activation_dist(grid_shape, x.shape)
+            xd = DistTensor.from_global(grid, dist, x)
+            layer = DistPool2d(grid, "max", 2, 2)
+            for _ in range(3):
+                y = layer.forward(xd)
+                dyd = DistTensor.from_global(grid, y.dist, dy)
+                dx = layer.backward(dyd)
+                comm.barrier()
+            return y.to_global(), dx.to_global(), layer._pool.stats()
+
+        for y, dx, (hits, misses) in run_spmd(4, prog):
+            np.testing.assert_array_equal(y, y_ref)
+            np.testing.assert_array_equal(dx, dx_ref)
+            assert hits > 0, (hits, misses)  # later steps recycled buffers

@@ -77,6 +77,34 @@ class TestChannelParallel:
         ys = run_spmd(2, prog)
         np.testing.assert_array_equal(ys[0], ys[1])
 
+    def test_pool_recycles_with_stable_numerics(self):
+        """Channel-parallel twin of the filter-parallel pooling test."""
+        rng = np.random.default_rng(22)
+        x = rng.standard_normal((2, 4, 10, 10))
+        w = rng.standard_normal((5, 4, 3, 3))
+
+        def prog(comm):
+            grid = ProcessGrid(comm, (1, 2, 1, 1))
+            xd = DistTensor.from_global(grid, Distribution.make((1, 2, 1, 1)), x)
+            conv = ChannelParallelConv2d(grid, w, pad=1)
+            outs = []
+            for _ in range(3):
+                y = conv.forward(xd)
+                dyd = DistTensor.from_global(
+                    grid, y.dist, np.ones(y.global_shape)
+                )
+                dx, dw_local = conv.backward(dyd)
+                outs.append((y.to_global(), dx.to_global(), dw_local.copy()))
+                comm.barrier()
+            return outs, conv._pool.stats()
+
+        for outs, (hits, misses) in run_spmd(2, prog):
+            first = outs[0]
+            for later in outs[1:]:
+                for a, b in zip(later, first):
+                    np.testing.assert_array_equal(a, b)
+            assert hits > 0, (hits, misses)
+
     def test_rejects_unsplit_input(self):
         def prog(comm):
             grid = ProcessGrid(comm, (1, 2, 1, 1))
@@ -170,6 +198,39 @@ class TestFilterParallel:
 
         with pytest.raises(ValueError, match="replicated"):
             run_spmd(2, prog, timeout=10)
+
+    def test_pool_recycles_with_stable_numerics(self):
+        """The channel/filter convolutions stage their gathered regions and
+        alltoall reply payloads through an internal BufferPool; repeated
+        steps must recycle buffers without perturbing any value."""
+        rng = np.random.default_rng(21)
+        x = rng.standard_normal((2, 4, 10, 10))
+        w = rng.standard_normal((6, 4, 3, 3))
+
+        def prog(comm):
+            grid = ProcessGrid(comm, (1, 2, 1, 1))
+            xd = DistTensor.from_global(
+                grid, _channel_replicated_dist((1, 2, 1, 1), x.shape), x
+            )
+            conv = FilterParallelConv2d(grid, w, pad=1)
+            outs = []
+            for _ in range(3):
+                y = conv.forward(xd)
+                dyd = DistTensor.from_global(
+                    grid, y.dist, np.ones(y.global_shape)
+                )
+                dx, dw_local = conv.backward(dyd)
+                outs.append((y.to_global(), dx.to_global(), dw_local.copy()))
+                comm.barrier()
+            return outs, conv._pool.stats()
+
+        for outs, (hits, misses) in run_spmd(2, prog):
+            first_y, first_dx, first_dw = outs[0]
+            for y, dx, dw_local in outs[1:]:
+                np.testing.assert_array_equal(y, first_y)
+                np.testing.assert_array_equal(dx, first_dx)
+                np.testing.assert_array_equal(dw_local, first_dw)
+            assert hits > 0, (hits, misses)  # buffers actually recycled
 
     def test_too_few_filters(self):
         def prog(comm):

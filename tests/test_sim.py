@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.parallelism import LayerParallelism as LP
 from repro.core.parallelism import ParallelStrategy
+from repro.nn import NetworkSpec
 from repro.nn.meshnet import mesh_model_1k
 from repro.nn.resnet import build_resnet50
 from repro.perfmodel import LASSEN, NetworkCostModel
@@ -131,6 +132,68 @@ class TestTrainingSimulator:
         assert bucketed.minibatch_time >= per_layer.compute_busy - 1e-12
         assert bucketed.minibatch_time == pytest.approx(
             per_layer.minibatch_time, rel=0.05
+        )
+
+    def test_overlapped_shuffle_decomposition(self):
+        """Engine-vs-sim consistency for the overlapped-shuffle task: on a
+        small mesh config with a skip edge crossing a strategy change, the
+        simulator's step time follows the analytic
+        ``max(compute, shuffle) + exposed`` decomposition, and the sim's
+        shuffle task durations equal the cost model's per-edge shuffle cost
+        — guarded the same way halo ``boundary_fraction`` is."""
+        spec = NetworkSpec("shuffle-branch")
+        spec.add("input", "input", channels=4, height=16, width=16)
+        spec.add("c0", "conv", ["input"], filters=8, kernel=3, pad=1)
+        spec.add("a1", "conv", ["c0"], filters=8, kernel=3, pad=1)
+        spec.add("join", "add", ["a1", "c0"])
+        strategy = ParallelStrategy(
+            {"join": LP(height=2, width=2)}, default=LP(sample=4)
+        )
+        n = 8
+        sim_on = TrainingStepSimulator(spec, LASSEN).simulate(n, strategy)
+        sim_off = TrainingStepSimulator(
+            spec, LASSEN, overlap_shuffle=False
+        ).simulate(n, strategy)
+        model = NetworkCostModel(spec, LASSEN)
+        eng = sim_on.engine
+
+        # Guard: sim shuffle tasks carry exactly the analytic per-edge cost.
+        s_c0 = model.shuffle_edge_cost("c0", n, strategy)
+        s_a1 = model.shuffle_edge_cost("a1", n, strategy)
+        assert eng["fwd:shuf:c0->join"].duration == pytest.approx(s_c0)
+        assert eng["fwd:shuf:a1->join"].duration == pytest.approx(s_a1)
+        assert "bwd:shuf:join->c0" in eng._tasks
+        assert "bwd:shuf:join->a1" in eng._tasks
+
+        # Decomposition: the skip-edge shuffle (ready when c0 finishes)
+        # hides behind the a1 branch; join waits for
+        # c0 + max(skip shuffle, branch compute) + the a1 shuffle.
+        t0 = eng["fwd:c0"].finish
+        branch = eng["fwd:a1"].duration
+        assert eng["fwd:join"].start == pytest.approx(
+            t0 + max(s_c0, branch) + s_a1
+        )
+
+        # Blocking mode serializes at consumption and pays the collective's
+        # rendezvous-barrier synchronization on every shuffle.
+        sync = model.shuffle_sync_overhead(strategy.nranks)
+        assert sync > 0
+        assert sim_off.engine["fwd:shuf:c0->join"].duration == pytest.approx(
+            s_c0 + sync
+        )
+        assert sim_off.minibatch_time > sim_on.minibatch_time
+
+        # The analytic breakdown exposes the matching split: overlapped
+        # charges payload only; blocking adds two barriers per shuffle
+        # (2 edges x fwd+bwd = 4 shuffles here).
+        bd_on = model.cost(n, strategy)
+        bd_off = NetworkCostModel(
+            spec, LASSEN, overlap_shuffle=False
+        ).cost(n, strategy)
+        assert bd_on.shuffle_total == pytest.approx(2 * (s_c0 + s_a1))
+        assert bd_on.shuffle_exposed == pytest.approx(bd_on.shuffle_total)
+        assert bd_off.shuffle_exposed == pytest.approx(
+            bd_off.shuffle_total + 4 * sync
         )
 
     def test_bucketing_requires_overlap(self):
