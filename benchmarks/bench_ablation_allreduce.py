@@ -19,9 +19,9 @@ from repro.comm import (
 from repro.perfmodel import LASSEN
 
 try:
-    from benchmarks.common import emit, render_table
+    from benchmarks.common import bench_main, emit, render_table
 except ImportError:
-    from common import emit, render_table
+    from common import bench_main, emit, render_table
 
 SIZES = [256, 64 * 1024, 1 * 1024 * 1024, 102 * 1024 * 1024, 130 * 1024 * 1024]
 RANKS = [4, 16, 64, 512, 2048]
@@ -90,4 +90,5 @@ def test_measured_inprocess_allreduce(benchmark):
 
 
 if __name__ == "__main__":
-    emit("ablation_allreduce", generate_allreduce_ablation()[0])
+    bench_main(__doc__, lambda: emit(
+        "ablation_allreduce", generate_allreduce_ablation()[0]))

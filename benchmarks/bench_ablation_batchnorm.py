@@ -16,9 +16,9 @@ from repro.core.parallelism import activation_dist
 from repro.tensor import DistTensor, ProcessGrid
 
 try:
-    from benchmarks.common import emit, render_table
+    from benchmarks.common import bench_main, emit, render_table
 except ImportError:
-    from common import emit, render_table
+    from common import bench_main, emit, render_table
 
 GRID = (2, 1, 2, 2)  # hybrid: 2 sample groups x 2x2 spatial
 
@@ -104,4 +104,5 @@ def test_bn_variants_all_train(benchmark):
 
 
 if __name__ == "__main__":
-    emit("ablation_batchnorm", generate_bn_ablation()[0])
+    bench_main(__doc__, lambda: emit(
+        "ablation_batchnorm", generate_bn_ablation()[0]))

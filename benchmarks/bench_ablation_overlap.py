@@ -21,9 +21,9 @@ from repro.sim import TrainingStepSimulator
 from repro.perfmodel import LASSEN
 
 try:
-    from benchmarks.common import emit, render_table
+    from benchmarks.common import bench_main, emit, render_table
 except ImportError:
-    from common import emit, render_table
+    from common import bench_main, emit, render_table
 
 CONFIGS = [
     ("1K, 4x(2x2)", mesh_model_1k, LayerParallelism(sample=4, height=2, width=2), 4),
@@ -160,6 +160,10 @@ def test_engine_vs_sim_overlap():
     assert data["measured_overlapped_s"] > 0
 
 
-if __name__ == "__main__":
+def _emit_all() -> None:
     emit("ablation_overlap", generate_overlap_ablation()[0])
     emit("ablation_overlap_engine", generate_engine_vs_sim()[0])
+
+
+if __name__ == "__main__":
+    bench_main(__doc__, _emit_all)

@@ -15,7 +15,13 @@ cost model's ``max(interior, halo)`` term) and emits
 ``benchmarks/results/BENCH_halo_overlap.json`` so the step-time trajectory
 is tracked from PR to PR.
 
-Run:  PYTHONPATH=src python benchmarks/bench_halo_overlap.py
+Both world backends are measured (``--backend both``, the default): on
+the thread backend the ranks time-share the interpreter, so the delta is
+removed synchronization; on the process backend the blocking gather's two
+all-to-all collectives cost real message exchanges per rank, and the
+nonblocking strips remove them entirely.
+
+Run:  PYTHONPATH=src python benchmarks/bench_halo_overlap.py [--backend both]
 """
 
 from __future__ import annotations
@@ -32,9 +38,13 @@ from repro.nn import NetworkSpec, SGD
 from repro.tensor.halo import HALO_OP
 
 try:
-    from benchmarks.common import RESULTS_DIR, emit, render_table
+    from benchmarks.common import (
+        BENCH_BACKENDS, RESULTS_DIR, emit, multi_backend_main, render_table,
+    )
 except ImportError:
-    from common import RESULTS_DIR, emit, render_table
+    from common import (
+        BENCH_BACKENDS, RESULTS_DIR, emit, multi_backend_main, render_table,
+    )
 
 JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_halo_overlap.json")
 
@@ -73,7 +83,7 @@ def halo_model() -> NetworkSpec:
 
 
 def _measure(
-    par: LayerParallelism, overlap_halo: bool, steps: int
+    par: LayerParallelism, overlap_halo: bool, steps: int, backend: str
 ) -> tuple[float, dict]:
     """Max-over-ranks seconds/step plus rank-0 halo wait/overlap totals."""
     spec = halo_model()
@@ -99,7 +109,7 @@ def _measure(
             comm.stats.overlap_seconds.get(HALO_OP, 0.0),
         )
 
-    results = run_spmd(par.nranks, prog)
+    results = run_spmd(par.nranks, prog, backend=backend)
     per_step = max(r[0] for r in results) / steps
     detail = {
         "halo_exposed_s": results[0][1] / steps,
@@ -109,48 +119,57 @@ def _measure(
 
 
 def generate_halo_overlap(
-    steps: int = 6, repeats: int = 3, json_path: str | None = JSON_PATH
+    steps: int = 6,
+    repeats: int = 3,
+    json_path: str | None = JSON_PATH,
+    backends: tuple[str, ...] = BENCH_BACKENDS,
 ) -> tuple[str, dict]:
     """``json_path=None`` skips the JSON emission; smoke runs pass a scratch
     path so reduced-size numbers never overwrite the tracked trajectory."""
     rows, configs = [], []
-    for label, par in CONFIGS:
-        sync = min(
-            _measure(par, overlap_halo=False, steps=steps)[0]
-            for _ in range(repeats)
-        )
-        best = None
-        detail: dict = {}
-        for _ in range(repeats):
-            per_step, d = _measure(par, overlap_halo=True, steps=steps)
-            if best is None or per_step < best:
-                best, detail = per_step, d
-        speedup = sync / best
-        configs.append(
-            {
-                "label": label,
-                "nranks": par.nranks,
-                "sync_step_s": sync,
-                "overlap_step_s": best,
-                "speedup": speedup,
-                **detail,
-            }
-        )
-        rows.append(
-            [
-                label,
-                str(par.nranks),
-                f"{sync * 1e3:8.2f}",
-                f"{best * 1e3:8.2f}",
-                f"{speedup:5.2f}x",
-                f"{detail['halo_hidden_s'] * 1e3:7.2f}",
-                f"{detail['halo_exposed_s'] * 1e3:7.2f}",
-            ]
-        )
+    for backend in backends:
+        for label, par in CONFIGS:
+            sync = min(
+                _measure(par, overlap_halo=False, steps=steps, backend=backend)[0]
+                for _ in range(repeats)
+            )
+            best = None
+            detail: dict = {}
+            for _ in range(repeats):
+                per_step, d = _measure(
+                    par, overlap_halo=True, steps=steps, backend=backend
+                )
+                if best is None or per_step < best:
+                    best, detail = per_step, d
+            speedup = sync / best
+            configs.append(
+                {
+                    "backend": backend,
+                    "label": label,
+                    "nranks": par.nranks,
+                    "sync_step_s": sync,
+                    "overlap_step_s": best,
+                    "speedup": speedup,
+                    **detail,
+                }
+            )
+            rows.append(
+                [
+                    backend,
+                    label,
+                    str(par.nranks),
+                    f"{sync * 1e3:8.2f}",
+                    f"{best * 1e3:8.2f}",
+                    f"{speedup:5.2f}x",
+                    f"{detail['halo_hidden_s'] * 1e3:7.2f}",
+                    f"{detail['halo_exposed_s'] * 1e3:7.2f}",
+                ]
+            )
     text = render_table(
         "Wall clock — synchronous vs overlapped halo exchange "
         f"(measured ms/step, {steps} steps, batch {BATCH}, {HW}x{HW})",
-        ["config", "ranks", "sync", "overlapped", "speedup", "hidden", "exposed"],
+        ["backend", "config", "ranks", "sync", "overlapped", "speedup",
+         "hidden", "exposed"],
         rows,
     )
     payload = {"steps": steps, "batch": BATCH, "image": HW, "configs": configs}
@@ -165,7 +184,9 @@ def test_halo_overlap_bench_smoke():
     """The benchmark runs and overlap is never a serious regression (the
     measured speedup itself goes into the JSON on full runs).  The collected
     tier-1 counterpart lives in tests/test_halo_overlap.py."""
-    text, payload = generate_halo_overlap(steps=2, repeats=1, json_path=None)
+    text, payload = generate_halo_overlap(
+        steps=2, repeats=1, json_path=None, backends=("thread",)
+    )
     for cfg in payload["configs"]:
         assert cfg["overlap_step_s"] > 0 and cfg["sync_step_s"] > 0
         assert cfg["speedup"] > 0.8, text
@@ -174,4 +195,4 @@ def test_halo_overlap_bench_smoke():
 
 
 if __name__ == "__main__":
-    emit("bench_halo_overlap", generate_halo_overlap()[0])
+    multi_backend_main(__doc__, "bench_halo_overlap", generate_halo_overlap)

@@ -29,9 +29,9 @@ from repro.sim import TrainingStepSimulator
 from repro.tensor import DistTensor, ProcessGrid
 
 try:
-    from benchmarks.common import emit, render_table
+    from benchmarks.common import bench_main, emit, render_table
 except ImportError:
-    from common import emit, render_table
+    from common import bench_main, emit, render_table
 
 
 def generate_model_vs_sim() -> tuple[str, list[float]]:
@@ -158,6 +158,10 @@ class TestModelValidation:
         assert measured == [expected, expected]
 
 
-if __name__ == "__main__":
+def _emit_all() -> None:
     emit("model_validation_sim", generate_model_vs_sim()[0])
     emit("model_validation_measured", generate_measured_ranking()[0])
+
+
+if __name__ == "__main__":
+    bench_main(__doc__, _emit_all)

@@ -28,7 +28,13 @@ Two levels are measured and emitted to
   nonblocking path genuinely removes (two rendezvous barriers per
   collective) and is robust to scheduler noise.
 
-Run:  PYTHONPATH=src python benchmarks/bench_shuffle_overlap.py
+Both world backends are measured (``--backend both``, the default); the
+JSON carries one engine config row and one collective-level entry per
+backend.  On the process backend the blocking collective's rendezvous is a
+real message exchange per rank pair, so the overlapped path's win is
+larger and hardware-true rather than scheduler-bound.
+
+Run:  PYTHONPATH=src python benchmarks/bench_shuffle_overlap.py [--backend both]
 """
 
 from __future__ import annotations
@@ -47,9 +53,13 @@ from repro.tensor import DistTensor, Distribution, ProcessGrid
 from repro.tensor.shuffle import SHUFFLE_OP, shuffle, start_shuffle
 
 try:
-    from benchmarks.common import RESULTS_DIR, emit, render_table
+    from benchmarks.common import (
+        BENCH_BACKENDS, RESULTS_DIR, emit, multi_backend_main, render_table,
+    )
 except ImportError:
-    from common import RESULTS_DIR, emit, render_table
+    from common import (
+        BENCH_BACKENDS, RESULTS_DIR, emit, multi_backend_main, render_table,
+    )
 
 JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_shuffle_overlap.json")
 
@@ -117,7 +127,7 @@ CONFIGS = [
 
 
 def _measure(
-    strategy: ParallelStrategy, overlap_shuffle: bool, steps: int
+    strategy: ParallelStrategy, overlap_shuffle: bool, steps: int, backend: str
 ) -> tuple[float, dict]:
     """Max-over-ranks seconds/step plus rank-0 shuffle wait/overlap totals."""
     spec = shuffle_model()
@@ -143,7 +153,7 @@ def _measure(
             comm.stats.overlap_seconds.get(SHUFFLE_OP, 0.0),
         )
 
-    results = run_spmd(4, prog)
+    results = run_spmd(4, prog, backend=backend)
     per_step = max(r[0] for r in results) / steps
     detail = {
         "shuffle_exposed_s": results[0][1] / steps,
@@ -152,7 +162,7 @@ def _measure(
     return per_step, detail
 
 
-def _measure_collective(iters: int, repeats: int = 3) -> dict:
+def _measure_collective(iters: int, repeats: int = 3, backend: str = "thread") -> dict:
     """The redistribution primitive itself: blocking vs overlapped.
 
     Latency-bound payloads (the paper's strong-scaling regime: tiny
@@ -191,7 +201,7 @@ def _measure_collective(iters: int, repeats: int = 3) -> dict:
             overlapped = t if overlapped is None else min(overlapped, t)
         return blocking, overlapped
 
-    results = run_spmd(4, prog)
+    results = run_spmd(4, prog, backend=backend)
     blocking = max(r[0] for r in results) / iters
     overlapped = max(r[1] for r in results) / iters
     return {
@@ -203,62 +213,75 @@ def _measure_collective(iters: int, repeats: int = 3) -> dict:
 
 
 def generate_shuffle_overlap(
-    steps: int = 6, repeats: int = 3, json_path: str | None = JSON_PATH
+    steps: int = 6,
+    repeats: int = 3,
+    json_path: str | None = JSON_PATH,
+    backends: tuple[str, ...] = BENCH_BACKENDS,
 ) -> tuple[str, dict]:
     """``json_path=None`` skips the JSON emission; smoke runs pass a scratch
     path so reduced-size numbers never overwrite the tracked trajectory."""
     rows, configs = [], []
-    for label, strategy in CONFIGS:
-        sync = min(
-            _measure(strategy, overlap_shuffle=False, steps=steps)[0]
-            for _ in range(repeats)
+    collectives: dict = {}
+    for backend in backends:
+        for label, strategy in CONFIGS:
+            sync = min(
+                _measure(strategy, overlap_shuffle=False, steps=steps,
+                         backend=backend)[0]
+                for _ in range(repeats)
+            )
+            best = None
+            detail: dict = {}
+            for _ in range(repeats):
+                per_step, d = _measure(
+                    strategy, overlap_shuffle=True, steps=steps, backend=backend
+                )
+                if best is None or per_step < best:
+                    best, detail = per_step, d
+            speedup = sync / best
+            configs.append(
+                {
+                    "backend": backend,
+                    "label": label,
+                    "nranks": 4,
+                    "sync_step_s": sync,
+                    "overlap_step_s": best,
+                    "speedup": speedup,
+                    **detail,
+                }
+            )
+            rows.append(
+                [
+                    backend,
+                    label,
+                    "4",
+                    f"{sync * 1e3:8.2f}",
+                    f"{best * 1e3:8.2f}",
+                    f"{speedup:5.2f}x",
+                    f"{detail['shuffle_hidden_s'] * 1e3:7.2f}",
+                    f"{detail['shuffle_exposed_s'] * 1e3:7.2f}",
+                ]
+            )
+        collective = _measure_collective(
+            iters=max(50, 100 * steps), repeats=max(2, repeats), backend=backend
         )
-        best = None
-        detail: dict = {}
-        for _ in range(repeats):
-            per_step, d = _measure(strategy, overlap_shuffle=True, steps=steps)
-            if best is None or per_step < best:
-                best, detail = per_step, d
-        speedup = sync / best
-        configs.append(
-            {
-                "label": label,
-                "nranks": 4,
-                "sync_step_s": sync,
-                "overlap_step_s": best,
-                "speedup": speedup,
-                **detail,
-            }
-        )
+        collectives[backend] = collective
         rows.append(
             [
-                label,
+                backend,
+                "collective layer (us/shuffle)",
                 "4",
-                f"{sync * 1e3:8.2f}",
-                f"{best * 1e3:8.2f}",
-                f"{speedup:5.2f}x",
-                f"{detail['shuffle_hidden_s'] * 1e3:7.2f}",
-                f"{detail['shuffle_exposed_s'] * 1e3:7.2f}",
+                f"{collective['blocking_s'] * 1e6:8.2f}",
+                f"{collective['overlap_s'] * 1e6:8.2f}",
+                f"{collective['collective_speedup']:5.2f}x",
+                "      -",
+                "      -",
             ]
         )
-    collective = _measure_collective(
-        iters=max(50, 100 * steps), repeats=max(2, repeats)
-    )
-    rows.append(
-        [
-            "collective layer (us/shuffle)",
-            "4",
-            f"{collective['blocking_s'] * 1e6:8.2f}",
-            f"{collective['overlap_s'] * 1e6:8.2f}",
-            f"{collective['collective_speedup']:5.2f}x",
-            "      -",
-            "      -",
-        ]
-    )
     text = render_table(
         "Wall clock — blocking vs overlapped inter-layer shuffle "
         f"(measured ms/step, {steps} steps, batch {BATCH}, {HW}x{HW})",
-        ["config", "ranks", "sync", "overlapped", "speedup", "hidden", "exposed"],
+        ["backend", "config", "ranks", "sync", "overlapped", "speedup",
+         "hidden", "exposed"],
         rows,
     )
     payload = {
@@ -266,7 +289,7 @@ def generate_shuffle_overlap(
         "batch": BATCH,
         "image": HW,
         "configs": configs,
-        "collective": collective,
+        "collective": collectives,
     }
     if json_path is not None:
         os.makedirs(RESULTS_DIR, exist_ok=True)
@@ -281,14 +304,16 @@ def test_shuffle_overlap_bench_smoke():
     the collective-level win — the work the nonblocking path removes — is
     real.  The collected tier-1 counterpart lives in
     tests/test_shuffle_overlap.py."""
-    text, payload = generate_shuffle_overlap(steps=2, repeats=1, json_path=None)
+    text, payload = generate_shuffle_overlap(
+        steps=2, repeats=1, json_path=None, backends=("thread",)
+    )
     for cfg in payload["configs"]:
         assert cfg["overlap_step_s"] > 0 and cfg["sync_step_s"] > 0
         assert cfg["speedup"] > 0.8, text
         # The shuffle split is actually measured on the overlapped path.
         assert cfg["shuffle_hidden_s"] + cfg["shuffle_exposed_s"] > 0, text
-    assert payload["collective"]["collective_speedup"] > 0.8, text
+    assert payload["collective"]["thread"]["collective_speedup"] > 0.8, text
 
 
 if __name__ == "__main__":
-    emit("bench_shuffle_overlap", generate_shuffle_overlap()[0])
+    multi_backend_main(__doc__, "bench_shuffle_overlap", generate_shuffle_overlap)

@@ -1,13 +1,18 @@
 """Wall-clock microbenchmark: blocking vs overlapped gradient allreduce.
 
-Runs real forward+backward+update steps of the in-process engine on 4 and 8
-ranks and times them with the bucketed nonblocking reducer on (the default)
-and off (the historical serial path: one blocking allreduce per parameter
-tensor after the whole backward pass).  Emits a table and
-``benchmarks/results/BENCH_overlap.json`` so the step-time trajectory is
-tracked from PR to PR.
+Runs real forward+backward+update steps of the engine on 4 and 8 ranks and
+times them with the bucketed nonblocking reducer on (the default) and off
+(the historical serial path: one blocking allreduce per parameter tensor
+after the whole backward pass), on **both world backends**: the thread
+backend (ranks time-share one interpreter, so the overlap win is the
+removed synchronization) and the process backend (one OS process per rank
+with shared-memory transport, where blocking collectives additionally pay
+real message exchanges — and, given cores, ranks compute in parallel).
+Emits a table and ``benchmarks/results/BENCH_overlap.json`` (one config
+row per backend x rank count) so the step-time trajectory is tracked from
+PR to PR.
 
-Run:  PYTHONPATH=src python benchmarks/bench_wallclock.py
+Run:  PYTHONPATH=src python benchmarks/bench_wallclock.py [--backend both]
 """
 
 from __future__ import annotations
@@ -23,9 +28,13 @@ from repro.core import DistNetwork, DistTrainer, LayerParallelism
 from repro.nn import NetworkSpec, SGD
 
 try:
-    from benchmarks.common import RESULTS_DIR, emit, render_table
+    from benchmarks.common import (
+        BENCH_BACKENDS, RESULTS_DIR, emit, multi_backend_main, render_table,
+    )
 except ImportError:
-    from common import RESULTS_DIR, emit, render_table
+    from common import (
+        BENCH_BACKENDS, RESULTS_DIR, emit, multi_backend_main, render_table,
+    )
 
 JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_overlap.json")
 
@@ -56,7 +65,9 @@ def bench_model() -> NetworkSpec:
     return net
 
 
-def _measure(nranks: int, overlap: bool, steps: int, batch: int) -> tuple[float, dict]:
+def _measure(
+    nranks: int, overlap: bool, steps: int, batch: int, backend: str
+) -> tuple[float, dict]:
     """Max-over-ranks seconds per step, plus rank-0 comm wait/overlap totals."""
     spec = bench_model()
     rng = np.random.default_rng(7)
@@ -81,7 +92,7 @@ def _measure(nranks: int, overlap: bool, steps: int, batch: int) -> tuple[float,
         elapsed = perf_counter() - t0
         return elapsed, comm.stats.total_wait_seconds(), comm.stats.total_overlap_seconds()
 
-    results = run_spmd(nranks, prog)
+    results = run_spmd(nranks, prog, backend=backend)
     per_step = max(r[0] for r in results) / steps
     comm_detail = {
         "wait_s": results[0][1] / steps,
@@ -95,47 +106,54 @@ def generate_wallclock(
     batch: int = BATCH,
     repeats: int = 3,
     json_path: str | None = JSON_PATH,
+    backends: tuple[str, ...] = BENCH_BACKENDS,
 ) -> tuple[str, dict]:
     """``json_path=None`` skips the JSON emission; smoke runs pass a scratch
     path so reduced-size numbers never overwrite the tracked trajectory."""
     rows = []
     configs = []
-    for nranks in (4, 8):
-        blocking = min(
-            _measure(nranks, overlap=False, steps=steps, batch=batch)[0]
-            for _ in range(repeats)
-        )
-        best_overlap = None
-        detail = {}
-        for _ in range(repeats):
-            per_step, d = _measure(nranks, overlap=True, steps=steps, batch=batch)
-            if best_overlap is None or per_step < best_overlap:
-                best_overlap, detail = per_step, d
-        speedup = blocking / best_overlap
-        configs.append(
-            {
-                "nranks": nranks,
-                "blocking_step_s": blocking,
-                "overlapped_step_s": best_overlap,
-                "speedup": speedup,
-                "allreduce_wait_s": detail["wait_s"],
-                "allreduce_hidden_s": detail["hidden_s"],
-            }
-        )
-        rows.append(
-            [
-                str(nranks),
-                f"{blocking * 1e3:8.2f}",
-                f"{best_overlap * 1e3:8.2f}",
-                f"{speedup:5.2f}x",
-                f"{detail['hidden_s'] * 1e3:7.2f}",
-                f"{detail['wait_s'] * 1e3:7.2f}",
-            ]
-        )
+    for backend in backends:
+        for nranks in (4, 8):
+            blocking = min(
+                _measure(nranks, overlap=False, steps=steps, batch=batch,
+                         backend=backend)[0]
+                for _ in range(repeats)
+            )
+            best_overlap = None
+            detail = {}
+            for _ in range(repeats):
+                per_step, d = _measure(
+                    nranks, overlap=True, steps=steps, batch=batch, backend=backend
+                )
+                if best_overlap is None or per_step < best_overlap:
+                    best_overlap, detail = per_step, d
+            speedup = blocking / best_overlap
+            configs.append(
+                {
+                    "backend": backend,
+                    "nranks": nranks,
+                    "blocking_step_s": blocking,
+                    "overlapped_step_s": best_overlap,
+                    "speedup": speedup,
+                    "allreduce_wait_s": detail["wait_s"],
+                    "allreduce_hidden_s": detail["hidden_s"],
+                }
+            )
+            rows.append(
+                [
+                    backend,
+                    str(nranks),
+                    f"{blocking * 1e3:8.2f}",
+                    f"{best_overlap * 1e3:8.2f}",
+                    f"{speedup:5.2f}x",
+                    f"{detail['hidden_s'] * 1e3:7.2f}",
+                    f"{detail['wait_s'] * 1e3:7.2f}",
+                ]
+            )
     text = render_table(
         "Wall clock — blocking vs overlapped+bucketed dL/dw allreduce "
         f"(measured ms/step, {steps} steps, batch {batch})",
-        ["ranks", "blocking", "overlapped", "speedup", "hidden", "exposed"],
+        ["backend", "ranks", "blocking", "overlapped", "speedup", "hidden", "exposed"],
         rows,
     )
     payload = {"steps": steps, "batch": batch, "configs": configs}
@@ -148,7 +166,9 @@ def generate_wallclock(
 
 def test_wallclock_smoke():
     """The benchmark runs and reports a sane ratio."""
-    text, payload = generate_wallclock(steps=2, repeats=1, json_path=None)
+    text, payload = generate_wallclock(
+        steps=2, repeats=1, json_path=None, backends=("thread",)
+    )
     for cfg in payload["configs"]:
         assert cfg["overlapped_step_s"] > 0 and cfg["blocking_step_s"] > 0
         # Regression floor only: overlap must never be a big loss.  The
@@ -157,4 +177,4 @@ def test_wallclock_smoke():
 
 
 if __name__ == "__main__":
-    emit("bench_wallclock", generate_wallclock()[0])
+    multi_backend_main(__doc__, "bench_wallclock", generate_wallclock)

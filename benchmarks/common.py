@@ -8,10 +8,61 @@ are transcribed from the paper (Dryden et al., IPDPS 2019).
 
 from __future__ import annotations
 
+import argparse
 import os
 from typing import Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Backends the measured engine benchmarks sweep by default: the thread
+#: backend (one thread per rank; overlap wins are synchronization-bound)
+#: next to the process backend (one forked process per rank with
+#: shared-memory transport; ranks execute in genuine parallel).
+BENCH_BACKENDS = ("thread", "process")
+
+
+def backend_argument(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the shared ``--backend`` flag to a benchmark entry point."""
+    parser.add_argument(
+        "--backend",
+        choices=("thread", "process", "both"),
+        default="both",
+        help="SPMD world backend(s) to measure (default: both)",
+    )
+    return parser
+
+
+def resolve_backends(choice: str) -> tuple[str, ...]:
+    """Map a ``--backend`` value to the tuple of backends to measure."""
+    return BENCH_BACKENDS if choice == "both" else (choice,)
+
+
+def multi_backend_main(description: str, name: str, generate_fn) -> None:
+    """Entry-point boilerplate for the backend-sweeping benchmarks: parse
+    ``--backend`` (thread/process/both) and emit
+    ``generate_fn(backends=...)``'s rendered table under ``name``."""
+    args = backend_argument(
+        argparse.ArgumentParser(description=description)
+    ).parse_args()
+    emit(name, generate_fn(backends=resolve_backends(args.backend))[0])
+
+
+def bench_main(description: str, emit_fn) -> None:
+    """Entry-point boilerplate for benchmarks whose measured sections run a
+    single backend: parse ``--backend``, set it as the session default
+    (``REPRO_BACKEND``, honored by every ``run_spmd`` call), then emit."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default=None,
+        help="SPMD world backend for measured sections "
+        "(default: $REPRO_BACKEND or thread)",
+    )
+    args = parser.parse_args()
+    if args.backend is not None:
+        os.environ["REPRO_BACKEND"] = args.backend
+    emit_fn()
 
 # -- Table I: 1K mesh strong scaling (mini-batch time, seconds) ------------------
 # rows: N; columns: 1 / 2 / 4 / 8 / 16 GPUs/sample (None = n/a in the paper)

@@ -4,11 +4,16 @@ Writes rendered tables to ``benchmarks/results/`` and prints them.
 
 Run:  python benchmarks/run_all.py
       python benchmarks/run_all.py --smoke   # reduced sizes, seconds not minutes
+      python benchmarks/run_all.py --smoke --backend process
 
 ``--smoke`` exists so CI can exercise every benchmark entry point on tiny
 shapes (2-4 in-process ranks, a couple of steps) — the numbers are
 meaningless, but import errors, API drift, and crashed generators are
-caught before they rot.
+caught before they rot.  ``--backend`` selects which SPMD world the
+measured engine benchmarks run on: a smoke pass measures just that
+backend (the CI process-backend job passes ``--backend process``), while
+the full run always sweeps both so the tracked BENCH_*.json trajectories
+carry a thread column and a process column side by side.
 """
 
 import argparse
@@ -17,7 +22,7 @@ import os
 
 sys.path.insert(0, os.path.dirname(__file__))
 
-from common import emit  # noqa: E402
+from common import emit, resolve_backends  # noqa: E402
 
 import bench_table1_mesh1k_strong as t1  # noqa: E402
 import bench_table2_mesh2k_strong as t2  # noqa: E402
@@ -35,9 +40,10 @@ import bench_halo_overlap as bh  # noqa: E402
 import bench_shuffle_overlap as bs  # noqa: E402
 
 
-def run_smoke() -> None:
+def run_smoke(backends: tuple[str, ...] = ("thread",)) -> None:
     """Fast subset: one analytic table, the overlap ablation (simulated),
-    and both measured engine benchmarks at minimum size.
+    and the measured engine benchmarks at minimum size on the selected
+    backend(s).
 
     Reduced-size JSONs go to ``*_smoke.json`` scratch paths (gitignored) so
     a smoke pass can never overwrite the tracked perf-trajectory files.
@@ -46,13 +52,13 @@ def run_smoke() -> None:
     emit("table1_mesh1k_strong", t1.generate_table1()[0])
     emit("ablation_overlap", ao.generate_overlap_ablation()[0])
     emit("bench_wallclock", bw.generate_wallclock(
-        steps=2, repeats=1,
+        steps=2, repeats=1, backends=backends,
         json_path=os.path.join(results, "BENCH_overlap_smoke.json"))[0])
     emit("bench_halo_overlap", bh.generate_halo_overlap(
-        steps=2, repeats=1,
+        steps=2, repeats=1, backends=backends,
         json_path=os.path.join(results, "BENCH_halo_overlap_smoke.json"))[0])
     emit("bench_shuffle_overlap", bs.generate_shuffle_overlap(
-        steps=2, repeats=1,
+        steps=2, repeats=1, backends=backends,
         json_path=os.path.join(results, "BENCH_shuffle_overlap_smoke.json"))[0])
     print("\nSmoke subset regenerated under benchmarks/results/.")
 
@@ -85,9 +91,16 @@ def main(argv=None) -> None:
         action="store_true",
         help="run a reduced-size subset (tiny shapes, few steps) in seconds",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("thread", "process", "both"),
+        default="thread",
+        help="SPMD backend(s) for the measured engine benchmarks in a smoke "
+        "pass (the full run always sweeps both)",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
-        run_smoke()
+        run_smoke(backends=resolve_backends(args.backend))
     else:
         run_full()
 

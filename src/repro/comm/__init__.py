@@ -1,14 +1,21 @@
-"""MPI-like communication substrate for in-process SPMD execution.
+"""MPI-like communication substrate with pluggable SPMD backends.
 
 This package replaces the MPI + NCCL + Aluminum stack used by the paper's
-LBANN implementation with a functionally equivalent, thread-based runtime:
+LBANN implementation with a functionally equivalent runtime:
 
-* :mod:`repro.comm.backend` — the SPMD harness (:func:`run_spmd`) that runs
-  one Python thread per rank with shared mailboxes and rendezvous state.
+* :mod:`repro.comm.backend` — the SPMD harness (:func:`run_spmd`), the
+  abstract world/channel contract, the backend registry, and the default
+  **thread** backend (one Python thread per rank over shared mailboxes and
+  rendezvous state).
+* :mod:`repro.comm.proc_backend` — the **process** backend: one forked OS
+  process per rank with a shared-memory arena transport, so ranks execute
+  in genuine parallel.  Select it with ``run_spmd(..., backend="process")``
+  or globally via ``REPRO_BACKEND=process``.
 * :mod:`repro.comm.communicator` — the :class:`Communicator` API
   (``send``/``recv``/``sendrecv``/``allreduce``/``allgather``/``alltoall``/
   ``bcast``/``barrier``/``split``), mirroring mpi4py's lower-case object
-  interface.
+  interface; backend-agnostic, and bitwise-reproducible across backends
+  for a fixed rank count.
 * :mod:`repro.comm.stats` — per-rank communication statistics (bytes,
   message and collective counts) used by tests and benchmarks to verify the
   communication-volume formulas of the paper's Section V.
@@ -18,12 +25,22 @@ LBANN implementation with a functionally equivalent, thread-based runtime:
 The communicator is *buffered and eager*: ``send`` never blocks, so the
 halo-exchange and shuffle patterns used by the distributed tensor library
 cannot deadlock regardless of ordering.  Nonblocking variants
-(``isend``/``irecv``/``iallreduce``) return :class:`Request` handles with
-``wait()``/``test()``; contiguous array payloads cross the boundary
-zero-copy as read-only views (see :func:`set_zero_copy`).
+(``isend``/``irecv``/``iallreduce``/``ialltoall``) return :class:`Request`
+handles with ``wait()``/``test()``; on the thread backend contiguous array
+payloads cross the boundary zero-copy as read-only views (see
+:func:`set_zero_copy`).
 """
 
-from repro.comm.backend import CommAborted, run_spmd
+from repro.comm.backend import (
+    DEFAULT_TIMEOUT,
+    CommAborted,
+    available_backends,
+    default_backend,
+    register_backend,
+    resolve_backend,
+    run_spmd,
+)
+from repro.comm import proc_backend as _proc_backend  # registers "process"
 from repro.comm.buffers import BufferPool
 from repro.comm.communicator import Communicator, Request, set_zero_copy
 from repro.comm.stats import CommStats
@@ -47,8 +64,13 @@ __all__ = [
     "CommAborted",
     "CommStats",
     "Communicator",
+    "DEFAULT_TIMEOUT",
     "Request",
     "allgather_time",
+    "available_backends",
+    "default_backend",
+    "register_backend",
+    "resolve_backend",
     "allreduce_time",
     "alltoall_time",
     "barrier_time",

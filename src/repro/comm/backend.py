@@ -1,41 +1,64 @@
-"""SPMD execution harness: one thread per rank, shared rendezvous state.
+"""SPMD execution harness: pluggable world backends behind one contract.
 
-The paper's implementation runs one MPI process per GPU.  Here every rank is
-a Python thread; numpy releases the GIL for array kernels, so ranks overlap
-for the bulk of the arithmetic.  All shared state (mailboxes for
-point-to-point messages, rendezvous groups for collectives) lives in a
-:class:`World` object created once per :func:`run_spmd` call.
+The paper's implementation runs one MPI process per GPU.  This module
+defines the *contract* a rank runtime must satisfy — the abstract
+:class:`BaseWorld` (point-to-point transport, failure handling) and
+:class:`GroupChannel` (per-communicator collective context) — plus the
+backend registry :func:`run_spmd` dispatches on, and the default **thread**
+backend: one Python thread per rank over shared mailboxes and rendezvous
+state (numpy releases the GIL for array kernels, so ranks overlap for the
+bulk of the arithmetic, but Python-level work time-shares — "overlap" on
+this backend buys removed synchronization, not parallel compute).
+
+The **process** backend (:mod:`repro.comm.proc_backend`) implements the same
+contract with one OS process per rank and a shared-memory transport, so
+ranks genuinely execute in parallel.  Select a backend per call
+(``run_spmd(..., backend="process")``) or globally via the
+``REPRO_BACKEND`` environment variable; the thread backend stays the
+default because it is the cheap, debuggable choice for tests.
 
 Two completion disciplines coexist, mirroring MPI + NCCL/Aluminum:
 
-* **Blocking collectives** rendezvous at a two-phase barrier around a shared
-  slot array (every member deposits, synchronizes, combines, synchronizes).
+* **Blocking collectives** synchronize all members around a shared slot
+  array (thread backend: a two-phase barrier; process backend: an
+  allgather of contributions), then every member combines the slots
+  independently in identical deterministic order, so results are bitwise
+  reproducible across backends for a fixed rank count.
 * **Nonblocking collectives** (the engine's gradient-allreduce hot path)
-  skip the barrier entirely: each call deposits its contribution into a
-  sequence-keyed :class:`_PendingOp` and immediately returns a request
-  handle.  A rank only blocks when it *waits* on the handle, and only until
-  every member has deposited — a fast rank never waits for slow peers to
-  *read*, which is what lets the per-layer dL/dw allreduces overlap with the
+  skip the rendezvous: each call deposits its contribution under a
+  sequence-keyed operation and immediately returns a request handle.  A
+  rank only blocks when it *waits* on the handle, and only until every
+  member has deposited — a fast rank never waits for slow peers to *read*,
+  which is what lets the per-layer dL/dw allreduces overlap with the
   remainder of backpropagation (paper §IV).  Multiple operations per
   communicator may be in flight at once; completion may be observed out of
   order.
 
-Payloads cross the boundary zero-copy where possible: C-contiguous ndarrays
-are shared as read-only views instead of being deep-copied (see ``_freeze``
-in :mod:`repro.comm.communicator`), so the sender must treat a buffer as
-transferred once it has been handed to ``send``/``isend``/a collective.
+Payloads cross the thread-backend boundary zero-copy where possible:
+C-contiguous ndarrays are shared as read-only views instead of being
+deep-copied (see ``_freeze`` in :mod:`repro.comm.communicator`), so the
+sender must treat a buffer as transferred once it has been handed to
+``send``/``isend``/a collective.  The process backend copies through a
+shared-memory arena instead (see :mod:`repro.comm.proc_backend`), under the
+same no-mutate-after-send contract.
 
-Error handling follows MPI's "abort the job" philosophy: if any rank raises,
-the world is aborted, every barrier is broken, pending nonblocking requests
-are woken, and the original exception is re-raised in the caller with
-:class:`CommAborted` raised inside the surviving ranks.
+Error handling follows MPI's "abort the job" philosophy: if any rank
+raises, the world is aborted, every rendezvous is broken, pending
+nonblocking requests are woken, and the original exception is re-raised in
+the caller with :class:`CommAborted` raised inside the surviving ranks.
+Timeouts identify the stuck operation: the diagnostic names the waiting
+world rank, the operation, and (for sequenced collectives) the sequence
+number, rather than a bare "timed out".
 """
 
 from __future__ import annotations
 
+import abc
+import os
 import threading
 from collections import deque
 from dataclasses import dataclass, field
+from time import monotonic
 from typing import Any, Callable
 
 
@@ -49,6 +72,208 @@ class CommAborted(RuntimeError):
 DEFAULT_TIMEOUT: float = 120.0
 
 
+# ---------------------------------------------------------------------------
+# The backend contract
+# ---------------------------------------------------------------------------
+
+
+class GroupChannel(abc.ABC):
+    """Collective context of one communicator group on one rank.
+
+    Created by :meth:`BaseWorld.channel` with the group's members and this
+    rank's position; all state needed to run blocking and nonblocking
+    collectives for that group lives behind this interface, so
+    :class:`~repro.comm.communicator.Communicator` is backend-agnostic.
+
+    The nonblocking half hands back opaque *tokens*: ``nb_start`` deposits a
+    contribution and returns a token, ``nb_test``/``nb_wait`` poll or block
+    until every member has deposited, ``nb_wait`` returns the slot list (all
+    contributions in comm-rank order — the caller combines them, so the
+    arithmetic and its order are shared across backends), and ``nb_finish``
+    releases backend bookkeeping.
+
+    Two routing refinements let message-passing backends avoid the naive
+    everyone-to-everyone exchange (backends with shared slot storage may
+    ignore both):
+
+    * ``needs(comm_rank)`` — identical on every member, derived from shared
+      arguments like the root — names the source comm-ranks whose slots
+      that rank's ``combine`` reads (rooted bcast/gather/scatter routing).
+    * ``parts=True`` declares the contribution *per-destination*: a
+      sequence of group-size pieces where element ``j`` is consumed only by
+      comm-rank ``j`` (alltoall, reduce_scatter).  The value handed to
+      ``combine`` (or returned by ``nb_wait``) is then the received-pieces
+      list — element ``i`` is what rank ``i`` addressed to this rank —
+      selected by pure indexing, so no floating-point behavior depends on
+      the backend.
+    """
+
+    @abc.abstractmethod
+    def barrier(self, opname: str = "barrier") -> None:
+        """Synchronize all members; raise :class:`CommAborted` on failure."""
+
+    @abc.abstractmethod
+    def collective(
+        self,
+        contribution: Any,
+        combine: Callable[[list[Any]], Any],
+        opname: str,
+        needs: Callable[[int], Any] | None = None,
+        parts: bool = False,
+    ) -> Any:
+        """Blocking collective: exchange contributions, return
+        ``combine(slots)`` (or ``combine(received_pieces)`` with
+        ``parts=True``) evaluated on this rank."""
+
+    @abc.abstractmethod
+    def nb_start(
+        self, seq: int, contribution: Any, opname: str, parts: bool = False
+    ) -> Any:
+        """Deposit a nonblocking contribution for sequence ``seq``; never
+        blocks; returns a token for the other ``nb_*`` calls."""
+
+    @abc.abstractmethod
+    def nb_test(self, token: Any) -> bool:
+        """True once every member has deposited; raises on abort."""
+
+    @abc.abstractmethod
+    def nb_wait(self, token: Any) -> list[Any]:
+        """Block until complete; return the slots in comm-rank order."""
+
+    @abc.abstractmethod
+    def nb_finish(self, token: Any) -> None:
+        """Release per-operation bookkeeping after the result was combined."""
+
+
+class BaseWorld(abc.ABC):
+    """All shared state of one SPMD job, as one rank sees it.
+
+    Point-to-point delivery is MPI-style eager and buffered: ``deliver``
+    never blocks; ``collect`` blocks until a matching ``(source, tag)``
+    message arrives, the world aborts, or the timeout expires (with a
+    diagnostic naming the waiting rank and operation).
+    """
+
+    backend_name: str = "abstract"
+    size: int
+    timeout: float
+
+    @property
+    @abc.abstractmethod
+    def aborted(self) -> bool: ...
+
+    @abc.abstractmethod
+    def deliver(self, source: int, dest: int, tag: Any, payload: Any) -> None: ...
+
+    @abc.abstractmethod
+    def collect(
+        self, dest: int, source: int, tag: Any, opname: str = "recv"
+    ) -> Any: ...
+
+    @abc.abstractmethod
+    def try_collect(self, dest: int, source: int, tag: Any) -> tuple[bool, Any]: ...
+
+    @abc.abstractmethod
+    def channel(self, key: Any, members: tuple[int, ...], rank: int) -> GroupChannel:
+        """Fetch-or-create the collective channel for a communicator group.
+
+        ``key`` must be identical across all members (e.g. the parent key
+        plus a creation sequence number); on backends with shared state the
+        first caller creates the context and later callers reuse it.
+        """
+
+    @abc.abstractmethod
+    def rank_stats(self, world_rank: int):
+        """The :class:`~repro.comm.stats.CommStats` of one world rank
+        (shared by every communicator that rank participates in)."""
+
+    @abc.abstractmethod
+    def abort(self) -> None: ...
+
+
+# ---------------------------------------------------------------------------
+# Backend registry
+# ---------------------------------------------------------------------------
+
+#: name -> launcher(nranks, fn, args, kwargs, timeout) -> list of results.
+_BACKENDS: dict[str, Callable[..., list[Any]]] = {}
+
+#: Environment variable overriding the default backend for every
+#: ``run_spmd`` call that does not pass ``backend=`` explicitly.
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+def register_backend(name: str, launcher: Callable[..., list[Any]]) -> None:
+    """Register a world implementation under ``name``.
+
+    ``launcher(nranks, fn, args, kwargs, timeout)`` must run
+    ``fn(comm, *args, **kwargs)`` on ``nranks`` ranks and return the
+    results in rank order, re-raising the first real rank error.
+    """
+    _BACKENDS[name] = launcher
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def default_backend() -> str:
+    """The backend used when ``run_spmd`` gets no explicit ``backend``."""
+    return os.environ.get(BACKEND_ENV, "thread")
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Validate an explicit/env/default backend choice."""
+    name = backend if backend is not None else default_backend()
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown SPMD backend {name!r}; available: {available_backends()}"
+        )
+    return name
+
+
+def run_spmd(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float = DEFAULT_TIMEOUT,
+    backend: str | None = None,
+    **kwargs: Any,
+) -> list[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` ranks; return results.
+
+    This is the in-process analogue of ``mpiexec -n nranks python script.py``.
+    ``fn`` receives a :class:`~repro.comm.communicator.Communicator` whose
+    ``rank``/``size`` identify the caller.  Results are returned in rank
+    order.  If any rank raises, the world is aborted and the first exception
+    (by rank) is re-raised in the caller.
+
+    ``backend`` selects the world implementation (``"thread"`` or
+    ``"process"``; see :func:`available_backends`).  When omitted, the
+    ``REPRO_BACKEND`` environment variable decides, defaulting to the
+    thread backend.  The process backend requires ``fn``'s results to be
+    picklable and ``fn`` itself to be fork-inheritable (any callable
+    defined before the call qualifies, closures included).
+
+    For ``nranks == 1`` the function is invoked directly on the calling
+    thread regardless of backend, which keeps single-rank tests cheap and
+    debuggable.
+    """
+    name = resolve_backend(backend)
+    if nranks == 1:
+        from repro.comm.communicator import Communicator
+
+        world = World(size=nranks, timeout=timeout)
+        return [fn(Communicator._world_comm(world, 0), *args, **kwargs)]
+    return _BACKENDS[name](nranks, fn, args, kwargs, timeout)
+
+
+# ---------------------------------------------------------------------------
+# Thread backend
+# ---------------------------------------------------------------------------
+
+
 class _Mailbox:
     """Point-to-point message store for one destination rank.
 
@@ -60,32 +285,31 @@ class _Mailbox:
     def __init__(self, world: "World") -> None:
         self._world = world
         self._cv = threading.Condition()
-        self._queues: dict[tuple[int, int], deque[Any]] = {}
+        self._queues: dict[tuple[int, Any], deque[Any]] = {}
 
-    def put(self, source: int, tag: int, payload: Any) -> None:
+    def put(self, source: int, tag: Any, payload: Any) -> None:
         with self._cv:
             self._queues.setdefault((source, tag), deque()).append(payload)
             self._cv.notify_all()
 
-    def get(self, source: int, tag: int, timeout: float) -> Any:
+    def get(self, source: int, tag: Any, timeout: float, describe: str) -> Any:
         key = (source, tag)
+        deadline = monotonic() + timeout
         with self._cv:
             while True:
                 q = self._queues.get(key)
                 if q:
                     return q.popleft()
                 if self._world.aborted:
+                    raise CommAborted(f"{describe} interrupted: world aborted")
+                remaining = deadline - monotonic()
+                if remaining <= 0:
                     raise CommAborted(
-                        f"recv(source={source}, tag={tag}) interrupted: world aborted"
+                        f"{describe} timed out after {timeout:.1f}s"
                     )
-                if not self._cv.wait(timeout=min(timeout, 0.5)):
-                    timeout -= 0.5
-                    if timeout <= 0:
-                        raise CommAborted(
-                            f"recv(source={source}, tag={tag}) timed out"
-                        )
+                self._cv.wait(timeout=min(remaining, 0.5))
 
-    def try_get(self, source: int, tag: int) -> tuple[bool, Any]:
+    def try_get(self, source: int, tag: Any) -> tuple[bool, Any]:
         """Nonblocking probe-and-pop: ``(True, payload)`` or ``(False, None)``."""
         key = (source, tag)
         with self._cv:
@@ -177,44 +401,172 @@ class _Rendezvous:
             self.pending_cv.notify_all()
 
 
+class _ThreadToken:
+    """Nonblocking-collective token of the thread backend."""
+
+    __slots__ = ("key", "op", "seq", "opname", "parts")
+
+    def __init__(
+        self, key: Any, op: _PendingOp, seq: int, opname: str, parts: bool
+    ):
+        self.key = key
+        self.op = op
+        self.seq = seq
+        self.opname = opname
+        self.parts = parts
+
+
+class ThreadChannel(GroupChannel):
+    """Thread-backend channel: a view over the shared :class:`_Rendezvous`."""
+
+    def __init__(
+        self,
+        world: "World",
+        ctx: _Rendezvous,
+        key: Any,
+        members: tuple[int, ...],
+        rank: int,
+    ) -> None:
+        self._world = world
+        self._ctx = ctx
+        self._key = key
+        self._members = members
+        self._rank = rank
+
+    def _diag(self, opname: str, seq: int | None = None) -> str:
+        tail = f"[seq={seq}]" if seq is not None else ""
+        return (
+            f"{opname}{tail} on comm {self._key!r} at world rank "
+            f"{self._members[self._rank]} (comm rank {self._rank})"
+        )
+
+    def _select_parts(self, slots: list[Any]) -> list[Any]:
+        """Per-destination view of complete slots: what each rank sent me.
+
+        Pure indexing — no arithmetic — so the values ``combine`` sees are
+        identical to a message-passing backend delivering the pieces.
+        """
+        rank = self._rank
+        return [slots[i][rank] for i in range(len(self._members))]
+
+    def barrier(self, opname: str = "barrier") -> None:
+        try:
+            self._ctx.barrier.wait(timeout=self._world.timeout)
+        except threading.BrokenBarrierError:
+            raise CommAborted(
+                f"{self._diag(opname)} interrupted: world aborted or a peer "
+                f"missed the rendezvous within {self._world.timeout:.1f}s"
+            ) from None
+
+    def collective(
+        self,
+        contribution: Any,
+        combine: Callable[[list[Any]], Any],
+        opname: str,
+        needs: Callable[[int], Any] | None = None,
+        parts: bool = False,
+    ) -> Any:
+        # ``needs`` is ignored: slots are shared memory between threads, so
+        # routing rooted collectives more narrowly would save nothing.
+        ctx = self._ctx
+        ctx.slots[self._rank] = contribution
+        self.barrier(opname)
+        # Slots are complete and read-only in this phase; every rank combines
+        # independently (identical deterministic order).
+        result = combine(self._select_parts(ctx.slots) if parts else ctx.slots)
+        self.barrier(opname)
+        # Release this rank's contribution so large buffers don't outlive
+        # the collective (safe: all members have combined by now, and only
+        # this rank writes this slot).
+        ctx.slots[self._rank] = None
+        return result
+
+    def nb_start(
+        self, seq: int, contribution: Any, opname: str, parts: bool = False
+    ) -> Any:
+        key = ("nb", seq)
+        op = self._ctx.deposit(key, len(self._members), self._rank, contribution)
+        return _ThreadToken(key, op, seq, opname, parts)
+
+    def nb_test(self, token: _ThreadToken) -> bool:
+        with self._ctx.pending_cv:
+            if self._world.aborted:
+                raise CommAborted(
+                    f"{self._diag(token.opname, token.seq)} interrupted: "
+                    "world aborted"
+                )
+            return token.op.deposited >= len(self._members)
+
+    def nb_wait(self, token: _ThreadToken) -> list[Any]:
+        ctx = self._ctx
+        n = len(self._members)
+        deadline = monotonic() + self._world.timeout
+        with ctx.pending_cv:
+            while token.op.deposited < n:
+                if self._world.aborted:
+                    raise CommAborted(
+                        f"{self._diag(token.opname, token.seq)} interrupted: "
+                        "world aborted"
+                    )
+                remaining = deadline - monotonic()
+                if remaining <= 0:
+                    raise CommAborted(
+                        f"{self._diag(token.opname, token.seq)} timed out "
+                        f"after {self._world.timeout:.1f}s with "
+                        f"{token.op.deposited}/{n} contributions deposited"
+                    )
+                ctx.pending_cv.wait(timeout=min(remaining, 0.5))
+        if token.parts:
+            return self._select_parts(token.op.slots)
+        return token.op.slots
+
+    def nb_finish(self, token: _ThreadToken) -> None:
+        self._ctx.consume(token.key, token.op)
+
+
 @dataclass
-class World:
-    """All shared state for one SPMD job."""
+class World(BaseWorld):
+    """Thread-backend shared state for one SPMD job."""
 
     size: int
     timeout: float = DEFAULT_TIMEOUT
-    aborted: bool = False
+    _aborted: bool = False
     _mailboxes: list[_Mailbox] = field(default_factory=list)
     _groups: dict[Any, _Rendezvous] = field(default_factory=dict)
     _groups_lock: threading.Lock = field(default_factory=threading.Lock)
     _abort_lock: threading.Lock = field(default_factory=threading.Lock)
 
+    backend_name = "thread"
+
     def __post_init__(self) -> None:
         if self.size < 1:
             raise ValueError(f"world size must be >= 1, got {self.size}")
         self._mailboxes = [_Mailbox(self) for _ in range(self.size)]
+        self._stats_registry = None
+
+    @property
+    def aborted(self) -> bool:
+        return self._aborted
 
     # -- point-to-point ----------------------------------------------------
-    def deliver(self, source: int, dest: int, tag: int, payload: Any) -> None:
+    def deliver(self, source: int, dest: int, tag: Any, payload: Any) -> None:
         self._check_rank(dest, "dest")
         self._mailboxes[dest].put(source, tag, payload)
 
-    def collect(self, dest: int, source: int, tag: int) -> Any:
+    def collect(self, dest: int, source: int, tag: Any, opname: str = "recv") -> Any:
         self._check_rank(source, "source")
-        return self._mailboxes[dest].get(source, tag, self.timeout)
+        describe = (
+            f"{opname}(world rank {dest} <- {source}, tag={tag!r})"
+        )
+        return self._mailboxes[dest].get(source, tag, self.timeout, describe)
 
-    def try_collect(self, dest: int, source: int, tag: int) -> tuple[bool, Any]:
+    def try_collect(self, dest: int, source: int, tag: Any) -> tuple[bool, Any]:
         self._check_rank(source, "source")
         return self._mailboxes[dest].try_get(source, tag)
 
     # -- collective rendezvous --------------------------------------------
     def group(self, key: Any, nmembers: int) -> _Rendezvous:
-        """Fetch-or-create the rendezvous context for a communicator group.
-
-        ``key`` must be identical across all members (e.g. the sorted member
-        tuple plus a creation sequence number); the first caller creates the
-        context, later callers reuse it.
-        """
+        """Fetch-or-create the shared rendezvous context for a group key."""
         with self._groups_lock:
             ctx = self._groups.get(key)
             if ctx is None:
@@ -222,12 +574,25 @@ class World:
                 self._groups[key] = ctx
             return ctx
 
+    def channel(self, key: Any, members: tuple[int, ...], rank: int) -> GroupChannel:
+        return ThreadChannel(self, self.group(key, len(members)), key, members, rank)
+
+    def rank_stats(self, world_rank: int):
+        from repro.comm.stats import CommStats
+
+        # One CommStats per world rank, shared by every communicator that
+        # rank participates in, so split comms accumulate into one place.
+        with self._groups_lock:
+            if self._stats_registry is None:
+                self._stats_registry = [CommStats() for _ in range(self.size)]
+        return self._stats_registry[world_rank]
+
     # -- failure handling ---------------------------------------------------
     def abort(self) -> None:
         with self._abort_lock:
-            if self.aborted:
+            if self._aborted:
                 return
-            self.aborted = True
+            self._aborted = True
         with self._groups_lock:
             for ctx in self._groups.values():
                 ctx.abort()
@@ -240,30 +605,17 @@ class World:
             raise ValueError(f"{what}={rank} out of range for world of size {self.size}")
 
 
-def run_spmd(
+def _run_spmd_threads(
     nranks: int,
     fn: Callable[..., Any],
-    *args: Any,
-    timeout: float = DEFAULT_TIMEOUT,
-    **kwargs: Any,
+    args: tuple,
+    kwargs: dict,
+    timeout: float,
 ) -> list[Any]:
-    """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` ranks; return results.
-
-    This is the in-process analogue of ``mpiexec -n nranks python script.py``.
-    ``fn`` receives a :class:`~repro.comm.communicator.Communicator` whose
-    ``rank``/``size`` identify the caller.  Results are returned in rank
-    order.  If any rank raises, the world is aborted and the first exception
-    (by rank) is re-raised in the caller.
-
-    For ``nranks == 1`` the function is invoked directly on the calling
-    thread, which keeps single-rank tests cheap and debuggable.
-    """
+    """Thread-backend launcher (the historical in-process harness)."""
     from repro.comm.communicator import Communicator
 
     world = World(size=nranks, timeout=timeout)
-    if nranks == 1:
-        return [fn(Communicator._world_comm(world, 0), *args, **kwargs)]
-
     results: list[Any] = [None] * nranks
     errors: list[BaseException | None] = [None] * nranks
 
@@ -293,3 +645,6 @@ def run_spmd(
     if first_any is not None:
         raise first_any
     return results
+
+
+register_backend("thread", _run_spmd_threads)

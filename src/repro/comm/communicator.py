@@ -1,25 +1,31 @@
-"""MPI-style communicator over the thread-based SPMD backend.
+"""MPI-style communicator over a pluggable SPMD world backend.
 
 The interface mirrors mpi4py's lower-case (object) API: payloads are Python
 objects, collectives combine contributions in deterministic comm-rank order
-so runs are bit-reproducible for a fixed rank count.
+so runs are bit-reproducible for a fixed rank count — on *either* backend:
+the communicator is backend-agnostic and talks to the world through the
+:class:`~repro.comm.backend.BaseWorld` / GroupChannel contract, so the same
+``combine`` arithmetic runs on the same slot order whether ranks are
+threads or processes.
 
 Array payloads cross the communication boundary **zero-copy** where
-possible: a C-contiguous ndarray is shared as a read-only view instead of
-being deep-copied (non-contiguous arrays are still copied; see
-:func:`set_zero_copy` to disable the fast path when chasing a suspected
-aliasing bug).  The contract is MPI's: a buffer handed to ``send``/``isend``
-or contributed to a collective must not be mutated afterwards.  Received
-arrays may be read-only; treat them as immutable (``bcast``/``scatter``
-results are exempt — they are private writable copies, since they commonly
-carry small control state the receiver updates in place).
+possible on the thread backend: a C-contiguous ndarray is shared as a
+read-only view instead of being deep-copied (non-contiguous arrays are
+still copied; see :func:`set_zero_copy` to disable the fast path when
+chasing a suspected aliasing bug).  The process backend copies through a
+shared-memory arena instead.  The contract is MPI's either way: a buffer
+handed to ``send``/``isend`` or contributed to a collective must not be
+mutated afterwards.  Received arrays may be read-only; treat them as
+immutable (``bcast``/``scatter`` results are exempt — they are private
+writable copies, since they commonly carry small control state the
+receiver updates in place).
 
 Semantics implemented:
 
 * eager buffered ``send``/``recv``/``sendrecv`` matched on ``(source, tag)``;
 * ``barrier``, ``bcast``, ``gather``, ``scatter``, ``allgather``,
   ``alltoall``, ``reduce``, ``allreduce``, ``reduce_scatter``;
-* **nonblocking** ``isend``/``irecv``/``iallreduce`` returning
+* **nonblocking** ``isend``/``irecv``/``iallreduce``/``ialltoall`` returning
   :class:`Request` handles with MPI-style ``wait()``/``test()``; any number
   of requests may be in flight per communicator and they may be completed
   out of order.  This is the primitive the training engine uses to overlap
@@ -31,13 +37,12 @@ Semantics implemented:
 
 from __future__ import annotations
 
-import threading
 from time import perf_counter
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.comm.backend import CommAborted, World, _PendingOp, _Rendezvous
+from repro.comm.backend import BaseWorld, GroupChannel
 from repro.comm.stats import CommStats
 
 _REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
@@ -178,7 +183,10 @@ class _RecvRequest(Request):
         comm = self._comm
         t0 = perf_counter()
         payload = comm._world.collect(
-            comm.world_rank, comm._members[self._source], comm._tag_key(self._tag)
+            comm.world_rank,
+            comm._members[self._source],
+            comm._tag_key(self._tag),
+            opname=self._opname,
         )
         self._finish(payload, waited=perf_counter() - t0)
         return self._result
@@ -198,36 +206,35 @@ class _RecvRequest(Request):
 class _CollectiveRequest(Request):
     """Pending nonblocking collective on one communicator.
 
-    The underlying :class:`_PendingOp` completes when every member has
-    deposited; waiting never requires peers to have *read* their results,
-    so a fast rank can fire-and-forget many collectives and drain them
-    later, out of order.
+    The underlying operation completes when every member has deposited;
+    waiting never requires peers to have *read* their results, so a fast
+    rank can fire-and-forget many collectives and drain them later, out of
+    order.  Slot exchange is the backend channel's job; the *combine*
+    arithmetic runs here, identically on every backend.
     """
 
     def __init__(
         self,
         comm: "Communicator",
-        key: Any,
-        op: _PendingOp,
+        token: Any,
         combine: Callable[[list[Any]], Any],
         opname: str,
         count_stats: bool = True,
     ) -> None:
         self._comm = comm
-        self._key = key
-        self._op = op
+        self._token = token
         self._combine = combine
         self._opname = opname
         self._count_stats = count_stats
         self._t_launch = perf_counter()
 
-    def _complete(self, waited: float) -> None:
+    def _complete(self, slots: list[Any], waited: float) -> None:
         comm = self._comm
         t0 = perf_counter()
         # Slots are fully deposited and read-only by convention; every
         # member combines independently in identical deterministic order.
-        result = self._combine(self._op.slots)
-        comm._ctx.consume(self._key, self._op)
+        result = self._combine(slots)
+        comm._channel.nb_finish(self._token)
         # The caller is blocked while the reduction arithmetic runs, so
         # combine time counts as wait, never as hidden communication.
         waited += perf_counter() - t0
@@ -245,38 +252,17 @@ class _CollectiveRequest(Request):
     def wait(self) -> Any:
         if self._done:
             return self._result
-        comm = self._comm
-        ctx = comm._ctx
-        world = comm._world
         t0 = perf_counter()
-        budget = world.timeout
-        with ctx.pending_cv:
-            while self._op.deposited < comm.size:
-                if world.aborted:
-                    raise CommAborted(
-                        f"{self._opname} on {comm._key!r} interrupted: world aborted"
-                    )
-                if not ctx.pending_cv.wait(timeout=min(budget, 0.5)):
-                    budget -= 0.5
-                    if budget <= 0:
-                        raise CommAborted(
-                            f"{self._opname} on {comm._key!r} timed out"
-                        )
-        self._complete(waited=perf_counter() - t0)
+        slots = self._comm._channel.nb_wait(self._token)
+        self._complete(slots, waited=perf_counter() - t0)
         return self._result
 
     def test(self) -> bool:
         if self._done:
             return True
-        comm = self._comm
-        with comm._ctx.pending_cv:
-            if comm._world.aborted:
-                raise CommAborted(
-                    f"{self._opname} on {comm._key!r} interrupted: world aborted"
-                )
-            ready = self._op.deposited >= comm.size
-        if ready:
-            self._complete(waited=0.0)
+        if self._comm._channel.nb_test(self._token):
+            slots = self._comm._channel.nb_wait(self._token)
+            self._complete(slots, waited=0.0)
         return self._done
 
 
@@ -285,7 +271,7 @@ class Communicator:
 
     def __init__(
         self,
-        world: World,
+        world: BaseWorld,
         members: tuple[int, ...],
         rank: int,
         key: Any,
@@ -295,27 +281,16 @@ class Communicator:
         self.rank = rank
         self.size = len(members)
         self._key = key
-        self._ctx: _Rendezvous = world.group(key, self.size)
+        self._channel: GroupChannel = world.channel(key, members, rank)
         self._op_seq = 0
         self._nb_seq = 0  # nonblocking-collective sequence (matched across ranks)
         self._xchg_seq = 0  # pt2pt exchange-pattern sequence (matched across ranks)
-        self.stats = self._rank_stats(world, members[rank])
+        self.stats: CommStats = world.rank_stats(members[rank])
 
     # -- construction -------------------------------------------------------
     @classmethod
-    def _world_comm(cls, world: World, rank: int) -> "Communicator":
+    def _world_comm(cls, world: BaseWorld, rank: int) -> "Communicator":
         return cls(world, tuple(range(world.size)), rank, key=("world",))
-
-    @staticmethod
-    def _rank_stats(world: World, world_rank: int) -> CommStats:
-        # One CommStats per world rank, shared by every communicator that
-        # rank participates in, so split comms accumulate into one place.
-        with world._groups_lock:
-            registry = getattr(world, "_stats_registry", None)
-            if registry is None:
-                registry = [CommStats() for _ in range(world.size)]
-                world._stats_registry = registry  # type: ignore[attr-defined]
-        return registry[world_rank]
 
     # -- identity ------------------------------------------------------------
     @property
@@ -328,6 +303,11 @@ class Communicator:
         """World ranks of this communicator's members, in comm-rank order."""
         return self._members
 
+    @property
+    def backend(self) -> str:
+        """Name of the world backend this communicator runs on."""
+        return self._world.backend_name
+
     def translate(self, comm_rank: int) -> int:
         """Map a rank of this communicator to its world rank."""
         return self._members[comm_rank]
@@ -335,7 +315,8 @@ class Communicator:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Communicator(rank={self.rank}/{self.size}, "
-            f"world_rank={self.world_rank}, key={self._key!r})"
+            f"world_rank={self.world_rank}, backend={self.backend}, "
+            f"key={self._key!r})"
         )
 
     # -- point-to-point -------------------------------------------------------
@@ -414,13 +395,19 @@ class Communicator:
 
     # -- collectives ------------------------------------------------------------
     def barrier(self) -> None:
-        self._barrier_wait()
+        self._op_seq += 1
+        self._channel.barrier()
 
     def bcast(self, payload: Any, root: int = 0) -> Any:
         def combine(slots: list[Any]) -> Any:
             return _private(slots[root])
 
-        result = self._collective(payload if self.rank == root else None, combine)
+        # Every rank reads only the root's slot, so message-passing
+        # backends route root -> everyone instead of a full allgather.
+        result = self._collective(
+            payload if self.rank == root else None, combine, "bcast",
+            needs=lambda r: (root,),
+        )
         self.stats.record_collective("bcast", payload_nbytes(result))
         return result
 
@@ -428,7 +415,11 @@ class Communicator:
         def combine(slots: list[Any]) -> list[Any]:
             return list(slots)
 
-        gathered = self._collective(payload, combine)
+        all_ranks = tuple(range(self.size))
+        gathered = self._collective(
+            payload, combine, "gather",
+            needs=lambda r: all_ranks if r == root else (),
+        )
         self.stats.record_collective("gather", payload_nbytes(payload))
         return gathered if self.rank == root else None
 
@@ -442,7 +433,10 @@ class Communicator:
         def combine(slots: list[Any]) -> Any:
             return _private(slots[root][self.rank])
 
-        result = self._collective(payloads if self.rank == root else None, combine)
+        result = self._collective(
+            payloads if self.rank == root else None, combine, "scatter",
+            needs=lambda r: (root,),
+        )
         self.stats.record_collective("scatter", payload_nbytes(result))
         return result
 
@@ -450,7 +444,7 @@ class Communicator:
         def combine(slots: list[Any]) -> list[Any]:
             return list(slots)
 
-        result = self._collective(payload, combine)
+        result = self._collective(payload, combine, "allgather")
         self.stats.record_collective("allgather", payload_nbytes(payload))
         return result
 
@@ -465,10 +459,14 @@ class Communicator:
         if len(payloads) != self.size:
             raise ValueError(f"alltoall requires exactly {self.size} payloads")
 
-        def combine(slots: list[Any]) -> list[Any]:
-            return [slots[i][self.rank] for i in range(self.size)]
+        # ``parts``: the channel routes piece j to rank j only (and hands
+        # back the received pieces), so message-passing backends move
+        # MPI-alltoall volume instead of shipping every full payload list
+        # to every peer.
+        def combine(received: list[Any]) -> list[Any]:
+            return list(received)
 
-        result = self._collective(list(payloads), combine)
+        result = self._collective(list(payloads), combine, "alltoall", parts=True)
         if count_stats:
             self.stats.record_collective(
                 "alltoall",
@@ -501,10 +499,12 @@ class Communicator:
         if len(payloads) != self.size:
             raise ValueError(f"alltoall requires exactly {self.size} payloads")
 
-        def combine(slots: list[Any]) -> list[Any]:
-            return [slots[i][self.rank] for i in range(self.size)]
+        def combine(received: list[Any]) -> list[Any]:
+            return list(received)
 
-        return self._icollective(list(payloads), combine, opname, count_stats)
+        return self._icollective(
+            list(payloads), combine, opname, count_stats, parts=True
+        )
 
     def reduce(self, value: Any, op: str = "sum", root: int = 0) -> Any | None:
         result = self.allreduce(value, op=op)
@@ -531,7 +531,7 @@ class Communicator:
         except KeyError:
             raise ValueError(f"unknown reduction op {op!r}") from None
 
-        result = self._collective(value, self._reduce_combine(fn))
+        result = self._collective(value, self._reduce_combine(fn), "allreduce")
         self.stats.record_collective("allreduce", payload_nbytes(result))
         return result
 
@@ -564,15 +564,19 @@ class Communicator:
         except KeyError:
             raise ValueError(f"unknown reduction op {op!r}") from None
 
-        def combine(slots: list[Any]) -> Any:
-            if len(slots) == 1:
-                return _private(slots[0][self.rank])
-            acc = fn(slots[0][self.rank], slots[1][self.rank])
-            for s in slots[2:]:
-                acc = fn(acc, s[self.rank])
+        # ``parts`` routing: each member receives only the pieces destined
+        # for it; the fold below runs over the same values in the same
+        # comm-rank order as the historical full-slot form, so results are
+        # bitwise identical.
+        def combine(received: list[Any]) -> Any:
+            if len(received) == 1:
+                return _private(received[0])
+            acc = fn(received[0], received[1])
+            for piece in received[2:]:
+                acc = fn(acc, piece)
             return acc
 
-        result = self._collective(list(parts), combine)
+        result = self._collective(list(parts), combine, "reduce_scatter", parts=True)
         self.stats.record_collective("reduce_scatter", payload_nbytes(result))
         return result
 
@@ -610,19 +614,18 @@ class Communicator:
         )
 
     # -- internals -----------------------------------------------------------
-    def _collective(self, contribution: Any, combine: Callable[[list[Any]], Any]) -> Any:
-        ctx = self._ctx
-        ctx.slots[self.rank] = _freeze(contribution)
-        self._barrier_wait()
-        # Slots are complete and read-only in this phase; every rank combines
-        # independently (identical deterministic order).
-        result = combine(ctx.slots)
-        self._barrier_wait()
-        # Release this rank's contribution so large buffers don't outlive
-        # the collective (safe: all members have combined by now, and only
-        # this rank writes this slot).
-        ctx.slots[self.rank] = None
-        return result
+    def _collective(
+        self,
+        contribution: Any,
+        combine: Callable[[list[Any]], Any],
+        opname: str = "collective",
+        needs: Callable[[int], Any] | None = None,
+        parts: bool = False,
+    ) -> Any:
+        self._op_seq += 1
+        return self._channel.collective(
+            _freeze(contribution), combine, opname, needs=needs, parts=parts
+        )
 
     def _icollective(
         self,
@@ -630,18 +633,9 @@ class Communicator:
         combine: Callable[[list[Any]], Any],
         opname: str,
         count_stats: bool = True,
+        parts: bool = False,
     ) -> Request:
         seq = self._nb_seq
         self._nb_seq += 1
-        key = ("nb", seq)
-        op = self._ctx.deposit(key, self.size, self.rank, _freeze(contribution))
-        return _CollectiveRequest(self, key, op, combine, opname, count_stats)
-
-    def _barrier_wait(self) -> None:
-        self._op_seq += 1
-        try:
-            self._ctx.barrier.wait(timeout=self._world.timeout)
-        except threading.BrokenBarrierError:
-            raise CommAborted(
-                f"collective on {self._key!r} interrupted: world aborted or timed out"
-            ) from None
+        token = self._channel.nb_start(seq, _freeze(contribution), opname, parts=parts)
+        return _CollectiveRequest(self, token, combine, opname, count_stats)

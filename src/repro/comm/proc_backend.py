@@ -1,0 +1,717 @@
+"""Process-per-rank SPMD backend with shared-memory transport.
+
+The paper's measurements assume one MPI process per accelerator; the thread
+backend time-shares one interpreter, so its overlap wins are
+synchronization-bound.  This backend runs **one OS process per rank**
+(forked, so ``run_spmd``'s closures and captured arrays are inherited
+without pickling) and implements the same
+:class:`~repro.comm.backend.BaseWorld` contract:
+
+* **Transport** — every rank owns a ``multiprocessing.Queue`` inbox.
+  Large C-contiguous ndarray payloads travel through a fixed
+  ``multiprocessing.shared_memory.SharedMemory`` **arena** created by the
+  parent before the fork: the sender copies the array into a run of
+  arena blocks and enqueues only a tiny descriptor; the receiver
+  reconstructs the array from the shared mapping, copies it out, and frees
+  the blocks.  Small payloads and arbitrary Python objects fall back to
+  pickling through the queue (as does any array when the arena is
+  momentarily full — the send path never blocks, preserving the eager
+  buffered-send contract).  Nested containers are walked recursively, so a
+  shuffle's list-of-arrays payload ships its big pieces through the arena
+  and its skeleton through the queue.
+* **Collectives** — allgather-style message exchange: every member sends
+  its (frozen) contribution to every peer under a ``(group key, sequence)``
+  tag and combines the received slot list locally with the *same* combine
+  callable the thread backend runs, in the same comm-rank order — so
+  results are bitwise identical across backends.  Nonblocking collectives
+  deposit eagerly and only the ``wait()`` side receives, preserving the
+  "a fast rank never waits for readers" discipline.
+* **Failure handling** — a shared abort event plus a result queue.  A rank
+  that raises aborts the job; the parent re-raises the first real error by
+  rank (``CommAborted`` from surviving ranks is secondary, as in the
+  thread backend).  Hangs fail with a diagnostic naming the waiting world
+  rank, operation, and sequence number.  On teardown the parent closes and
+  **unlinks** every shared-memory segment and closes every queue, so a
+  completed job leaves nothing in ``/dev/shm`` (regression-tested by
+  ``tests/test_proc_backend.py``).
+
+What this backend does *not* model: NUMA/core pinning, a real NIC, or
+network topology — it is "MPI on one host", giving the engine genuinely
+parallel rank execution (subject to available cores) so BENCH_* overlap
+measurements reflect parallel compute rather than removed GIL contention.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue as queue_mod
+import secrets
+import traceback
+from collections import deque
+from multiprocessing import shared_memory
+from time import monotonic
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.comm.backend import (
+    BaseWorld,
+    CommAborted,
+    GroupChannel,
+    register_backend,
+)
+
+#: Arrays at or above this many bytes are shipped through the shared-memory
+#: arena; smaller ones ride the queue pickle (latency-bound anyway).
+#: Env override: ``REPRO_SHM_MIN_BYTES`` (read per job).
+DEFAULT_SHM_MIN_BYTES = 2048
+
+#: Total arena capacity per SPMD job.  Env override: ``REPRO_SHM_BYTES``.
+DEFAULT_ARENA_BYTES = 64 << 20
+
+#: Arena allocation granularity.  Env override: ``REPRO_SHM_BLOCK``.
+DEFAULT_ARENA_BLOCK = 32 << 10
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+#: Name prefix of the job arenas (leak checks scan /dev/shm for this).
+SHM_PREFIX = "repro-arena-"
+
+#: How long the parent keeps draining results after the job starts dying
+#: (abort event set, a child crashed, or all children exited) before
+#: declaring unreported ranks hung and tearing everything down.  While the
+#: children are alive and healthy the parent waits indefinitely, exactly
+#: like the thread backend's joins — per-operation timeouts are enforced
+#: *inside* the ranks.
+_PARENT_GRACE = 30.0
+
+
+class _ShmRef:
+    """Placeholder for an ndarray shipped out-of-band through the arena."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def __reduce__(self):
+        return (_ShmRef, (self.index,))
+
+
+class _Arena:
+    """Fixed shared-memory segment with a block-bitmap first-fit allocator.
+
+    Created by the parent before the fork, so every rank inherits the same
+    mapping (no per-message attach) and the parent alone owns the unlink.
+    Allocation is guarded by one cross-process lock; ``alloc`` returns
+    ``None`` when no contiguous run is free — callers must fall back to
+    inline pickling rather than block, keeping sends eager.
+    """
+
+    def __init__(self, ctx, nbytes: int, block: int) -> None:
+        self.block = int(block)
+        self.nblocks = max(1, int(nbytes) // self.block)
+        self.shm = shared_memory.SharedMemory(
+            create=True,
+            size=self.nblocks * self.block,
+            name=f"{SHM_PREFIX}{os.getpid()}-{secrets.token_hex(4)}",
+        )
+        self.name = self.shm.name
+        self._lock = ctx.Lock()
+        # 0 = free, 1 = used; shared (inherited) and lock-protected.
+        self._bitmap = ctx.RawArray("b", self.nblocks)
+
+    def alloc(self, nbytes: int) -> int | None:
+        """Byte offset of a free run covering ``nbytes``, or ``None``.
+
+        The first-fit search runs at C speed: the bitmap is a ctypes
+        buffer, so a run of free blocks is a ``bytes.find`` for a run of
+        zero bytes — the time under the shared lock is one O(nblocks)
+        memchr-style scan plus marking ``need`` blocks, not a Python loop
+        over every block.
+        """
+        need = max(1, -(-int(nbytes) // self.block))
+        if need > self.nblocks:
+            return None
+        bm = self._bitmap
+        zeros = b"\x00" * need
+        with self._lock:
+            start = bytes(bm).find(zeros)
+            if start < 0:
+                return None
+            bm[start : start + need] = b"\x01" * need
+            return start * self.block
+
+    def free(self, offset: int, nbytes: int) -> None:
+        start = int(offset) // self.block
+        count = max(1, -(-int(nbytes) // self.block))
+        with self._lock:
+            self._bitmap[start : start + count] = b"\x00" * count
+
+    def used_blocks(self) -> int:
+        with self._lock:
+            return bytes(self._bitmap).count(1)
+
+    def destroy(self) -> None:
+        """Parent-side teardown: unmap and unlink the segment."""
+        try:
+            self.shm.close()
+        finally:
+            self.shm.unlink()
+
+
+class _SharedJobState:
+    """Everything the forked ranks share, created pre-fork by the parent."""
+
+    def __init__(self, ctx, nranks: int, timeout: float) -> None:
+        self.nranks = nranks
+        self.timeout = timeout
+        self.shm_min = _env_int("REPRO_SHM_MIN_BYTES", DEFAULT_SHM_MIN_BYTES)
+        self.queues = [ctx.Queue() for _ in range(nranks)]
+        self.results = ctx.Queue()
+        self.abort_event = ctx.Event()
+        self.arena = _Arena(
+            ctx,
+            _env_int("REPRO_SHM_BYTES", DEFAULT_ARENA_BYTES),
+            _env_int("REPRO_SHM_BLOCK", DEFAULT_ARENA_BLOCK),
+        )
+
+    def teardown(self) -> None:
+        """Parent-side cleanup: release queues, unlink the arena."""
+        for q in [*self.queues, self.results]:
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+        self.arena.destroy()
+
+
+def _pack(
+    payload: Any, arena: _Arena, descs: list, counters: dict, shm_min: int
+) -> Any:
+    """Replace large arrays in ``payload`` with arena references.
+
+    Returns the queue-safe skeleton; array data lands in the arena with a
+    descriptor appended to ``descs``.  Anything that does not fit (or is
+    not a plain ndarray) is left in the skeleton for the queue pickle.
+    """
+    if isinstance(payload, np.ndarray) and payload.dtype != object:
+        if payload.nbytes >= shm_min:
+            arr = np.ascontiguousarray(payload)
+            offset = arena.alloc(arr.nbytes)
+            if offset is not None:
+                dst = np.ndarray(
+                    arr.shape, dtype=arr.dtype, buffer=arena.shm.buf, offset=offset
+                )
+                np.copyto(dst, arr)
+                descs.append((offset, arr.nbytes, arr.shape, arr.dtype.str))
+                counters["shm_messages"] += 1
+                counters["shm_bytes"] += arr.nbytes
+                return _ShmRef(len(descs) - 1)
+            counters["arena_full_fallbacks"] += 1
+        counters["inline_messages"] += 1
+        return payload
+    if isinstance(payload, tuple):
+        return tuple(_pack(p, arena, descs, counters, shm_min) for p in payload)
+    if isinstance(payload, list):
+        return [_pack(p, arena, descs, counters, shm_min) for p in payload]
+    if isinstance(payload, dict):
+        return {
+            k: _pack(v, arena, descs, counters, shm_min)
+            for k, v in payload.items()
+        }
+    return payload
+
+
+def _unpack(payload: Any, arrays: list) -> Any:
+    """Rebuild a payload from its skeleton + out-of-band arrays.
+
+    Received arrays are marked read-only, mirroring the thread backend's
+    frozen zero-copy views: received data is immutable by contract.
+    """
+    if isinstance(payload, _ShmRef):
+        return arrays[payload.index]
+    if isinstance(payload, np.ndarray):
+        if payload.flags.writeable and payload.dtype != object:
+            payload.flags.writeable = False
+        return payload
+    if isinstance(payload, tuple):
+        return tuple(_unpack(p, arrays) for p in payload)
+    if isinstance(payload, list):
+        return [_unpack(p, arrays) for p in payload]
+    if isinstance(payload, dict):
+        return {k: _unpack(v, arrays) for k, v in payload.items()}
+    return payload
+
+
+class _Inbox:
+    """(source, tag)-matched mailbox fed by this rank's message queue.
+
+    The queue is FIFO over all sources; messages that do not match the
+    current receive are buffered locally, preserving per-(source, tag)
+    FIFO order — the same matching the thread backend's ``_Mailbox`` does.
+    """
+
+    def __init__(self, world: "ProcessWorld") -> None:
+        self._world = world
+        self._queue = world._shared.queues[world.rank]
+        self._buffered: dict[tuple[int, Any], deque[Any]] = {}
+
+    def _store(self, msg: tuple) -> None:
+        source, tag, skeleton, descs = msg
+        arena = self._world._shared.arena
+        arrays = []
+        for offset, nbytes, shape, dtype in descs:
+            src = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=arena.shm.buf, offset=offset
+            )
+            out = src.copy()
+            out.flags.writeable = False
+            arrays.append(out)
+            arena.free(offset, nbytes)
+        payload = _unpack(skeleton, arrays)
+        self._buffered.setdefault((source, tag), deque()).append(payload)
+
+    def _drain_blocking(self, timeout: float) -> bool:
+        try:
+            msg = self._queue.get(timeout=max(0.0, timeout))
+        except queue_mod.Empty:
+            return False
+        self._store(msg)
+        return True
+
+    def _drain_ready(self) -> None:
+        while True:
+            try:
+                msg = self._queue.get_nowait()
+            except queue_mod.Empty:
+                return
+            self._store(msg)
+
+    def get(self, source: int, tag: Any, deadline: float, describe: str) -> Any:
+        while True:
+            q = self._buffered.get((source, tag))
+            if q:
+                return q.popleft()
+            if self._world.aborted:
+                raise CommAborted(f"{describe} interrupted: world aborted")
+            remaining = deadline - monotonic()
+            if remaining <= 0:
+                # Abort the whole job: a wedged collective should fail
+                # everywhere with this rank's diagnostic, not hang peers.
+                self._world.abort()
+                raise CommAborted(
+                    f"{describe} timed out after {self._world.timeout:.1f}s"
+                )
+            self._drain_blocking(min(remaining, 0.25))
+
+    def try_get(self, source: int, tag: Any) -> tuple[bool, Any]:
+        self._drain_ready()
+        q = self._buffered.get((source, tag))
+        if q:
+            return True, q.popleft()
+        if self._world.aborted:
+            raise CommAborted(
+                f"irecv(source={source}, tag={tag}) interrupted: world aborted"
+            )
+        return False, None
+
+
+class _ProcToken:
+    """Nonblocking-collective token of the process backend."""
+
+    __slots__ = ("tag", "seq", "opname", "rank", "slots", "outstanding")
+
+    def __init__(self, tag, seq, opname, rank, slots, outstanding):
+        self.tag = tag
+        self.seq = seq
+        self.opname = opname
+        self.rank = rank
+        self.slots = slots
+        self.outstanding = outstanding  # comm-rank -> world rank, not yet received
+
+
+class ProcessChannel(GroupChannel):
+    """Collective channel over pt2pt message exchange.
+
+    Per-group sequence counters are process-local; they match across ranks
+    because every member issues a group's collectives in the same program
+    order — the discipline MPI itself imposes.
+    """
+
+    def __init__(
+        self,
+        world: "ProcessWorld",
+        key: Any,
+        members: tuple[int, ...],
+        rank: int,
+    ) -> None:
+        self._world = world
+        self._key = key
+        self._members = members
+        self._rank = rank
+        self._coll_seq = 0
+
+    def _diag(self, opname: str, seq: int, waiting_for: int | None = None) -> str:
+        tail = (
+            f", waiting for the contribution of world rank {waiting_for}"
+            if waiting_for is not None
+            else ""
+        )
+        return (
+            f"{opname}[seq={seq}] on comm {self._key!r} at world rank "
+            f"{self._members[self._rank]} (comm rank {self._rank}){tail}"
+        )
+
+    def barrier(self, opname: str = "barrier") -> None:
+        self.collective(None, lambda slots: None, opname)
+
+    def collective(
+        self,
+        contribution: Any,
+        combine: Callable[[list[Any]], Any],
+        opname: str,
+        needs: Callable[[int], Any] | None = None,
+        parts: bool = False,
+    ) -> Any:
+        """Exchange contributions by message, narrowed where possible.
+
+        * default — allgather: every member ships its whole contribution
+          to every peer;
+        * ``needs`` (rooted collectives) — a member ships only to the
+          peers whose combine reads its slot and receives only the slots
+          its own combine reads (gather flows everyone→root, bcast
+          root→everyone).  A scatter's payload is still the root's full
+          per-rank list — the slots model carries rooted contributions
+          whole, only the routing narrows;
+        * ``parts`` (alltoall-shaped) — the contribution is
+          per-destination, so only piece ``j`` travels to rank ``j`` and
+          ``combine`` sees the received-pieces list, MPI-alltoall volume.
+
+        Every schedule is derived identically on all members, so message
+        matching is preserved.
+        """
+        rank = self._rank
+        seq = self._coll_seq
+        self._coll_seq += 1
+        tag = (self._key, "#coll", seq)
+        world = self._world
+        me = self._members[rank]
+        needed_of = (
+            [set(needs(j)) for j in range(len(self._members))]
+            if needs is not None
+            else None
+        )
+        for j, peer in enumerate(self._members):
+            if j == rank:
+                continue
+            if parts:
+                world.deliver(me, peer, tag, contribution[j])
+            elif needed_of is None or rank in needed_of[j]:
+                world.deliver(me, peer, tag, contribution)
+        slots: list[Any] = [None] * len(self._members)
+        slots[rank] = contribution[rank] if parts else contribution
+        deadline = monotonic() + world.timeout
+        for j, peer in enumerate(self._members):
+            if j == rank:
+                continue
+            if parts or needed_of is None or j in needed_of[rank]:
+                slots[j] = world._inbox.get(
+                    peer, tag, deadline, self._diag(opname, seq, waiting_for=peer)
+                )
+        return combine(slots)
+
+    def nb_start(
+        self, seq: int, contribution: Any, opname: str, parts: bool = False
+    ) -> Any:
+        rank = self._rank
+        tag = (self._key, "#nb", seq)
+        world = self._world
+        me = self._members[rank]
+        for j, peer in enumerate(self._members):
+            if j != rank:
+                world.deliver(me, peer, tag, contribution[j] if parts else contribution)
+        slots: list[Any] = [None] * len(self._members)
+        slots[rank] = contribution[rank] if parts else contribution
+        outstanding = {
+            j: peer for j, peer in enumerate(self._members) if j != rank
+        }
+        return _ProcToken(tag, seq, opname, rank, slots, outstanding)
+
+    def nb_test(self, token: _ProcToken) -> bool:
+        world = self._world
+        for j in list(token.outstanding):
+            got, payload = world._inbox.try_get(token.outstanding[j], token.tag)
+            if got:
+                token.slots[j] = payload
+                del token.outstanding[j]
+        return not token.outstanding
+
+    def nb_wait(self, token: _ProcToken) -> list[Any]:
+        world = self._world
+        deadline = monotonic() + world.timeout
+        for j in sorted(token.outstanding):
+            peer = token.outstanding[j]
+            token.slots[j] = world._inbox.get(
+                peer,
+                token.tag,
+                deadline,
+                self._diag(token.opname, token.seq, waiting_for=peer),
+            )
+        token.outstanding.clear()
+        return token.slots
+
+    def nb_finish(self, token: _ProcToken) -> None:
+        token.slots = []
+
+
+class ProcessWorld(BaseWorld):
+    """One rank's view of a process-per-rank SPMD job."""
+
+    backend_name = "process"
+
+    def __init__(self, shared: _SharedJobState, rank: int) -> None:
+        self.size = shared.nranks
+        self.timeout = shared.timeout
+        self.rank = rank
+        self._shared = shared
+        self._inbox = _Inbox(self)
+        self._channels: dict[Any, ProcessChannel] = {}
+        self._stats: dict[int, Any] = {}
+        #: Per-process transport counters (this rank's sends only).
+        self.transport = {
+            "shm_messages": 0,
+            "shm_bytes": 0,
+            "inline_messages": 0,
+            "arena_full_fallbacks": 0,
+        }
+
+    @property
+    def aborted(self) -> bool:
+        return self._shared.abort_event.is_set()
+
+    # -- point-to-point ----------------------------------------------------
+    def deliver(self, source: int, dest: int, tag: Any, payload: Any) -> None:
+        self._check_rank(dest, "dest")
+        if dest == self.rank:
+            # Self-delivery stays in-process (no copy), matching the thread
+            # backend's zero-copy self-sends.
+            self._inbox._buffered.setdefault((source, tag), deque()).append(payload)
+            return
+        descs: list = []
+        skeleton = _pack(
+            payload, self._shared.arena, descs, self.transport, self._shared.shm_min
+        )
+        self._shared.queues[dest].put((source, tag, skeleton, descs))
+
+    def collect(self, dest: int, source: int, tag: Any, opname: str = "recv") -> Any:
+        self._check_rank(source, "source")
+        if dest != self.rank:
+            raise ValueError(
+                f"process backend can only collect for its own rank "
+                f"({self.rank}), not {dest}"
+            )
+        describe = f"{opname}(world rank {dest} <- {source}, tag={tag!r})"
+        return self._inbox.get(source, tag, monotonic() + self.timeout, describe)
+
+    def try_collect(self, dest: int, source: int, tag: Any) -> tuple[bool, Any]:
+        self._check_rank(source, "source")
+        return self._inbox.try_get(source, tag)
+
+    # -- collectives --------------------------------------------------------
+    def channel(self, key: Any, members: tuple[int, ...], rank: int) -> GroupChannel:
+        # Cached per key so communicators recreated with an identical key
+        # share sequence counters, mirroring the thread backend's shared
+        # rendezvous contexts.
+        ch = self._channels.get(key)
+        if ch is None:
+            ch = ProcessChannel(self, key, members, rank)
+            self._channels[key] = ch
+        return ch
+
+    def rank_stats(self, world_rank: int):
+        from repro.comm.stats import CommStats
+
+        stats = self._stats.get(world_rank)
+        if stats is None:
+            stats = self._stats[world_rank] = CommStats()
+        return stats
+
+    # -- failure handling ---------------------------------------------------
+    def abort(self) -> None:
+        self._shared.abort_event.set()
+
+    def _check_rank(self, rank: int, what: str) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"{what}={rank} out of range for world of size {self.size}")
+
+
+def _child_main(
+    shared: _SharedJobState,
+    rank: int,
+    fn: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+) -> None:
+    """Rank entry point in the forked child."""
+    from repro.comm.communicator import Communicator
+
+    world = ProcessWorld(shared, rank)
+    status = "ok"
+    try:
+        comm = Communicator._world_comm(world, rank)
+        result = fn(comm, *args, **kwargs)
+        try:
+            blob = pickle.dumps(result)
+        except Exception as exc:
+            # The job is failing: abort it so peers blocked on anything
+            # this rank still owed them fail promptly with CommAborted
+            # instead of timing out (the error teardown below drops
+            # undelivered messages).
+            world.abort()
+            status = "err"
+            blob = pickle.dumps(
+                (
+                    RuntimeError(
+                        f"rank {rank} produced an unpicklable result "
+                        f"({type(exc).__name__}: {exc})"
+                    ),
+                    "",
+                )
+            )
+    except BaseException as exc:  # noqa: BLE001 - must propagate anything
+        world.abort()
+        status = "err"
+        tb = traceback.format_exc()
+        try:
+            blob = pickle.dumps((exc, tb))
+        except Exception:
+            blob = pickle.dumps(
+                (CommAborted(f"rank {rank}: {type(exc).__name__}: {exc}"), tb)
+            )
+    if status == "ok":
+        # A fast rank may exit while its queue feeder threads still hold
+        # undelivered messages (e.g. fire-and-forget nonblocking deposits a
+        # slow peer has yet to read).  close() lets each feeder flush and
+        # exit; the interpreter then joins them at process exit, so nothing
+        # a completing rank sent can be lost.
+        for q in shared.queues:
+            q.close()
+    else:
+        # On abort the job is over: losing queued messages is fine, and
+        # waiting on feeders is not (a peer may already be gone).
+        for q in shared.queues:
+            q.cancel_join_thread()
+    shared.results.put((rank, status, blob))
+
+
+def _run_spmd_processes(
+    nranks: int,
+    fn: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+    timeout: float,
+) -> list[Any]:
+    """Process-backend launcher: fork one child per rank, gather results."""
+    import multiprocessing as mp
+
+    try:
+        ctx = mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        raise RuntimeError(
+            "the process backend requires the fork start method; "
+            "use backend='thread' on this platform"
+        ) from None
+
+    shared = _SharedJobState(ctx, nranks, timeout)
+    procs = []
+    outcomes: dict[int, tuple[str, Any]] = {}
+    try:
+        for rank in range(nranks):
+            p = ctx.Process(
+                target=_child_main,
+                args=(shared, rank, fn, args, kwargs),
+                name=f"spmd-rank-{rank}",
+            )
+            p.start()
+            procs.append(p)
+
+        # `timeout` bounds individual blocked operations (enforced inside
+        # the ranks, exactly as on the thread backend) — it is NOT a job
+        # deadline, so a healthy long-computing job is never cut short.
+        # The parent only starts a drain deadline once the job is known to
+        # be dying: the abort event fired, a child crashed, or every child
+        # exited without reporting.
+        drain_deadline: float | None = None
+        while len(outcomes) < nranks:
+            try:
+                rank, status, blob = shared.results.get(timeout=0.25)
+                outcomes[rank] = (status, blob)
+                continue
+            except queue_mod.Empty:
+                pass
+            for r, p in enumerate(procs):
+                if r not in outcomes and p.exitcode not in (None, 0):
+                    outcomes[r] = ("crash", p.exitcode)
+                    shared.abort_event.set()
+            dying = shared.abort_event.is_set() or all(
+                p.exitcode is not None for p in procs
+            )
+            if not dying:
+                drain_deadline = None
+                continue
+            if drain_deadline is None:
+                drain_deadline = monotonic() + _PARENT_GRACE
+            elif monotonic() > drain_deadline:
+                shared.abort_event.set()
+                for r in range(nranks):
+                    outcomes.setdefault(r, ("hang", None))
+                break
+    finally:
+        for p in procs:
+            p.join(timeout=5.0)
+        for p in procs:
+            if p.is_alive():  # pragma: no cover - wedged child
+                p.terminate()
+                p.join(timeout=5.0)
+        shared.teardown()
+
+    results: list[Any] = [None] * nranks
+    errors: list[BaseException | None] = [None] * nranks
+    for rank in range(nranks):
+        status, blob = outcomes[rank]
+        if status == "ok":
+            results[rank] = pickle.loads(blob)
+        elif status == "err":
+            exc, tb = pickle.loads(blob)
+            if tb and not isinstance(exc, CommAborted):
+                exc.__cause__ = RuntimeError(f"rank {rank} traceback:\n{tb}")
+            errors[rank] = exc
+        elif status == "crash":
+            errors[rank] = CommAborted(
+                f"world rank {rank} exited abnormally (exit code {blob}) "
+                "before reporting a result"
+            )
+        else:  # hang
+            errors[rank] = CommAborted(
+                f"world rank {rank} did not report a result within "
+                f"{_PARENT_GRACE:.0f}s of the job starting to die "
+                "(abort/crash/exit); job torn down"
+            )
+
+    first_real = next(
+        (e for e in errors if e is not None and not isinstance(e, CommAborted)), None
+    )
+    if first_real is not None:
+        raise first_real
+    first_any = next((e for e in errors if e is not None), None)
+    if first_any is not None:
+        raise first_any
+    return results
+
+
+register_backend("process", _run_spmd_processes)

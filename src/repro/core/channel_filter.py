@@ -19,8 +19,16 @@ As the paper notes, the two compose naturally: a filter-parallel layer
 produces ``y`` partitioned on F, which is exactly a C-partitioned input for
 a channel-parallel successor — no redistribution needed.
 
-Both compose with spatial partitioning: the spatial halo machinery
-(``gather_region``) operates on the channel-sliced tensors unchanged.
+Both compose with spatial partitioning: the spatial halo machinery operates
+on the channel-sliced tensors unchanged.  With ``overlap_halo`` (the
+default) the input/error-signal region gathers are driven through the
+nonblocking :class:`~repro.tensor.halo.RegionExchange` — eager ``isend``
+strips plus posted ``irecv``s from a plan cached per layer and direction —
+instead of the historical blocking ``gather_region`` (two rendezvous
+barriers per gather).  The convolution kernels themselves stay fused, so
+the nonblocking path is bitwise identical to the blocking one; when no
+rank's region reaches off-shard, the exchange degenerates to a purely
+local materialization with zero communication.
 """
 
 from __future__ import annotations
@@ -32,8 +40,56 @@ from repro.nn import functional as F
 from repro.tensor.dist_tensor import DistTensor
 from repro.tensor.distribution import DimKind, Distribution
 from repro.tensor.grid import ProcessGrid
+from repro.tensor.halo import (
+    any_region_remote,
+    local_region,
+    plan_region_exchange,
+    start_region_exchange,
+)
 from repro.tensor.indexing import block_bounds
-from repro.core.dist_conv import _floor_div, _pair
+from repro.core.dist_conv import (
+    _bwd_region_builder,
+    _floor_div,
+    _fwd_region_builder,
+    _pair,
+)
+
+
+def _gather_planned(
+    dt: DistTensor,
+    grid: ProcessGrid,
+    cache: dict,
+    key,
+    region_of_coords,
+    pool,
+    overlap: bool,
+) -> np.ndarray:
+    """Gather this rank's dependency region for a conv layer.
+
+    With ``overlap`` (the layers' default) the gather runs through a cached
+    nonblocking exchange plan; ``region_of_coords(coords)`` must yield any
+    rank's ``(lo, hi)`` region from shared layer geometry — which is what
+    lets every rank mirror the send side of the exchange without a request
+    round-trip.  The schedule (and the no-communication fast path decision)
+    is computed once per ``key`` and reused every step.  With ``overlap``
+    off, the historical blocking collective ``gather_region`` runs instead.
+    """
+    if not overlap:
+        lo, hi = region_of_coords(grid.coords)
+        return dt.gather_region(lo, hi, pool=pool)
+    entry = cache.get(key)
+    if entry is None:
+        regions = [
+            region_of_coords(grid.coords_of(r)) for r in range(grid.comm.size)
+        ]
+        lo, hi = regions[grid.comm.rank]
+        exchanged = any_region_remote(dt, regions)
+        plan = plan_region_exchange(dt, lo, hi, regions) if exchanged else None
+        entry = cache[key] = (lo, hi, exchanged, plan)
+    lo, hi, exchanged, plan = entry
+    if not exchanged:
+        return local_region(dt, lo, hi, pool=pool)
+    return start_region_exchange(dt, lo, hi, pool=pool, plan=plan).finish()
 
 
 def _channel_replicated_dist(grid_shape, shape) -> Distribution:
@@ -55,7 +111,14 @@ class ChannelParallelConv2d:
     the sample x spatial axes (each channel shard is unique).
     """
 
-    def __init__(self, grid: ProcessGrid, weights: np.ndarray, stride=1, pad=0) -> None:
+    def __init__(
+        self,
+        grid: ProcessGrid,
+        weights: np.ndarray,
+        stride=1,
+        pad=0,
+        overlap_halo: bool = True,
+    ) -> None:
         if grid.ndim != 4 or grid.shape[1] < 2:
             raise ValueError("ChannelParallelConv2d needs a 4D grid with axis 1 > 1")
         self.grid = grid
@@ -66,29 +129,31 @@ class ChannelParallelConv2d:
         self.c_lo, self.c_hi = block_bounds(c_total, grid.shape[1], grid.coords[1])
         self.w_full_shape = weights.shape
         self.w_local = np.ascontiguousarray(weights[:, self.c_lo : self.c_hi])
+        self.overlap_halo = bool(overlap_halo)
         self._x_ext: np.ndarray | None = None
         self._x_meta: tuple | None = None
         # Recycles the gathered input / error-signal regions and the
-        # alltoall reply payloads across steps.
+        # exchange payloads across steps.
         self._pool = BufferPool()
+        # Cached (region, exchange plan) per direction and distribution.
+        self._geom: dict = {}
 
     def forward(self, x: DistTensor) -> DistTensor:
         if not x.dist.is_split(1):
             raise ValueError("input must be channel-partitioned (dim 1 split)")
         n, c, h, w = x.global_shape
-        kh, kw = self.kernel
-        sh, sw = self.stride
-        ph, pw = self.pad
         oh, ow = F.conv2d_output_shape((h, w), self.kernel, self.stride, self.pad)
         f = self.w_full_shape[0]
         y_shape = (n, f, oh, ow)
         y_dist = _channel_replicated_dist(self.grid.shape, y_shape)
-        yb = y_dist.local_bounds(y_shape, self.grid.coords)
-        (n_lo, n_hi), _, (oh_lo, oh_hi), (ow_lo, ow_hi) = yb
-
-        lo = (n_lo, self.c_lo, oh_lo * sh - ph, ow_lo * sw - pw)
-        hi = (n_hi, self.c_hi, (oh_hi - 1) * sh - ph + kh, (ow_hi - 1) * sw - pw + kw)
-        x_ext = x.gather_region(lo, hi, pool=self._pool)
+        region_of = _fwd_region_builder(
+            self.kernel, self.stride, self.pad, y_dist, y_shape,
+            lambda coords: block_bounds(c, self.grid.shape[1], coords[1]),
+        )
+        x_ext = _gather_planned(
+            x, self.grid, self._geom, ("fwd", x.dist, x.global_shape),
+            region_of, self._pool, self.overlap_halo,
+        )
         self._x_ext = x_ext
         self._x_meta = (x.dist, x.global_shape)
 
@@ -113,12 +178,16 @@ class ChannelParallelConv2d:
         xb = x_dist.local_bounds(x_shape, self.grid.coords)
         (n_lo, n_hi), _, (xh_lo, xh_hi), (xw_lo, xw_hi) = xb
         dh_lo = _floor_div(xh_lo + ph - (kh - 1), sh)
-        dh_hi = _floor_div(xh_hi - 1 + ph, sh) + 1
         dw_lo_ = _floor_div(xw_lo + pw - (kw - 1), sw)
-        dw_hi = _floor_div(xw_hi - 1 + pw, sw) + 1
-        dy_ext = dy.gather_region(
-            (n_lo, 0, dh_lo, dw_lo_), (n_hi, dy.global_shape[1], dh_hi, dw_hi),
-            pool=self._pool,
+        dy_channels = dy.global_shape[1]
+        region_of = _bwd_region_builder(
+            self.kernel, self.stride, self.pad, x_dist, x_shape,
+            lambda coords: (0, dy_channels),
+        )
+        dy_ext = _gather_planned(
+            dy, self.grid, self._geom,
+            ("bwd", dy.dist, dy.global_shape, x_dist, x_shape),
+            region_of, self._pool, self.overlap_halo,
         )
         pad_eff = (xh_lo + ph - sh * dh_lo, xw_lo + pw - sw * dw_lo_)
         dx_local = F.conv2d_backward_data(
@@ -141,7 +210,14 @@ class FilterParallelConv2d:
     model-parallel FC layer when applied to 1x1 spatial extents.
     """
 
-    def __init__(self, grid: ProcessGrid, weights: np.ndarray, stride=1, pad=0) -> None:
+    def __init__(
+        self,
+        grid: ProcessGrid,
+        weights: np.ndarray,
+        stride=1,
+        pad=0,
+        overlap_halo: bool = True,
+    ) -> None:
         if grid.ndim != 4 or grid.shape[1] < 2:
             raise ValueError("FilterParallelConv2d needs a 4D grid with axis 1 > 1")
         self.grid = grid
@@ -152,9 +228,11 @@ class FilterParallelConv2d:
         self.f_lo, self.f_hi = block_bounds(f_total, grid.shape[1], grid.coords[1])
         self.w_full_shape = weights.shape
         self.w_local = np.ascontiguousarray(weights[self.f_lo : self.f_hi])
+        self.overlap_halo = bool(overlap_halo)
         self._x_ext: np.ndarray | None = None
         self._x_meta: tuple | None = None
         self._pool = BufferPool()
+        self._geom: dict = {}
 
     def forward(self, x: DistTensor) -> DistTensor:
         if x.dist.is_split(1):
@@ -162,9 +240,6 @@ class FilterParallelConv2d:
                 "input must have C replicated across the filter group"
             )
         n, c, h, w = x.global_shape
-        kh, kw = self.kernel
-        sh, sw = self.stride
-        ph, pw = self.pad
         oh, ow = F.conv2d_output_shape((h, w), self.kernel, self.stride, self.pad)
         f = self.w_full_shape[0]
         y_shape = (n, f, oh, ow)
@@ -172,13 +247,18 @@ class FilterParallelConv2d:
         if f < self.grid.shape[1]:
             raise ValueError("fewer filters than filter-group size")
         yb = y_dist.local_bounds(y_shape, self.grid.coords)
-        (n_lo, n_hi), (f_lo, f_hi), (oh_lo, oh_hi), (ow_lo, ow_hi) = yb
+        (f_lo, f_hi) = yb[1]
         if (f_lo, f_hi) != (self.f_lo, self.f_hi):
             raise AssertionError("filter slice misaligned with distribution")
 
-        lo = (n_lo, 0, oh_lo * sh - ph, ow_lo * sw - pw)
-        hi = (n_hi, c, (oh_hi - 1) * sh - ph + kh, (ow_hi - 1) * sw - pw + kw)
-        x_ext = x.gather_region(lo, hi, pool=self._pool)
+        region_of = _fwd_region_builder(
+            self.kernel, self.stride, self.pad, y_dist, y_shape,
+            lambda coords: (0, c),
+        )
+        x_ext = _gather_planned(
+            x, self.grid, self._geom, ("fwd", x.dist, x.global_shape),
+            region_of, self._pool, self.overlap_halo,
+        )
         self._x_ext = x_ext
         self._x_meta = (x.dist, x.global_shape)
         y_local = F.conv2d_forward(x_ext, self.w_local, stride=self.stride, pad=0)
@@ -200,12 +280,16 @@ class FilterParallelConv2d:
         xb = x_dist.local_bounds(x_shape, self.grid.coords)
         (n_lo, n_hi), _, (xh_lo, xh_hi), (xw_lo, xw_hi) = xb
         dh_lo = _floor_div(xh_lo + ph - (kh - 1), sh)
-        dh_hi = _floor_div(xh_hi - 1 + ph, sh) + 1
         dw_lo_ = _floor_div(xw_lo + pw - (kw - 1), sw)
-        dw_hi = _floor_div(xw_hi - 1 + pw, sw) + 1
-        dy_ext = dy.gather_region(
-            (n_lo, self.f_lo, dh_lo, dw_lo_), (n_hi, self.f_hi, dh_hi, dw_hi),
-            pool=self._pool,
+        f_total = self.w_full_shape[0]
+        region_of = _bwd_region_builder(
+            self.kernel, self.stride, self.pad, x_dist, x_shape,
+            lambda coords: block_bounds(f_total, self.grid.shape[1], coords[1]),
+        )
+        dy_ext = _gather_planned(
+            dy, self.grid, self._geom,
+            ("bwd", dy.dist, dy.global_shape, x_dist, x_shape),
+            region_of, self._pool, self.overlap_halo,
         )
         pad_eff = (xh_lo + ph - sh * dh_lo, xw_lo + pw - sw * dw_lo_)
         partial_dx = F.conv2d_backward_data(

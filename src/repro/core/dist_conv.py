@@ -54,7 +54,13 @@ from repro.comm.buffers import BufferPool
 from repro.nn import functional as F
 from repro.tensor.dist_tensor import DistTensor
 from repro.tensor.grid import ProcessGrid
-from repro.tensor.halo import ExchangePlan, plan_region_exchange, start_region_exchange
+from repro.tensor.halo import (
+    ExchangePlan,
+    any_region_remote,
+    local_region,
+    plan_region_exchange,
+    start_region_exchange,
+)
 from repro.tensor.indexing import ceil_div
 from repro.core.parallelism import activation_dist
 
@@ -96,6 +102,59 @@ def _frame_pieces(
     if ow_hi > iw_hi:
         pieces.append(((ih_lo, ih_hi), (iw_hi, ow_hi), False))
     return pieces
+
+
+def _fwd_region_builder(kernel, stride, pad, y_dist, y_shape, chan_of):
+    """Any rank's forward input region from its output bounds.
+
+    ``chan_of(coords)`` supplies the dim-1 slot — the rank's own channel
+    slice for channel parallelism, the full (replicated) C extent for
+    filter parallelism.
+    """
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = pad
+
+    def region_of(coords):
+        (n_lo, n_hi), _, (oh_lo, oh_hi), (ow_lo, ow_hi) = y_dist.local_bounds(
+            y_shape, coords
+        )
+        c_lo, c_hi = chan_of(coords)
+        lo = (n_lo, c_lo, oh_lo * sh - ph, ow_lo * sw - pw)
+        hi = (
+            n_hi,
+            c_hi,
+            (oh_hi - 1) * sh - ph + kh if oh_hi > oh_lo else oh_lo * sh - ph,
+            (ow_hi - 1) * sw - pw + kw if ow_hi > ow_lo else ow_lo * sw - pw,
+        )
+        return lo, hi
+
+    return region_of
+
+
+def _bwd_region_builder(kernel, stride, pad, x_dist, x_shape, chan_of):
+    """Any rank's backward-data dy region from its input bounds (Eq. 3).
+
+    ``chan_of(coords)`` supplies the dim-1 slot — the full dy channel
+    extent for channel parallelism, the rank's own filter slice for
+    filter parallelism.
+    """
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = pad
+
+    def region_of(coords):
+        (n_lo, n_hi), _, (xh_lo, xh_hi), (xw_lo, xw_hi) = x_dist.local_bounds(
+            x_shape, coords
+        )
+        f_lo, f_hi = chan_of(coords)
+        dh_lo = _floor_div(xh_lo + ph - (kh - 1), sh)
+        dh_hi = _floor_div(xh_hi - 1 + ph, sh) + 1 if xh_hi > xh_lo else dh_lo
+        dw_lo = _floor_div(xw_lo + pw - (kw - 1), sw)
+        dw_hi = _floor_div(xw_hi - 1 + pw, sw) + 1 if xw_hi > xw_lo else dw_lo
+        return (n_lo, f_lo, dh_lo, dw_lo), (n_hi, f_hi, dh_hi, dw_hi)
+
+    return region_of
 
 
 @dataclass(frozen=True)
@@ -170,80 +229,10 @@ class DistConv2d:
         )
         return (n, self.w.shape[0], oh, ow)
 
-    def _input_region(
-        self, x_shape: tuple[int, ...], y_bounds
-    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
-        """Global input region needed for an output block (fwd dependency)."""
-        (n_lo, n_hi), _, (oh_lo, oh_hi), (ow_lo, ow_hi) = y_bounds
-        kh, kw = self.kernel
-        sh, sw = self.stride
-        ph, pw = self.pad
-        lo = (n_lo, 0, oh_lo * sh - ph, ow_lo * sw - pw)
-        hi = (
-            n_hi,
-            x_shape[1],
-            (oh_hi - 1) * sh - ph + kh if oh_hi > oh_lo else oh_lo * sh - ph,
-            (ow_hi - 1) * sw - pw + kw if ow_hi > ow_lo else ow_lo * sw - pw,
-        )
-        return lo, hi
-
-    def _dy_region(
-        self, dy_shape: tuple[int, ...], x_bounds
-    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
-        """Global dy region needed for an input block (bwd-data dependency)."""
-        (n_lo, n_hi), _, (xh_lo, xh_hi), (xw_lo, xw_hi) = x_bounds
-        kh, kw = self.kernel
-        sh, sw = self.stride
-        ph, pw = self.pad
-        dh_lo = _floor_div(xh_lo + ph - (kh - 1), sh)
-        dh_hi = _floor_div(xh_hi - 1 + ph, sh) + 1 if xh_hi > xh_lo else dh_lo
-        dw_lo = _floor_div(xw_lo + pw - (kw - 1), sw)
-        dw_hi = _floor_div(xw_hi - 1 + pw, sw) + 1 if xw_hi > xw_lo else dw_lo
-        return (n_lo, 0, dh_lo, dw_lo), (n_hi, dy_shape[1], dh_hi, dw_hi)
-
-    def _peer_regions(self, maker, dist, global_shape) -> list:
-        """Every rank's dependency region, derived from shared geometry."""
-        return [
-            maker(dist.local_bounds(global_shape, self.grid.coords_of(r)))
-            for r in range(self.grid.comm.size)
-        ]
-
-    @staticmethod
-    def _any_region_remote(dt: DistTensor, regions) -> bool:
-        """True if any rank's region reaches beyond its own shard (so a
-        halo exchange is required; identical on every rank by construction)."""
-        dist, shape, grid = dt.dist, dt.global_shape, dt.grid
-        for r, (lo, hi) in enumerate(regions):
-            bounds = dist.local_bounds(shape, grid.coords_of(r))
-            clipped = [
-                (max(int(b), 0), min(int(h), shape[d]))
-                for d, (b, h) in enumerate(zip(lo, hi))
-            ]
-            if any(c_hi <= c_lo for c_lo, c_hi in clipped):
-                continue  # empty region: nothing to fetch
-            for (c_lo, c_hi), (b_lo, b_hi) in zip(clipped, bounds):
-                if c_lo < b_lo or c_hi > b_hi:
-                    return True
-        return False
-
     def _local_region(self, dt: DistTensor, lo, hi) -> np.ndarray:
         """Materialize a region that is fully local (plus virtual padding)
         without communication — the overlap-mode fast path."""
-        out_shape = tuple(int(h) - int(b) for b, h in zip(lo, hi))
-        out = self._pool.take(out_shape, dt.dtype)
-        out.fill(0.0)
-        if all(s > 0 for s in out_shape):
-            clipped = tuple(
-                (max(int(b), 0), min(int(h), dt.global_shape[d]))
-                for d, (b, h) in enumerate(zip(lo, hi))
-            )
-            if all(c_hi > c_lo for c_lo, c_hi in clipped):
-                sl = tuple(
-                    slice(c_lo - int(b), c_hi - int(b))
-                    for (c_lo, c_hi), b in zip(clipped, lo)
-                )
-                out[sl] = dt._local_slice_of(clipped)
-        return out
+        return local_region(dt, lo, hi, fill=0.0, pool=self._pool)
 
     # -- interior/boundary decomposition (§IV-A) -----------------------------------
     def _fwd_interior(self, x: DistTensor, y_bounds) -> tuple:
@@ -329,13 +318,16 @@ class DistConv2d:
         y_shape = self.output_global_shape(x.global_shape)
         y_dist = activation_dist(self.grid.shape, y_shape)
         y_bounds = y_dist.local_bounds(y_shape, self.grid.coords)
-        lo, hi = self._input_region(x.global_shape, y_bounds)
-
-        def region_of(bounds):
-            return self._input_region(x.global_shape, bounds)
-
-        regions = self._peer_regions(region_of, y_dist, y_shape)
-        exchanged = self._any_region_remote(x, regions)
+        c_in = x.global_shape[1]
+        region_of = _fwd_region_builder(
+            self.kernel, self.stride, self.pad, y_dist, y_shape,
+            lambda coords: (0, c_in),
+        )
+        regions = [
+            region_of(self.grid.coords_of(r)) for r in range(self.grid.comm.size)
+        ]
+        lo, hi = regions[self.grid.comm.rank]
+        exchanged = any_region_remote(x, regions)
         pieces: tuple = ()
         plan = None
         if exchanged:
@@ -354,13 +346,16 @@ class DistConv2d:
         if geom is not None:
             return geom
         xb = x_dist.local_bounds(x_shape, self.grid.coords)
-        lo, hi = self._dy_region(dy.global_shape, xb)
-
-        def region_of(bounds):
-            return self._dy_region(dy.global_shape, bounds)
-
-        regions = self._peer_regions(region_of, x_dist, x_shape)
-        exchanged = self._any_region_remote(dy, regions)
+        dy_channels = dy.global_shape[1]
+        region_of = _bwd_region_builder(
+            self.kernel, self.stride, self.pad, x_dist, x_shape,
+            lambda coords: (0, dy_channels),
+        )
+        regions = [
+            region_of(self.grid.coords_of(r)) for r in range(self.grid.comm.size)
+        ]
+        lo, hi = regions[self.grid.comm.rank]
+        exchanged = any_region_remote(dy, regions)
         pieces: tuple = ()
         plan = None
         if exchanged:

@@ -14,12 +14,23 @@ training and is what the exactness tests use).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.comm.buffers import BufferPool
 from repro.nn import functional as F
 from repro.tensor.dist_tensor import DistTensor
 from repro.tensor.grid import ProcessGrid
+from repro.tensor.halo import (
+    ExchangePlan,
+    any_region_remote,
+    local_region,
+    plan_region_exchange,
+    start_region_exchange,
+)
+from repro.tensor.indexing import ceil_div
+from repro.core.dist_conv import _frame_pieces, _fwd_region_builder
 from repro.core.parallelism import activation_dist
 
 
@@ -29,15 +40,50 @@ def _pair(v) -> tuple[int, int]:
     return int(v), int(v)
 
 
+@dataclass(frozen=True)
+class _PoolGeometry:
+    """Static forward geometry of one pooling layer, cached across steps
+    (same discipline as :class:`~repro.core.dist_conv._ConvGeometry`)."""
+
+    y_dist: object
+    y_shape: tuple[int, ...]
+    bounds: tuple            # this rank's output bounds
+    lo: tuple[int, ...]      # gathered dependency region, inclusive start
+    hi: tuple[int, ...]      # gathered dependency region, exclusive end
+    exchanged: bool          # does any rank need remote data?
+    pieces: tuple            # ((rows, cols, is_interior), ...) decomposition
+    plan: ExchangePlan | None
+
+
 class DistPool2d:
     """Distributed max/average pooling.
 
     Forward gathers the same dependency region as convolution; backward
     computes gradients on the extended region and *scatter-adds* them back
     to their owners (windows straddling a partition boundary contribute to
-    a neighbor's cells — the reverse halo exchange)."""
+    a neighbor's cells — the reverse halo exchange).
 
-    def __init__(self, grid: ProcessGrid, mode: str, kernel, stride=None, pad=0) -> None:
+    With ``overlap_halo`` (the default), forward drives the gather through
+    the nonblocking :class:`~repro.tensor.halo.RegionExchange` (plan cached
+    per layer) and decomposes the output into interior windows — those
+    reading only locally owned input (or virtual padding) — computed while
+    the halo strips travel, plus boundary strips completed after assembly.
+    Pooling windows are reduced per output element, so the piecewise
+    kernels are bitwise identical to the fused synchronous kernel; only the
+    communication discipline differs.  The backward scatter-add remains a
+    blocking collective (error contributions must be *accumulated* at their
+    owners, which the one-way exchange does not express).
+    """
+
+    def __init__(
+        self,
+        grid: ProcessGrid,
+        mode: str,
+        kernel,
+        stride=None,
+        pad=0,
+        overlap_halo: bool = True,
+    ) -> None:
         if mode not in ("max", "avg"):
             raise ValueError(f"unknown pooling mode {mode!r}")
         self.grid = grid
@@ -45,17 +91,41 @@ class DistPool2d:
         self.kernel = _pair(kernel)
         self.stride = _pair(stride if stride is not None else kernel)
         self.pad = _pair(pad)
+        self.overlap_halo = bool(overlap_halo)
         self._cache: dict = {}
         # Recycles the gathered extended region and the alltoall payloads
         # (gather replies, scatter-add contributions) across steps.
         self._pool = BufferPool()
+        self._geom: dict = {}
 
     def output_global_shape(self, x_shape: tuple[int, ...]) -> tuple[int, ...]:
         n, c, h, w = x_shape
         oh, ow = F.conv2d_output_shape((h, w), self.kernel, self.stride, self.pad)
         return (n, c, oh, ow)
 
-    def forward(self, x: DistTensor) -> DistTensor:
+    def _interior(self, x: DistTensor, yb) -> tuple:
+        """Output rows/cols whose windows need only locally owned input
+        (windows past the global edge read virtual padding — local
+        knowledge, so global-boundary ranks keep a full interior)."""
+        xb = x.dist.local_bounds(x.global_shape, self.grid.coords)
+        spans = []
+        for axis, k, s, p in (
+            (2, self.kernel[0], self.stride[0], self.pad[0]),
+            (3, self.kernel[1], self.stride[1], self.pad[1]),
+        ):
+            b_lo, b_hi = xb[axis]
+            o_lo, o_hi = yb[axis]
+            extent = x.global_shape[axis]
+            lo = o_lo if b_lo == 0 else max(o_lo, ceil_div(b_lo + p, s))
+            hi = o_hi if b_hi == extent else min(o_hi, (b_hi + p - k) // s + 1)
+            spans.append((lo, hi))
+        return tuple(spans)
+
+    def _fwd_geom(self, x: DistTensor) -> _PoolGeometry:
+        key = (x.global_shape, x.dist)
+        geom = self._geom.get(key)
+        if geom is not None:
+            return geom
         y_shape = self.output_global_shape(x.global_shape)
         y_dist = activation_dist(self.grid.shape, y_shape)
         for d in (2, 3):
@@ -66,25 +136,109 @@ class DistPool2d:
                     "parts); assign this layer a smaller spatial parallelism"
                 )
         yb = y_dist.local_bounds(y_shape, self.grid.coords)
-        (n_lo, n_hi), (c_lo, c_hi), (oh_lo, oh_hi), (ow_lo, ow_hi) = yb
+        # Same dependency-region algebra as convolution; pooling keeps its
+        # channel block, so the dim-1 slot comes from the output bounds.
+        region_of = _fwd_region_builder(
+            self.kernel, self.stride, self.pad, y_dist, y_shape,
+            lambda coords: y_dist.local_bounds(y_shape, coords)[1],
+        )
+        regions = [
+            region_of(self.grid.coords_of(r)) for r in range(self.grid.comm.size)
+        ]
+        lo, hi = regions[self.grid.comm.rank]
+        exchanged = any_region_remote(x, regions)
+        pieces: tuple = ()
+        plan = None
+        if exchanged and self.overlap_halo:
+            # The decomposition and exchange schedule only serve the
+            # overlapped path; the synchronous mode runs one fused kernel
+            # after a blocking gather and never reads them.
+            inner_h, inner_w = self._interior(x, yb)
+            pieces = tuple(_frame_pieces(yb[2], yb[3], inner_h, inner_w))
+            plan = plan_region_exchange(x, lo, hi, regions)
+        geom = _PoolGeometry(y_dist, y_shape, yb, lo, hi, exchanged, pieces, plan)
+        self._geom[key] = geom
+        return geom
+
+    def _pool_piece(
+        self, x_ext, yb, rows, cols, y_local, argmax
+    ) -> None:
+        """Pool one output sub-rectangle from its slice of ``x_ext``.
+
+        Window reductions are per output element, so piecewise evaluation
+        is bitwise identical to the fused kernel."""
+        (a, b), (c, d) = rows, cols
         kh, kw = self.kernel
         sh, sw = self.stride
-        ph, pw = self.pad
-        lo = (n_lo, c_lo, oh_lo * sh - ph, ow_lo * sw - pw)
-        hi = (n_hi, c_hi, (oh_hi - 1) * sh - ph + kh, (ow_hi - 1) * sw - pw + kw)
+        _, _, (oh_lo, _), (ow_lo, _) = yb
+        hs = (a - oh_lo) * sh
+        ws = (c - ow_lo) * sw
+        xs = x_ext[
+            :, :, hs : hs + (b - a - 1) * sh + kh, ws : ws + (d - c - 1) * sw + kw
+        ]
+        dst = (slice(None), slice(None), slice(a - oh_lo, b - oh_lo), slice(c - ow_lo, d - ow_lo))
+        if self.mode == "max":
+            y_piece, a_piece = F.maxpool2d_forward(xs, self.kernel, self.stride, 0)
+            y_local[dst] = y_piece
+            argmax[dst] = a_piece  # in-window flat indices: offset-free
+        else:
+            y_local[dst] = F.avgpool2d_forward(xs, self.kernel, self.stride, 0)
+
+    def forward(self, x: DistTensor) -> DistTensor:
+        g = self._fwd_geom(x)
+        yb = g.bounds
         # Max pooling must not let virtual padding win: fill with -inf-like.
         fill = -np.inf if self.mode == "max" else 0.0
-        x_ext = x.gather_region(lo, hi, fill=fill, pool=self._pool)
-        if self.mode == "max":
-            y_local, argmax = F.maxpool2d_forward(x_ext, self.kernel, self.stride, 0)
-            self._cache = {"argmax": argmax}
+
+        if not g.exchanged:
+            # No rank needs remote data: materialize locally (overlap mode,
+            # zero communication) or via the historical blocking gather.
+            if self.overlap_halo:
+                x_ext = local_region(x, g.lo, g.hi, fill=fill, pool=self._pool)
+            else:
+                x_ext = x.gather_region(g.lo, g.hi, fill=fill, pool=self._pool)
+            if self.mode == "max":
+                y_local, argmax = F.maxpool2d_forward(x_ext, self.kernel, self.stride, 0)
+                self._cache = {"argmax": argmax}
+            else:
+                y_local = F.avgpool2d_forward(x_ext, self.kernel, self.stride, 0)
+                self._cache = {}
+        elif self.overlap_halo:
+            (n_lo, n_hi), (c_lo, c_hi), (oh_lo, oh_hi), (ow_lo, ow_hi) = yb
+            y_local = np.empty(
+                (n_hi - n_lo, c_hi - c_lo, oh_hi - oh_lo, ow_hi - ow_lo),
+                dtype=x.dtype,
+            )
+            argmax = (
+                np.empty(y_local.shape, dtype=np.int64)
+                if self.mode == "max"
+                else None
+            )
+            ex = start_region_exchange(
+                x, g.lo, g.hi, fill=fill, pool=self._pool, plan=g.plan
+            )
+            x_ext = ex.out
+            for rows, cols, interior in g.pieces:
+                if interior:
+                    self._pool_piece(x_ext, yb, rows, cols, y_local, argmax)
+            ex.finish()
+            for rows, cols, interior in g.pieces:
+                if not interior:
+                    self._pool_piece(x_ext, yb, rows, cols, y_local, argmax)
+            self._cache = {"argmax": argmax} if self.mode == "max" else {}
         else:
-            y_local = F.avgpool2d_forward(x_ext, self.kernel, self.stride, 0)
+            x_ext = x.gather_region(g.lo, g.hi, fill=fill, pool=self._pool)
+            if self.mode == "max":
+                y_local, argmax = F.maxpool2d_forward(x_ext, self.kernel, self.stride, 0)
+                self._cache = {"argmax": argmax}
+            else:
+                y_local = F.avgpool2d_forward(x_ext, self.kernel, self.stride, 0)
+                self._cache = {}
         self._cache.update(
-            {"region_lo": lo, "x_ext_shape": x_ext.shape, "x": x}
+            {"region_lo": g.lo, "x_ext_shape": x_ext.shape, "x": x}
         )
         self._pool.give(x_ext)  # backward needs only its shape (and argmax)
-        return DistTensor(self.grid, y_dist, y_shape, y_local)
+        return DistTensor(self.grid, g.y_dist, g.y_shape, y_local)
 
     def backward(self, dy: DistTensor) -> DistTensor:
         cache = self._cache

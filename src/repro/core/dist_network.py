@@ -176,6 +176,7 @@ class DistNetwork:
                     layer.params["kernel"],
                     layer.params.get("stride", layer.params["kernel"]),
                     layer.params.get("pad", 0),
+                    overlap_halo=self.overlap_halo,
                 )
             elif layer.kind == "bn":
                 c = parent_shape[0]

@@ -94,7 +94,8 @@ class DistTrainer:
                 f", avg step {np.mean(self.stats.step_seconds) * 1e3:.2f} ms"
                 if self.stats.step_seconds
                 else ""
-            ),
+            )
+            + f" [{self.network.comm.backend} backend]",
             cs.report(),
         ]
         wait = cs.total_wait_seconds()

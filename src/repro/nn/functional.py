@@ -233,13 +233,21 @@ def maxpool2d_backward(
 
 
 def avgpool2d_forward(x: np.ndarray, kernel, stride=None, pad=0) -> np.ndarray:
-    """Average pooling (divisor is the full window size, zeros included)."""
+    """Average pooling (divisor is the full window size, zeros included).
+
+    Each window is flattened to a contiguous axis before the reduction so
+    the per-element accumulation order depends only on the window size —
+    never on the surrounding extents — which keeps piecewise evaluation
+    (the overlapped halo path of ``DistPool2d``) bitwise identical to the
+    fused kernel.
+    """
     kh, kw = _pair(kernel)
     sh, sw = _pair(stride if stride is not None else kernel)
     ph, pw = _pair(pad)
     xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw))) if ph or pw else x
     win = _windows(xp, (kh, kw), (sh, sw))
-    return np.ascontiguousarray(win.mean(axis=(-2, -1)))
+    flat = win.reshape(*win.shape[:4], kh * kw)
+    return np.ascontiguousarray(flat.mean(axis=-1))
 
 
 def avgpool2d_backward(

@@ -22,7 +22,10 @@ runs concurrently with the exchange:
                    (the error-signal halo hides inside the filter
                    convolution *and* the interior data convolution, §IV-A)
 
-Layers the engine does not decompose (pooling halos, batch-norm statistics
+Pooling layers decompose (and overlap) the *forward* gather exactly like
+convolution but keep the backward scatter-add synchronous, so they carry a
+real forward ``boundary_fraction`` and pin ``bp_boundary_fraction=1``.
+Layers the engine does not decompose at all (batch-norm statistics
 allreduces) carry ``boundary_fraction=1``, which degenerates both formulas
 to the synchronous cost — the model matches what the engine actually
 overlaps rather than the best case.
@@ -60,6 +63,29 @@ class ConvLayerCost:
     #: (must wait for the halo).  0 = everything overlaps the exchange,
     #: 1 = nothing does (the engine's synchronous layers).
     boundary_fraction: float = 1.0
+    #: Backward-specific boundary fraction; ``None`` means "same as
+    #: forward".  Pooling layers overlap only the forward gather (the
+    #: backward scatter-add stays a blocking collective), so they carry a
+    #: real forward fraction and pin the backward one at 1.
+    bp_boundary_fraction: float | None = None
+
+    @property
+    def bpx_boundary_fraction(self) -> float:
+        """The boundary fraction the backward-data decomposition uses."""
+        if self.bp_boundary_fraction is not None:
+            return self.bp_boundary_fraction
+        return self.boundary_fraction
+
+    @property
+    def bpx_boundary_launch(self) -> float:
+        """Extra kernel launches of the *backward* decomposition.
+
+        A pinned ``bp_boundary_fraction`` means the engine does not
+        decompose the backward pass at all (pooling's scatter-add), so no
+        extra launches are charged — the overlap formula then degenerates
+        exactly to the synchronous cost.
+        """
+        return 0.0 if self.bp_boundary_fraction is not None else self.boundary_launch
 
     def fp_time(self, overlap: bool = True) -> float:
         if overlap and self.fp_halo > 0:
@@ -72,10 +98,10 @@ class ConvLayerCost:
         """BPx + BPw; the dL/dw allreduce is overlapped at network level
         unless ``include_allreduce``."""
         if overlap and self.bpx_halo > 0:
-            interior = self.bpx_compute * (1.0 - self.boundary_fraction)
+            interior = self.bpx_compute * (1.0 - self.bpx_boundary_fraction)
             boundary = self.bpx_compute - interior
             t = max(self.bpw_compute + interior, self.bpx_halo) + boundary
-            t += self.boundary_launch
+            t += self.bpx_boundary_launch
         else:
             t = self.bpw_compute + self.bpx_halo + self.bpx_compute
         if include_allreduce:
@@ -252,6 +278,22 @@ def pool_layer_cost(
     if split_w:
         halo += 2 * pt2pt_time(o_w * i_n * c * i_h_in * db, link)
 
+    # The engine now overlaps the *forward* pooling gather (interior
+    # windows compute while halo strips travel) with the same
+    # interior/boundary split as convolution; the backward scatter-add is
+    # still a blocking collective, so the backward fraction stays pinned
+    # at 1 (synchronous semantics).
+    n_boundary = 2 * (int(split_h) + int(split_w))
+    boundary_launch = n_boundary * machine.gpu.kernel_latency
+    t_h = ceil_div(o_h, sh) if split_h else 0
+    t_w = ceil_div(o_w, sw) if split_w else 0
+    out_elems = i_oh * i_ow
+    if (split_h or split_w) and out_elems > 0:
+        interior_elems = max(0, i_oh - 2 * t_h) * max(0, i_ow - 2 * t_w)
+        boundary_fraction = 1.0 - interior_elems / float(out_elems)
+    else:
+        boundary_fraction = 1.0  # no decomposition: synchronous semantics
+
     return ConvLayerCost(
         fp_compute=fp_c,
         fp_halo=halo,
@@ -259,6 +301,9 @@ def pool_layer_cost(
         bpx_halo=halo,
         bpw_compute=0.0,
         allreduce=0.0,
+        boundary_launch=boundary_launch,
+        boundary_fraction=boundary_fraction,
+        bp_boundary_fraction=1.0,
     )
 
 

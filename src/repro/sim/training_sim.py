@@ -231,8 +231,14 @@ class TrainingStepSimulator:
             base_deps = base_deps + tuple(carry_b) + tuple(incoming.pop(name, ()))
             carry_b = []
             if c.bpx_halo > 0 and self.overlap_halo:
-                interior = c.bpx_compute * (1 - c.boundary_fraction)
-                boundary = c.bpx_compute * c.boundary_fraction + c.boundary_launch
+                # Pooling pins the backward fraction at 1 (its scatter-add
+                # is synchronous even when the forward gather overlaps) and
+                # charges no backward boundary launches — the timeline then
+                # degenerates exactly to the synchronous cost.
+                interior = c.bpx_compute * (1 - c.bpx_boundary_fraction)
+                boundary = (
+                    c.bpx_compute * c.bpx_boundary_fraction + c.bpx_boundary_launch
+                )
                 eng.add(f"bwd:{name}:halo", c.bpx_halo, "comm", base_deps)
                 eng.add(f"bwd:{name}:filter", c.bpw_compute, "compute", base_deps)
                 eng.add(

@@ -146,6 +146,58 @@ def _send_strip(comm, strip: np.ndarray, dest: int, tag: int, pool) -> None:
     pool.give_deferred(buf, view)
 
 
+def any_region_remote(dt: DistTensor, regions: Sequence) -> bool:
+    """True if any rank's region reaches beyond its own shard, i.e. the
+    gather genuinely exchanges data.  ``regions[r]`` is rank ``r``'s
+    ``(lo, hi)`` region; the answer is identical on every rank because the
+    regions are derived from shared geometry."""
+    dist, shape, grid = dt.dist, dt.global_shape, dt.grid
+    for r, (lo, hi) in enumerate(regions):
+        bounds = dist.local_bounds(shape, grid.coords_of(r))
+        clipped = [
+            (max(int(b), 0), min(int(h), shape[d]))
+            for d, (b, h) in enumerate(zip(lo, hi))
+        ]
+        if any(c_hi <= c_lo for c_lo, c_hi in clipped):
+            continue  # empty region: nothing to fetch
+        for (c_lo, c_hi), (b_lo, b_hi) in zip(clipped, bounds):
+            if c_lo < b_lo or c_hi > b_hi:
+                return True
+    return False
+
+
+def local_region(
+    dt: DistTensor,
+    lo: Sequence[int],
+    hi: Sequence[int],
+    fill: float = 0.0,
+    pool=None,
+) -> np.ndarray:
+    """Materialize a region that is fully local (plus virtual padding)
+    without any communication — the fast path layers take when
+    :func:`any_region_remote` says no rank needs remote data."""
+    lo = tuple(int(v) for v in lo)
+    hi = tuple(int(v) for v in hi)
+    out_shape = tuple(h - b for b, h in zip(lo, hi))
+    if pool is not None:
+        out = pool.take(out_shape, dt.dtype)
+        out.fill(fill)
+    else:
+        out = np.full(out_shape, fill, dtype=dt.dtype)
+    if all(s > 0 for s in out_shape):
+        clipped = tuple(
+            (max(b, 0), min(h, dt.global_shape[d]))
+            for d, (b, h) in enumerate(zip(lo, hi))
+        )
+        if all(c_hi > c_lo for c_lo, c_hi in clipped):
+            sl = tuple(
+                slice(c_lo - b, c_hi - b)
+                for (c_lo, c_hi), b in zip(clipped, lo)
+            )
+            out[sl] = dt._local_slice_of(clipped)
+    return out
+
+
 class RegionExchange:
     """An in-flight overlapped gather of a global region (paper §IV-A).
 

@@ -1,0 +1,31 @@
+"""Shared fixtures: SPMD backend parameterization.
+
+Suites that exercise communication semantics (nonblocking collectives, the
+overlapped halo exchange, the shuffle property sweep) run against both the
+thread backend and the process backend, so the two world implementations
+are held to the same contract.  The process backend forks one OS process
+per rank and is an order of magnitude slower to launch, so those suites
+run it on a reduced rank/size matrix — the helpers here make that
+reduction explicit at the test site.
+"""
+
+import pytest
+
+SPMD_BACKENDS = ("thread", "process")
+
+
+@pytest.fixture(params=SPMD_BACKENDS)
+def backend(request):
+    """SPMD world backend to run the test under."""
+    return request.param
+
+
+def reduce_for_process(backend: str, heavy: bool, reason: str) -> None:
+    """Skip a heavyweight parameterization on the process backend.
+
+    The process backend runs the same suites on a reduced matrix (fork +
+    queue transport make big rank counts slow in CI); the thread backend
+    keeps full coverage.
+    """
+    if backend == "process" and heavy:
+        pytest.skip(f"process backend runs the reduced matrix: {reason}")

@@ -4,6 +4,10 @@ Covers the MPI-style contract of the request handles: out-of-order
 ``wait()``, ``test()`` polling loops, many operations in flight per
 communicator, abort propagation into pending requests, and the zero-copy
 boundary behavior the engine's overlapped gradient reducer relies on.
+
+The whole suite runs on both the thread and the process backend (the
+``backend`` fixture); the process backend uses a reduced rank matrix —
+its semantics are identical, only the transport differs.
 """
 
 import time
@@ -11,22 +15,25 @@ import time
 import numpy as np
 import pytest
 
+from conftest import reduce_for_process
 from repro.comm import run_spmd, set_zero_copy
 
 
 class TestIallreduce:
     @pytest.mark.parametrize("nranks", [2, 4, 8])
-    def test_matches_blocking_allreduce(self, nranks):
+    def test_matches_blocking_allreduce(self, nranks, backend):
+        reduce_for_process(backend, nranks > 4, "nranks <= 4")
+
         def prog(comm):
             value = np.full(16, float(comm.rank + 1))
             blocking = comm.allreduce(value)
             nonblocking = comm.iallreduce(value).wait()
             return blocking, nonblocking
 
-        for blocking, nonblocking in run_spmd(nranks, prog):
+        for blocking, nonblocking in run_spmd(nranks, prog, backend=backend):
             np.testing.assert_array_equal(blocking, nonblocking)
 
-    def test_out_of_order_wait(self):
+    def test_out_of_order_wait(self, backend):
         def prog(comm):
             r1 = comm.iallreduce(np.full(4, 1.0))
             r2 = comm.iallreduce(np.full(4, 10.0))
@@ -35,29 +42,29 @@ class TestIallreduce:
             first = r1.wait()
             return first[0], second[0]
 
-        for first, second in run_spmd(4, prog):
+        for first, second in run_spmd(4, prog, backend=backend):
             assert first == 4.0
             assert second == 40.0
 
-    def test_many_inflight_per_communicator(self):
+    def test_many_inflight_per_communicator(self, backend):
         def prog(comm):
             requests = [comm.iallreduce(np.full(8, float(i))) for i in range(12)]
             results = [r.wait() for r in reversed(requests)]
             return [r[0] for r in reversed(results)]
 
-        for totals in run_spmd(4, prog):
+        for totals in run_spmd(4, prog, backend=backend):
             assert totals == [4.0 * i for i in range(12)]
 
-    def test_wait_is_idempotent(self):
+    def test_wait_is_idempotent(self, backend):
         def prog(comm):
             r = comm.iallreduce(1)
             return r.wait(), r.wait(), r.complete
 
-        for a, b, done in run_spmd(2, prog):
+        for a, b, done in run_spmd(2, prog, backend=backend):
             assert a == b == 2
             assert done
 
-    def test_test_polling_loop(self):
+    def test_test_polling_loop(self, backend):
         def prog(comm):
             if comm.rank == comm.size - 1:
                 time.sleep(0.05)  # straggler: others must poll meanwhile
@@ -68,22 +75,22 @@ class TestIallreduce:
                 time.sleep(0.001)
             return r.wait(), spins
 
-        results = run_spmd(4, prog)
+        results = run_spmd(4, prog, backend=backend)
         assert all(total == 10 for total, _ in results)
         # At least one non-straggler rank genuinely polled while incomplete.
         assert any(spins > 0 for _, spins in results[:-1])
 
-    def test_scalar_and_op_variants(self):
+    def test_scalar_and_op_variants(self, backend):
         def prog(comm):
             s = comm.iallreduce(comm.rank + 1, op="max").wait()
             p = comm.iallreduce(2.0, op="prod").wait()
             return s, p
 
-        for mx, prod in run_spmd(3, prog):
+        for mx, prod in run_spmd(3, prog, backend=backend):
             assert mx == 3
             assert prod == 8.0
 
-    def test_deterministic_combination_order(self):
+    def test_deterministic_combination_order(self, backend):
         """Nonblocking must perform the same float additions as blocking."""
 
         def prog(comm):
@@ -91,10 +98,11 @@ class TestIallreduce:
             v = rng.standard_normal(64)
             return comm.allreduce(v), comm.iallreduce(v).wait()
 
-        for blocking, nonblocking in run_spmd(8, prog):
+        nranks = 8 if backend == "thread" else 4  # reduced process matrix
+        for blocking, nonblocking in run_spmd(nranks, prog, backend=backend):
             np.testing.assert_array_equal(blocking, nonblocking)
 
-    def test_fast_rank_does_not_wait_for_readers(self):
+    def test_fast_rank_does_not_wait_for_readers(self, backend):
         """wait() needs all *deposits*, never peer *reads* — rank 0 drains
         its request even though the other rank never waits on its own."""
 
@@ -107,21 +115,21 @@ class TestIallreduce:
             comm.barrier()  # never calls r.wait()
             return None
 
-        results = run_spmd(2, prog)
+        results = run_spmd(2, prog, backend=backend)
         np.testing.assert_array_equal(results[0], 2 * np.arange(4.0))
 
-    def test_independent_subcommunicators(self):
+    def test_independent_subcommunicators(self, backend):
         def prog(comm):
             row = comm.split(color=comm.rank // 2)
             r = row.iallreduce(comm.rank)
             return r.wait()
 
-        results = run_spmd(4, prog)
+        results = run_spmd(4, prog, backend=backend)
         assert results == [1, 1, 5, 5]
 
 
 class TestIsendIrecv:
-    def test_ring_exchange(self):
+    def test_ring_exchange(self, backend):
         def prog(comm):
             right = (comm.rank + 1) % comm.size
             left = (comm.rank - 1) % comm.size
@@ -130,10 +138,10 @@ class TestIsendIrecv:
             got = req.wait()
             return float(got[0])
 
-        results = run_spmd(4, prog)
+        results = run_spmd(4, prog, backend=backend)
         assert results == [3.0, 0.0, 1.0, 2.0]
 
-    def test_irecv_test_polling(self):
+    def test_irecv_test_polling(self, backend):
         def prog(comm):
             if comm.rank == 0:
                 time.sleep(0.03)
@@ -147,12 +155,12 @@ class TestIsendIrecv:
             assert req.complete
             return req.wait(), polls
 
-        results = run_spmd(2, prog)
+        results = run_spmd(2, prog, backend=backend)
         payload, polls = results[1]
         assert payload == "payload"
         assert polls > 0
 
-    def test_isend_is_born_complete(self):
+    def test_isend_is_born_complete(self, backend):
         def prog(comm):
             if comm.rank == 0:
                 req = comm.isend(1, dest=1)
@@ -161,11 +169,11 @@ class TestIsendIrecv:
                 return None
             return comm.recv(source=0)
 
-        assert run_spmd(2, prog)[1] == 1
+        assert run_spmd(2, prog, backend=backend)[1] == 1
 
 
 class TestAbortPropagation:
-    def test_abort_wakes_pending_wait(self):
+    def test_abort_wakes_pending_wait(self, backend):
         """A rank dying before depositing must break peers out of wait()."""
 
         def prog(comm):
@@ -175,9 +183,9 @@ class TestAbortPropagation:
             return req.wait()  # must raise CommAborted, not hang
 
         with pytest.raises(RuntimeError, match="rank 0 died"):
-            run_spmd(4, prog, timeout=10.0)
+            run_spmd(4, prog, timeout=10.0, backend=backend)
 
-    def test_abort_surfaces_in_test_polling(self):
+    def test_abort_surfaces_in_test_polling(self, backend):
         def prog(comm):
             if comm.rank == 0:
                 time.sleep(0.02)
@@ -188,20 +196,20 @@ class TestAbortPropagation:
             return req.wait()
 
         with pytest.raises(RuntimeError, match="rank 0 died polling"):
-            run_spmd(2, prog, timeout=10.0)
+            run_spmd(2, prog, timeout=10.0, backend=backend)
 
-    def test_abort_wakes_pending_irecv(self):
+    def test_abort_wakes_pending_irecv(self, backend):
         def prog(comm):
             if comm.rank == 0:
                 raise RuntimeError("sender died")
             return comm.irecv(source=0).wait()
 
         with pytest.raises(RuntimeError, match="sender died"):
-            run_spmd(2, prog, timeout=10.0)
+            run_spmd(2, prog, timeout=10.0, backend=backend)
 
 
 class TestZeroCopy:
-    def test_iallreduce_contribution_is_not_copied(self):
+    def test_iallreduce_contribution_is_not_copied(self, backend):
         """The deposit side shares contiguous arrays; results are fresh."""
 
         def prog(comm):
@@ -214,9 +222,9 @@ class TestZeroCopy:
             comm.barrier()
             return float(out[0])
 
-        assert run_spmd(4, prog) == [7.0] * 4
+        assert run_spmd(4, prog, backend=backend) == [7.0] * 4
 
-    def test_stats_record_wait_overlap_and_bytes(self):
+    def test_stats_record_wait_overlap_and_bytes(self, backend):
         def prog(comm):
             comm.stats.reset()
             req = comm.iallreduce(np.ones(1024))
@@ -231,22 +239,22 @@ class TestZeroCopy:
                 s.overlap_seconds.get("iallreduce", 0.0),
             )
 
-        for calls, nbytes, wait, overlap in run_spmd(2, prog):
+        for calls, nbytes, wait, overlap in run_spmd(2, prog, backend=backend):
             assert calls == 1
             assert nbytes == 1024 * 8
             assert wait >= 0.0
             assert overlap >= 0.004  # the sleep counts as hidden time
 
-    def test_zero_copy_toggle_restores_copies(self):
+    def test_zero_copy_toggle_restores_copies(self, backend):
         def prog(comm):
             v = np.ones(16)
             comm.send(v, dest=comm.rank)  # self-send
             got = comm.recv(source=comm.rank)
             return np.shares_memory(v, got)
 
-        assert run_spmd(1, prog) == [True]
+        assert run_spmd(1, prog, backend=backend) == [True]
         prev = set_zero_copy(False)
         try:
-            assert run_spmd(1, prog) == [False]
+            assert run_spmd(1, prog, backend=backend) == [False]
         finally:
             set_zero_copy(prev)

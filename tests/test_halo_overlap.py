@@ -5,6 +5,9 @@ decomposition) must be *bitwise* identical to the synchronous path — same
 floating-point operations in the same per-element order, only the
 communication discipline differs.  These tests assert that at the layer
 level across strategies/kernels/strides, and over entire training runs.
+
+The equivalence tests run on both world backends (the ``backend``
+fixture); the process backend covers a reduced rank/geometry matrix.
 """
 
 import os
@@ -13,16 +16,20 @@ import sys
 import numpy as np
 import pytest
 
+from conftest import reduce_for_process
 from repro.comm import run_spmd
 from repro.core import DistNetwork, DistTrainer, LayerParallelism
 from repro.core.dist_conv import DistConv2d
+from repro.core.dist_layers import DistPool2d
 from repro.core.parallelism import activation_dist
 from repro.nn import NetworkSpec, SGD
 from repro.tensor import DistTensor, Distribution, ProcessGrid
 from repro.tensor.halo import HALO_OP, start_region_exchange
 
 
-def run_dist_conv(nranks, grid_shape, x, w, stride, pad, overlap, bias=None):
+def run_dist_conv(
+    nranks, grid_shape, x, w, stride, pad, overlap, bias=None, backend="thread"
+):
     """Distributed fwd+bwd; returns per-rank (y_local, dx_local, dw, db)."""
 
     def prog(comm):
@@ -38,7 +45,7 @@ def run_dist_conv(nranks, grid_shape, x, w, stride, pad, overlap, bias=None):
         dx, dw_partial, db_partial = conv.backward(dy)
         return y.local.copy(), dx.local.copy(), dw_partial, db_partial
 
-    return run_spmd(nranks, prog)
+    return run_spmd(nranks, prog, backend=backend)
 
 
 GEOMETRIES = [
@@ -58,15 +65,20 @@ GEOMETRIES = [
 
 class TestOverlapBitwiseEquivalence:
     @pytest.mark.parametrize("grid_shape,n,c,h,w_,f,k,s,p", GEOMETRIES)
-    def test_layer_overlap_equals_sync(self, grid_shape, n, c, h, w_, f, k, s, p):
+    def test_layer_overlap_equals_sync(self, grid_shape, n, c, h, w_, f, k, s, p, backend):
         nranks = int(np.prod(grid_shape))
+        reduce_for_process(backend, nranks > 4, "nranks <= 4")
         rng = np.random.default_rng(42)
         x = rng.standard_normal((n, c, h, w_))
         w = rng.standard_normal((f, c, k, k))
         b = rng.standard_normal(f)
 
-        sync = run_dist_conv(nranks, grid_shape, x, w, s, p, overlap=False, bias=b)
-        ovl = run_dist_conv(nranks, grid_shape, x, w, s, p, overlap=True, bias=b)
+        sync = run_dist_conv(
+            nranks, grid_shape, x, w, s, p, overlap=False, bias=b, backend=backend
+        )
+        ovl = run_dist_conv(
+            nranks, grid_shape, x, w, s, p, overlap=True, bias=b, backend=backend
+        )
         for (y_s, dx_s, dw_s, db_s), (y_o, dx_o, dw_o, db_o) in zip(sync, ovl):
             np.testing.assert_array_equal(y_o, y_s)
             np.testing.assert_array_equal(dx_o, dx_s)
@@ -82,9 +94,13 @@ class TestOverlapBitwiseEquivalence:
         ],
         ids=["spatial2x2", "hybrid2x2", "sample4"],
     )
-    def test_training_run_bitwise_equal(self, par):
+    def test_training_run_bitwise_equal(self, par, backend):
         """Loss trajectories and final parameters of whole training runs are
         bitwise identical with the overlapped exchange on and off."""
+        reduce_for_process(
+            backend, (par.sample, par.height, par.width) != (1, 2, 2),
+            "spatial 2x2 only",
+        )
         spec = NetworkSpec("halo-eq")
         spec.add("input", "input", channels=2, height=9, width=11)
         spec.add("c1", "conv", ["input"], filters=4, kernel=3, pad=1, bias=True)
@@ -111,7 +127,7 @@ class TestOverlapBitwiseEquivalence:
                 }
                 return trainer.stats.losses, params
 
-            return run_spmd(par.nranks, prog)
+            return run_spmd(par.nranks, prog, backend=backend)
 
         for (losses_o, params_o), (losses_s, params_s) in zip(run(True), run(False)):
             assert losses_o == losses_s
@@ -122,8 +138,82 @@ class TestOverlapBitwiseEquivalence:
                     )
 
 
+class TestPoolOverlapEquivalence:
+    """DistPool2d's overlapped forward gather (interior windows behind the
+    in-flight halo strips, boundary strips after assembly) must be bitwise
+    identical to the synchronous fused kernel — pooling windows are reduced
+    per output element, so the decomposition cannot change accumulation
+    order."""
+
+    POOL_GEOMS = [
+        # (grid_shape, N, C, H, W, K, S, P)
+        ((1, 1, 2, 2), 2, 3, 9, 11, 3, 2, 1),   # classic 3x3/2 overlap pool
+        ((1, 1, 2, 2), 2, 3, 8, 8, 3, 1, 1),    # K > S on every boundary
+        ((2, 1, 2, 1), 2, 2, 8, 8, 2, 2, 0),    # K == S: no halo at all
+        ((1, 1, 4, 1), 1, 2, 16, 8, 3, 2, 1),   # deep 1D spatial split
+    ]
+
+    @pytest.mark.parametrize("mode", ["max", "avg"])
+    @pytest.mark.parametrize("grid_shape,n,c,h,w_,k,s,p", POOL_GEOMS)
+    def test_pool_overlap_equals_sync(
+        self, grid_shape, n, c, h, w_, k, s, p, mode, backend
+    ):
+        nranks = int(np.prod(grid_shape))
+        reduce_for_process(
+            backend, (grid_shape, mode) != ((1, 1, 2, 2), "max"),
+            "one representative geometry",
+        )
+        rng = np.random.default_rng(17)
+        x = rng.standard_normal((n, c, h, w_))
+
+        def prog(comm, overlap):
+            grid = ProcessGrid(comm, grid_shape)
+            xd = DistTensor.from_global(
+                grid, activation_dist(grid_shape, x.shape), x
+            )
+            pool = DistPool2d(grid, mode, k, s, p, overlap_halo=overlap)
+            y = pool.forward(xd)
+            rng2 = np.random.default_rng(7)
+            dy = DistTensor.from_global(
+                grid, y.dist, rng2.standard_normal(y.global_shape)
+            )
+            dx = pool.backward(dy)
+            return y.local.copy(), dx.local.copy()
+
+        sync = run_spmd(nranks, prog, False, backend=backend)
+        ovl = run_spmd(nranks, prog, True, backend=backend)
+        for (y_s, dx_s), (y_o, dx_o) in zip(sync, ovl):
+            np.testing.assert_array_equal(y_o, y_s)
+            np.testing.assert_array_equal(dx_o, dx_s)
+
+    def test_pool_halo_time_recorded_when_windows_overlap(self):
+        """With K > S the overlapped pool forward drives real nonblocking
+        strips: the halo_exchange wait/overlap split must be measured."""
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((2, 2, 12, 12))
+
+        def prog(comm):
+            grid = ProcessGrid(comm, (1, 1, 2, 2))
+            xd = DistTensor.from_global(
+                grid, activation_dist(grid.shape, x.shape), x
+            )
+            pool = DistPool2d(grid, "max", 3, 1, 1, overlap_halo=True)
+            comm.stats.reset()
+            pool.forward(xd)
+            s = comm.stats
+            return (
+                s.wait_seconds.get(HALO_OP, 0.0)
+                + s.overlap_seconds.get(HALO_OP, 0.0),
+                s.collectives.get("region_data", 0),
+            )
+
+        for halo_time, exchanges in run_spmd(4, prog):
+            assert halo_time > 0.0
+            assert exchanges == 1  # the forward gather, nonblocking
+
+
 class TestRegionExchange:
-    def test_matches_gather_region(self):
+    def test_matches_gather_region(self, backend):
         """The overlapped exchange assembles exactly what gather_region
         fetches — including virtual padding and uneven partitions."""
         rng = np.random.default_rng(3)
@@ -152,7 +242,7 @@ class TestRegionExchange:
             np.testing.assert_array_equal(got, want)
             return True
 
-        assert all(run_spmd(4, prog))
+        assert all(run_spmd(4, prog, backend=backend))
 
     def test_halo_traffic_volume_matches_sync(self):
         """The overlapped exchange moves exactly the bytes the synchronous
@@ -248,7 +338,9 @@ def test_halo_overlap_benchmark_regression():
         import bench_halo_overlap as bh
     finally:
         sys.path.pop(0)
-    text, payload = bh.generate_halo_overlap(steps=2, repeats=1, json_path=None)
+    text, payload = bh.generate_halo_overlap(
+        steps=2, repeats=1, json_path=None, backends=("thread",)
+    )
     for cfg in payload["configs"]:
         assert cfg["sync_step_s"] > 0 and cfg["overlap_step_s"] > 0
         assert cfg["speedup"] > 0.7, text

@@ -349,3 +349,56 @@ class TestMemoryModel:
 
     def test_comm_buffers_grow_with_scale(self):
         assert LASSEN.comm_buffer_bytes(2048) > LASSEN.comm_buffer_bytes(4)
+
+
+class TestPoolBoundaryFraction:
+    """Pooling now overlaps its forward gather (PR 4): the cost model gives
+    pool layers a real forward boundary fraction while pinning the backward
+    one at 1 (the scatter-add stays synchronous)."""
+
+    def _cost(self, k, s, par, h=256, w=256, c=64):
+        from repro.perfmodel.layer_cost import pool_layer_cost
+
+        return pool_layer_cost(
+            LASSEN, n_global=4, c=c, h=h, w=w, kernel=k, stride=s, pad=k // 2,
+            parallelism=par,
+        )
+
+    def test_overlapping_windows_get_partial_fraction(self):
+        c = self._cost(3, 2, LP(height=2, width=2))
+        assert c.fp_halo > 0
+        assert 0.0 < c.boundary_fraction < 1.0
+        assert c.bp_boundary_fraction == 1.0
+        assert c.bpx_boundary_fraction == 1.0
+        # The overlap formula actually uses the decomposition.
+        interior = c.fp_compute * (1 - c.boundary_fraction)
+        expected = max(interior, c.fp_halo) + (
+            c.fp_compute - interior
+        ) + c.boundary_launch
+        assert c.fp_time(overlap=True) == pytest.approx(expected)
+
+    def test_overlap_wins_once_halo_exceeds_launch_overhead(self):
+        """For memory-bound pooling the boundary kernel launches are not
+        free; the modeled overlap pays off once the hidden halo time
+        exceeds them (large spatial extents), exactly as measured."""
+        c = self._cost(3, 2, LP(height=2, width=2), h=1024, w=1024)
+        assert c.fp_halo > c.boundary_launch
+        assert c.fp_time(overlap=True) < c.fp_time(overlap=False)
+        # Backward is not decomposed (pinned fraction, no launches), so the
+        # overlap formula degenerates exactly to the synchronous cost.
+        assert c.bp_time(overlap=True) == pytest.approx(c.bp_time(overlap=False))
+
+    def test_non_overlapping_windows_have_no_halo(self):
+        c = self._cost(2, 2, LP(height=2, width=2))
+        assert c.fp_halo == 0.0
+        assert c.fp_time(overlap=True) == c.fp_time(overlap=False)
+
+    def test_conv_backward_fraction_unchanged(self):
+        """Conv layers still use one fraction for both directions."""
+        cost = conv_layer_cost(
+            LASSEN, CalibratedConvModel(LASSEN.gpu),
+            n_global=4, c=8, h=32, w=32, f=8, kernel=3, stride=1, pad=1,
+            parallelism=LP(height=2, width=2),
+        )
+        assert cost.bp_boundary_fraction is None
+        assert cost.bpx_boundary_fraction == cost.boundary_fraction

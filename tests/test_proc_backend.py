@@ -1,0 +1,317 @@
+"""Process-backend contract: registry, transport, parity, failure, teardown.
+
+The process backend must be a drop-in world implementation: same
+communicator semantics, bitwise-identical collective arithmetic, MPI-style
+abort-the-job failure handling — plus the properties that only exist with
+real processes: shared-memory transport for array payloads, rank/op/seq
+timeout diagnostics, and complete reclamation of every SharedMemory
+segment at world teardown.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    CommAborted,
+    available_backends,
+    resolve_backend,
+    run_spmd,
+)
+from repro.comm.proc_backend import SHM_PREFIX
+from repro.core import DistNetwork, DistTrainer, LayerParallelism
+from repro.nn import NetworkSpec, SGD
+
+SHM_DIR = "/dev/shm"
+
+
+def _shm_segments() -> set[str]:
+    if not os.path.isdir(SHM_DIR):  # pragma: no cover - non-Linux hosts
+        pytest.skip("no /dev/shm on this platform")
+    return {f for f in os.listdir(SHM_DIR) if f.startswith(SHM_PREFIX)}
+
+
+class TestRegistry:
+    def test_both_backends_registered(self):
+        names = available_backends()
+        assert "thread" in names and "process" in names
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown SPMD backend"):
+            run_spmd(2, lambda comm: None, backend="smoke-signals")
+
+    def test_env_var_selects_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        assert resolve_backend(None) == "process"
+        assert run_spmd(2, lambda comm: comm.backend) == ["process"] * 2
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        assert run_spmd(2, lambda comm: comm.backend, backend="thread") == [
+            "thread"
+        ] * 2
+
+    def test_single_rank_runs_inline(self):
+        # nranks == 1 executes on the calling thread for any backend.
+        assert run_spmd(1, lambda comm: comm.size, backend="process") == [1]
+
+
+class TestTransport:
+    def test_large_arrays_ride_shared_memory(self):
+        payload = np.arange(65536, dtype=np.float64)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(payload, dest=1, tag=3)
+                comm.barrier()
+                return comm._world.transport["shm_messages"]
+            got = comm.recv(source=0, tag=3)
+            comm.barrier()
+            np.testing.assert_array_equal(got, payload)
+            # Received arrays are immutable by contract, as on the thread
+            # backend's zero-copy views.
+            assert not got.flags.writeable
+            return True
+
+        sender_shm, ok = run_spmd(2, prog, backend="process")
+        assert ok is True
+        assert sender_shm >= 1
+
+    def test_nested_container_payloads(self):
+        big = np.full(4096, 7.5)
+        small = np.arange(3.0)
+
+        def prog(comm):
+            msg = {"strips": [big, small], "meta": ("tag", 9, [small.copy()])}
+            if comm.rank == 0:
+                comm.send(msg, dest=1)
+                return True
+            got = comm.recv(source=0)
+            np.testing.assert_array_equal(got["strips"][0], big)
+            np.testing.assert_array_equal(got["strips"][1], small)
+            assert got["meta"][0] == "tag" and got["meta"][1] == 9
+            np.testing.assert_array_equal(got["meta"][2][0], small)
+            return True
+
+        assert all(run_spmd(2, prog, backend="process"))
+
+    def test_arena_exhaustion_falls_back_to_pickle(self, monkeypatch):
+        """A full arena must degrade to inline pickling, never block."""
+        monkeypatch.setenv("REPRO_SHM_BYTES", str(64 << 10))  # 64 KiB arena
+        payload = np.arange(32768, dtype=np.float64)  # 256 KiB > arena
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(payload, dest=1, tag=1)
+                comm.barrier()
+                return comm._world.transport["arena_full_fallbacks"]
+            got = comm.recv(source=1 - 1, tag=1)
+            comm.barrier()
+            np.testing.assert_array_equal(got, payload)
+            return True
+
+        fallbacks, ok = run_spmd(2, prog, backend="process")
+        assert ok is True
+        assert fallbacks >= 1
+
+
+class TestBitwiseParity:
+    def test_collectives_match_thread_backend(self):
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            v = rng.standard_normal(33)
+            gathered = comm.gather(v, root=1)
+            scattered = comm.scatter(
+                [v * j for j in range(comm.size)] if comm.rank == 1 else None,
+                root=1,
+            )
+            return (
+                comm.allreduce(v),
+                comm.iallreduce(v).wait(),
+                comm.bcast(v if comm.rank == 0 else None),
+                comm.allgather(float(v[0])),
+                comm.reduce_scatter([v + j for j in range(comm.size)]),
+                comm.alltoall([v[: j + 1] for j in range(comm.size)]),
+                gathered if gathered is not None else [],
+                scattered,
+            )
+
+        thread = run_spmd(4, prog, backend="thread")
+        process = run_spmd(4, prog, backend="process")
+        for t_vals, p_vals in zip(thread, process):
+            for t, p in zip(t_vals, p_vals):
+                if isinstance(t, list):
+                    for ti, pi in zip(t, p):
+                        np.testing.assert_array_equal(ti, pi)
+                else:
+                    np.testing.assert_array_equal(t, p)
+
+    def test_rooted_collectives_route_narrowly(self):
+        """On the process backend a gather flows everyone->root and a bcast
+        root->everyone — non-participating pairs ship nothing (the thread
+        backend's shared slots make routing moot there)."""
+        big = np.arange(8192, dtype=np.float64)  # well above the shm floor
+
+        def prog(comm):
+            comm.gather(big * comm.rank, root=0)
+            after_gather = comm._world.transport["shm_messages"]
+            comm.bcast(big if comm.rank == 0 else None, root=0)
+            after_bcast = comm._world.transport["shm_messages"]
+            comm.barrier()
+            return after_gather, after_bcast - after_gather
+
+        results = run_spmd(4, prog, backend="process")
+        # gather: root ships nothing, every non-root ships exactly one copy.
+        assert [g for g, _ in results] == [0, 1, 1, 1]
+        # bcast: root ships size-1 copies, non-roots ship nothing.
+        assert [b for _, b in results] == [3, 0, 0, 0]
+
+    def test_alltoall_ships_per_destination_pieces(self):
+        """alltoall/ialltoall route only piece j to rank j (MPI volume),
+        not the full payload list to every peer."""
+        def prog(comm):
+            big = [np.full(8192, float(j)) for j in range(comm.size)]
+            got = comm.alltoall(big)
+            got_nb = comm.ialltoall(big).wait()
+            for i in range(comm.size):
+                assert got[i][0] == float(comm.rank)
+                np.testing.assert_array_equal(got[i], got_nb[i])
+            comm.barrier()
+            return comm._world.transport["shm_messages"]
+
+        # 3 peers x 2 collectives = 6 single-piece messages per rank; the
+        # naive allgather form would ship 6 four-piece lists instead.
+        assert run_spmd(4, prog, backend="process") == [6] * 4
+
+    def test_training_trajectory_bitwise_equal_across_backends(self):
+        """Full engine parity on 4 ranks: overlapped halos, shuffles, and
+        bucketed gradient allreduces produce bitwise-identical loss
+        trajectories and final parameters on threads and processes."""
+        spec = NetworkSpec("backend-parity")
+        spec.add("input", "input", channels=2, height=9, width=11)
+        spec.add("c1", "conv", ["input"], filters=4, kernel=3, pad=1, bias=True)
+        spec.add("r1", "relu", ["c1"])
+        spec.add("p1", "pool", ["r1"], kernel=3, stride=2, pad=1, mode="max")
+        spec.add("c2", "conv", ["p1"], filters=4, kernel=3, pad=1)
+        spec.add("gap", "gap", ["c2"])
+        spec.add("fc", "fc", ["gap"], units=3)
+        spec.add("loss", "softmax_ce", ["fc"])
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((4, 2, 9, 11))
+        t = rng.integers(0, 3, size=4)
+
+        def prog(comm):
+            net = DistNetwork(
+                spec, comm, LayerParallelism(sample=2, height=2), seed=0
+            )
+            trainer = DistTrainer(net, SGD(lr=0.05))
+            for _ in range(3):
+                trainer.step(x, t)
+            params = {
+                layer: {p: a.copy() for p, a in v.items()}
+                for layer, v in net.params.items()
+            }
+            return trainer.stats.losses, params
+
+        thread = run_spmd(4, prog, backend="thread")
+        process = run_spmd(4, prog, backend="process")
+        for (losses_t, params_t), (losses_p, params_p) in zip(thread, process):
+            assert losses_t == losses_p
+            for layer in params_t:
+                for pname in params_t[layer]:
+                    np.testing.assert_array_equal(
+                        params_t[layer][pname], params_p[layer][pname]
+                    )
+
+
+class TestFailureHandling:
+    def test_rank_error_propagates_with_type_and_message(self):
+        def prog(comm):
+            if comm.rank == 2:
+                raise ValueError("rank 2 exploded")
+            return comm.iallreduce(1).wait()  # must not hang
+
+        with pytest.raises(ValueError, match="rank 2 exploded"):
+            run_spmd(4, prog, timeout=15.0, backend="process")
+
+    def test_collective_timeout_names_rank_op_and_seq(self):
+        """A wedged nonblocking collective fails with a diagnostic naming
+        the waiting rank, the operation, and its sequence number."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                return None  # never contributes
+            return comm.iallreduce(np.ones(4)).wait()
+
+        with pytest.raises(
+            CommAborted,
+            match=r"iallreduce\[seq=0\].*world rank 1.*contribution of world rank 0",
+        ):
+            run_spmd(2, prog, timeout=2.0, backend="process")
+
+    def test_recv_timeout_names_ranks_and_tag(self):
+        def prog(comm):
+            if comm.rank == 0:
+                return None
+            return comm.recv(source=0, tag=7)
+
+        with pytest.raises(
+            CommAborted, match=r"recv\(world rank 1 <- 0.*timed out"
+        ):
+            run_spmd(2, prog, timeout=2.0, backend="process")
+
+    def test_timeout_aborts_whole_job(self):
+        """One rank's timeout must break peers out of unrelated waits."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                return comm.recv(source=1, tag=1)  # never sent: times out
+            return comm.recv(source=0, tag=2)  # also never sent
+
+        with pytest.raises(CommAborted, match="timed out|world aborted"):
+            run_spmd(2, prog, timeout=2.0, backend="process")
+
+
+class TestTeardown:
+    def test_no_segments_leaked_after_clean_run(self):
+        before = _shm_segments()
+
+        def prog(comm):
+            # Exercise the arena, including eager sends nobody receives.
+            comm.send(np.ones(8192), dest=(comm.rank + 1) % comm.size, tag=50)
+            return comm.allreduce(np.ones(4096))[0]
+
+        assert run_spmd(4, prog, backend="process") == [4.0] * 4
+        assert _shm_segments() == before
+
+    def test_no_segments_leaked_after_rank_failure(self):
+        before = _shm_segments()
+
+        def prog(comm):
+            comm.send(np.ones(8192), dest=(comm.rank + 1) % comm.size, tag=51)
+            if comm.rank == 1:
+                raise RuntimeError("mid-send failure")
+            return comm.recv(source=(comm.rank - 1) % comm.size, tag=51).sum()
+
+        with pytest.raises(RuntimeError, match="mid-send failure"):
+            run_spmd(3, prog, timeout=15.0, backend="process")
+        assert _shm_segments() == before
+
+    def test_arena_blocks_freed_within_run(self):
+        """Receivers free arena blocks after copying out: a long exchange
+        loop cannot run the fixed arena out of space."""
+
+        def prog(comm):
+            peer = 1 - comm.rank
+            data = np.full(16384, float(comm.rank))
+            for i in range(64):  # 64 x 128 KiB >> default arena if leaked
+                comm.send(data, dest=peer, tag=i)
+                got = comm.recv(source=peer, tag=i)
+                assert got[0] == float(peer)
+            comm.barrier()
+            return comm._world._shared.arena.used_blocks()
+
+        # Everything consumed: at most a handful of in-flight blocks remain.
+        for used in run_spmd(2, prog, backend="process"):
+            assert used <= 8

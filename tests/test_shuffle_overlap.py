@@ -187,9 +187,11 @@ def test_shuffle_overlap_benchmark_regression():
         import bench_shuffle_overlap as bs
     finally:
         sys.path.pop(0)
-    text, payload = bs.generate_shuffle_overlap(steps=2, repeats=1, json_path=None)
+    text, payload = bs.generate_shuffle_overlap(
+        steps=2, repeats=1, json_path=None, backends=("thread",)
+    )
     for cfg in payload["configs"]:
         assert cfg["sync_step_s"] > 0 and cfg["overlap_step_s"] > 0
         assert cfg["speedup"] > 0.4, text
         assert cfg["shuffle_hidden_s"] + cfg["shuffle_exposed_s"] > 0, text
-    assert payload["collective"]["collective_speedup"] > 0.4, text
+    assert payload["collective"]["thread"]["collective_speedup"] > 0.4, text

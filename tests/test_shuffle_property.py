@@ -74,11 +74,17 @@ def _random_cases(n_cases: int, seed: int = 1234):
 
 CASES = _random_cases(N_CASES)
 
+#: The process backend sweeps a reduced prefix of the case list (same
+#: seeded cases, fewer of them) to keep CI time bounded; the thread
+#: backend keeps the full sweep.
+N_CASES_PROCESS = 20
 
-def test_random_redistribution_sweep():
+
+def test_random_redistribution_sweep(backend):
     """Blocking == overlapped, content preserved, round trip == identity."""
+    cases = CASES if backend == "thread" else CASES[:N_CASES_PROCESS]
     rng = np.random.default_rng(99)
-    arrays = [rng.standard_normal(shape) for shape, *_ in CASES]
+    arrays = [rng.standard_normal(shape) for shape, *_ in cases]
 
     def prog(comm):
         grid_cache: dict[tuple[int, ...], ProcessGrid] = {}
@@ -89,7 +95,7 @@ def test_random_redistribution_sweep():
                 g = grid_cache[shape] = ProcessGrid(comm, shape)
             return g
 
-        for x, (shape, sg, sd, dg, dd) in zip(arrays, CASES):
+        for x, (shape, sg, sd, dg, dd) in zip(arrays, cases):
             src = DistTensor.from_global(grid_of(sg), sd, x)
             blocking = shuffle(src, grid_of(dg), dd)
             ex = start_shuffle(src, grid_of(dg), dd)
@@ -106,7 +112,7 @@ def test_random_redistribution_sweep():
             np.testing.assert_array_equal(back.local, src.local)
         return True
 
-    assert all(run_spmd(NRANKS, prog))
+    assert all(run_spmd(NRANKS, prog, backend=backend))
 
 
 def test_sweep_covers_edge_cases():
