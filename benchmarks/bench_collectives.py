@@ -1,0 +1,180 @@
+"""Collective-algorithm sweep: modeled vs measured time and wire volume.
+
+Sweeps op x algorithm x payload size x backend through the engine's real
+collectives and lines three things up per configuration:
+
+* **measured_s** — wall time per call (median of repeats, ranks
+  barrier-synchronized around a timed loop);
+* **modeled_s** — the alpha-beta cost model's prediction for the *same*
+  algorithm (``allreduce_time`` with the machine's link parameters — the
+  paper's AR(p, n), Thakur et al. forms);
+* **wire_sent_per_rank** vs **modeled_wire_per_rank** — bytes the rank
+  actually put on the wire (``CommStats`` wire counters; on the process
+  backend these are backed by the shared-memory transport counters)
+  against ``allreduce_wire_bytes``: ring/Rabenseifner move ``2n(p-1)/p``
+  per rank where the legacy ``"direct"`` deposit-combine path moves
+  ``n(p-1)`` — the bandwidth-optimality the paper's strong-scaling
+  argument assumes, now visible as data.
+
+Emits a table and ``benchmarks/results/BENCH_collectives.json`` (smoke
+runs write ``BENCH_collectives_smoke.json`` so the tracked trajectory is
+never clobbered).
+
+Run:  PYTHONPATH=src python benchmarks/bench_collectives.py [--backend both]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from time import perf_counter
+
+import numpy as np
+
+from repro.comm import run_spmd
+from repro.comm.collective_models import (
+    allreduce_time,
+    allreduce_wire_bytes,
+    reduce_scatter_time,
+)
+from repro.perfmodel.machine import LASSEN
+
+try:
+    from benchmarks.common import (
+        BENCH_BACKENDS, RESULTS_DIR, multi_backend_main, render_table,
+    )
+except ImportError:
+    from common import (
+        BENCH_BACKENDS, RESULTS_DIR, multi_backend_main, render_table,
+    )
+
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_collectives.json")
+
+ALLREDUCE_ALGS = ("direct", "ring", "rabenseifner", "recursive_doubling")
+RS_ALGS = ("direct", "ring")
+
+#: Payload sizes in bytes (float64 elements = size // 8): one below the
+#: Thakur small-message cutoff, the rest bandwidth-bound.
+FULL_SIZES = (1024, 65_536, 1_048_576)
+SMOKE_SIZES = (1024, 65_536)
+
+
+def _bench_prog(comm, op: str, algorithm: str, nbytes: int, iters: int):
+    """Timed loop on every rank; returns (seconds/call, wire sent, shm delta)."""
+    n = nbytes // 8
+    x = np.full(n, 1.0 + comm.rank)
+    parts = [np.full(max(1, n // comm.size), 1.0 + comm.rank) for _ in range(comm.size)]
+
+    def call():
+        if op == "allreduce":
+            comm.allreduce(x, algorithm=algorithm)
+        else:
+            comm.reduce_scatter(parts, algorithm=algorithm)
+
+    call()  # warm pools, plans, arenas
+    comm.stats.reset()
+    transport = getattr(comm._world, "transport", None)
+    shm_before = transport["shm_bytes"] if transport else 0
+    comm.barrier()
+    t0 = perf_counter()
+    for _ in range(iters):
+        call()
+    comm.barrier()
+    seconds = (perf_counter() - t0) / iters
+    wire = comm.stats.total_wire_sent(op) / iters
+    shm = ((transport["shm_bytes"] - shm_before) / iters) if transport else None
+    return seconds, wire, shm
+
+
+def generate_collectives(
+    ranks=(4, 8),
+    sizes=FULL_SIZES,
+    backends=BENCH_BACKENDS,
+    iters=5,
+    repeats=3,
+    json_path=JSON_PATH,
+):
+    configs = []
+    rows = []
+    for backend in backends:
+        for p in ranks:
+            link = LASSEN.link_for_group(p)
+            for op, algs in (("allreduce", ALLREDUCE_ALGS), ("reduce_scatter", RS_ALGS)):
+                for alg in algs:
+                    for nbytes in sizes:
+                        best = None
+                        for _ in range(repeats):
+                            res = run_spmd(
+                                p, _bench_prog, op, alg, nbytes, iters,
+                                backend=backend,
+                            )
+                            secs = max(r[0] for r in res)  # slowest rank
+                            if best is None or secs < best[0]:
+                                # Worst-case rank for the wire columns,
+                                # matching allreduce_wire_bytes' convention
+                                # (ranks differ on non-power-of-two
+                                # recursive doubling).
+                                best = (
+                                    secs,
+                                    max(r[1] for r in res),
+                                    max(r[2] for r in res)
+                                    if res[0][2] is not None
+                                    else None,
+                                )
+                        measured_s, wire, shm = best
+                        if op == "allreduce":
+                            modeled_s = allreduce_time(p, nbytes, link, alg)
+                            modeled_wire = allreduce_wire_bytes(p, nbytes, alg)
+                        else:
+                            modeled_s = reduce_scatter_time(p, nbytes, link)
+                            modeled_wire = nbytes * (p - 1) / p
+                        cfg = {
+                            "backend": backend,
+                            "op": op,
+                            "algorithm": alg,
+                            "ranks": p,
+                            "payload_bytes": nbytes,
+                            "measured_s": measured_s,
+                            "modeled_s": modeled_s,
+                            "wire_sent_per_rank": wire,
+                            "modeled_wire_per_rank": modeled_wire,
+                            "shm_bytes_per_rank": shm,
+                        }
+                        configs.append(cfg)
+                        rows.append([
+                            backend, op, alg, p, nbytes,
+                            f"{measured_s * 1e3:.3f}",
+                            f"{modeled_s * 1e3:.4f}",
+                            f"{wire:.0f}",
+                            f"{modeled_wire:.0f}",
+                            "-" if shm is None else f"{shm:.0f}",
+                        ])
+    data = {"iters": iters, "repeats": repeats, "configs": configs}
+    os.makedirs(os.path.dirname(json_path), exist_ok=True)
+    with open(json_path, "w") as f:
+        json.dump(data, f, indent=1)
+
+    table = render_table(
+        "Collective algorithms: modeled vs measured (per call, per rank)",
+        ["backend", "op", "algorithm", "p", "bytes",
+         "meas ms", "model ms", "wire B", "model wire B", "shm B"],
+        rows,
+    )
+    note = (
+        "\nwire B: bytes this rank sent on the wire (CommStats); shm B: the\n"
+        "process backend's shared-memory transport counter for the same\n"
+        "calls.  ring/rabenseifner ~ 2n(p-1)/p vs direct's n(p-1): the\n"
+        "bandwidth-optimal allreduce of the paper's AR(p, n) model.\n"
+        f"[JSON written to {json_path}]"
+    )
+    return table + note, data
+
+
+def main() -> None:
+    multi_backend_main(
+        __doc__, "bench_collectives", generate_collectives
+    )
+
+
+if __name__ == "__main__":
+    main()

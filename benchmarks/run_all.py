@@ -38,6 +38,7 @@ import bench_ablation_strategy as ast_  # noqa: E402
 import bench_wallclock as bw  # noqa: E402
 import bench_halo_overlap as bh  # noqa: E402
 import bench_shuffle_overlap as bs  # noqa: E402
+import bench_collectives as bc  # noqa: E402
 
 
 def run_smoke(backends: tuple[str, ...] = ("thread",)) -> None:
@@ -60,6 +61,10 @@ def run_smoke(backends: tuple[str, ...] = ("thread",)) -> None:
     emit("bench_shuffle_overlap", bs.generate_shuffle_overlap(
         steps=2, repeats=1, backends=backends,
         json_path=os.path.join(results, "BENCH_shuffle_overlap_smoke.json"))[0])
+    emit("bench_collectives", bc.generate_collectives(
+        ranks=(4,), sizes=bc.SMOKE_SIZES, backends=backends,
+        iters=2, repeats=1,
+        json_path=os.path.join(results, "BENCH_collectives_smoke.json"))[0])
     print("\nSmoke subset regenerated under benchmarks/results/.")
 
 
@@ -81,6 +86,7 @@ def run_full() -> None:
     emit("bench_wallclock", bw.generate_wallclock()[0])
     emit("bench_halo_overlap", bh.generate_halo_overlap()[0])
     emit("bench_shuffle_overlap", bs.generate_shuffle_overlap()[0])
+    emit("bench_collectives", bc.generate_collectives()[0])
     print("\nAll tables and figures regenerated under benchmarks/results/.")
 
 

@@ -42,18 +42,26 @@ from repro.comm.backend import (
 )
 from repro.comm import proc_backend as _proc_backend  # registers "process"
 from repro.comm.buffers import BufferPool
-from repro.comm.communicator import Communicator, Request, set_zero_copy
+from repro.comm.communicator import (
+    COLLECTIVE_ALG_ENV,
+    Communicator,
+    Request,
+    set_zero_copy,
+)
 from repro.comm.stats import CommStats
 from repro.comm.collective_models import (
     AllreduceAlgorithm,
+    DIRECT_ALGORITHM,
     allgather_time,
     allreduce_time,
+    allreduce_wire_bytes,
     alltoall_time,
     barrier_time,
     bcast_time,
     bucketed_allreduce_time,
     pt2pt_time,
     reduce_scatter_time,
+    resolve_allreduce_algorithm,
     segmented_allreduce_time,
     select_allreduce_algorithm,
 )
@@ -61,12 +69,16 @@ from repro.comm.collective_models import (
 __all__ = [
     "AllreduceAlgorithm",
     "BufferPool",
+    "COLLECTIVE_ALG_ENV",
     "CommAborted",
     "CommStats",
     "Communicator",
     "DEFAULT_TIMEOUT",
+    "DIRECT_ALGORITHM",
     "Request",
     "allgather_time",
+    "allreduce_wire_bytes",
+    "resolve_allreduce_algorithm",
     "available_backends",
     "default_backend",
     "register_backend",

@@ -1,0 +1,563 @@
+"""Algorithmic collective schedules: ring / Rabenseifner / recursive doubling
+(and binomial trees) as real chunked point-to-point exchanges.
+
+The cost model (:mod:`repro.comm.collective_models`) has always priced the
+bandwidth-optimal allreduces of Thakur, Rabenseifner & Gropp — each rank
+moving ``2n(p-1)/p`` bytes — but the engine historically ran every
+collective as "deposit the full payload, everyone combines locally", which
+on a message-passing backend costs ``n(p-1)`` per rank.  This module closes
+that gap: it *compiles* ``(p, algorithm)`` into a per-rank schedule of
+send / recv / recv-reduce steps over chunk ranges of a flat buffer, and a
+:class:`ScheduleRunner` executes the schedule over the backends' existing
+``(source, tag)``-matched point-to-point primitives, staging each outgoing
+segment through a :class:`~repro.comm.buffers.BufferPool`.
+
+Compiled schedules (``compile_allreduce``):
+
+* ``ring`` — reduce-scatter around the ring followed by an allgather; the
+  buffer is split into ``p`` near-equal chunks and each rank sends/receives
+  one chunk per step, ``2(p-1)`` steps total, ``2n(p-1)/p`` bytes per rank.
+* ``rabenseifner`` — recursive *halving* reduce-scatter followed by a
+  recursive *doubling* allgather; ``2·lg p`` steps, the same ``2n(p-1)/p``
+  bytes, for power-of-two groups (other sizes fall back to ``ring``).
+* ``recursive_doubling`` — ``lg p`` whole-buffer exchanges (latency-optimal
+  for small messages); non-power-of-two groups use the MPICH fold: the
+  first ``2r`` ranks pair up (``r = p - 2^⌊lg p⌋``), the even partner folds
+  into the odd one and receives the finished result at the end.
+
+Binomial trees (``compile_tree``) route the rooted collectives —
+bcast / reduce / gather / scatter — in ``⌈lg p⌉`` rounds instead of ``p-1``
+messages in or out of the root.
+
+Determinism contract
+--------------------
+Every schedule reduces in a **fixed, documented order** that depends only
+on ``(algorithm, p)`` — never on timing or backend — so repeated runs and
+both backends produce bitwise-identical results *for a given algorithm*:
+
+* ``ring``: chunk ``c`` is folded in ring order starting at rank ``c``
+  (``(((x_c + x_{c+1}) + x_{c+2}) + …)``, indices mod ``p``).
+* ``rabenseifner`` / ``recursive_doubling``: each pairwise combine orders
+  its two operands by the *minimum comm rank* their partial sums cover, so
+  the fold is the balanced binary tree over (masked) rank bits — e.g.
+  ``(x_0 + x_1) + (x_2 + x_3)`` for recursive doubling on 4 ranks.
+* binomial ``reduce``: a node folds its children in ascending relative
+  rank, each child delivering its already-folded subtree.
+
+These orders differ from the legacy ``"direct"`` comm-rank-order fold, so
+algorithmic results match it to floating-point *allclose*, not bitwise —
+``"direct"`` remains the bitwise-reference mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Callable
+
+import numpy as np
+
+#: Allreduce-family schedule names (`"direct"` is the legacy non-schedule
+#: path and deliberately absent).
+REDUCTION_ALGORITHMS = ("ring", "rabenseifner", "recursive_doubling")
+
+
+@dataclass(frozen=True)
+class Step:
+    """One schedule entry: a send, a plain receive, or a receive+reduce.
+
+    ``lo``/``hi`` are *chunk indices* into the runner's offset table (for
+    whole-buffer algorithms the range spans every chunk).  ``acc_first``
+    orders the combine of a ``recv_reduce``: ``fn(acc, recv)`` when True,
+    ``fn(recv, acc)`` when False — fixed at compile time so the reduction
+    order is a pure function of ``(algorithm, p)``.
+    """
+
+    kind: str  # "send" | "recv" | "recv_reduce"
+    peer: int  # comm rank of the counterparty
+    lo: int
+    hi: int
+    acc_first: bool = True
+
+
+def chunk_offsets(n: int, p: int) -> tuple[int, ...]:
+    """Element offsets splitting ``n`` elements into ``p`` near-equal chunks.
+
+    The first ``n % p`` chunks carry one extra element, so uneven shapes
+    and even ``n < p`` (empty trailing chunks) are handled uniformly; every
+    rank derives the identical table.
+    """
+    base, extra = divmod(int(n), p)
+    offs = [0]
+    for i in range(p):
+        offs.append(offs[-1] + base + (1 if i < extra else 0))
+    return tuple(offs)
+
+
+def is_power_of_two(p: int) -> bool:
+    return p >= 1 and (p & (p - 1)) == 0
+
+
+@lru_cache(maxsize=None)
+def compile_allreduce(p: int, algorithm: str) -> tuple[tuple[Step, ...], ...]:
+    """Per-rank schedules (indexed by comm rank) for one allreduce.
+
+    ``algorithm`` is one of :data:`REDUCTION_ALGORITHMS`.  Rabenseifner
+    requires a power-of-two group and falls back to the ring schedule for
+    other sizes (the documented selection/fallback rule, mirrored by
+    :func:`repro.comm.collective_models.select_allreduce_algorithm` which
+    never picks it for non-power-of-two ``p``).
+    """
+    if p < 1:
+        raise ValueError(f"group size must be >= 1, got {p}")
+    if algorithm not in REDUCTION_ALGORITHMS:
+        raise ValueError(
+            f"unknown schedule algorithm {algorithm!r}; "
+            f"expected one of {REDUCTION_ALGORITHMS}"
+        )
+    if p == 1:
+        return (tuple(),)
+    if algorithm == "ring":
+        return _compile_ring(p)
+    if algorithm == "rabenseifner":
+        if not is_power_of_two(p):
+            return _compile_ring(p)
+        return _compile_rabenseifner(p)
+    return _compile_recursive_doubling(p)
+
+
+@lru_cache(maxsize=None)
+def compile_reduce_scatter(p: int) -> tuple[tuple[Step, ...], ...]:
+    """Ring reduce-scatter schedules: rank ``r`` ends owning chunk ``r``.
+
+    Chunk ``c`` circulates the ring starting at rank ``c + 1`` and is
+    folded in ring order (``x_{c+1}, x_{c+2}, …, x_c``), completing at its
+    destination after ``p - 1`` steps — ``(p-1)/p`` of the total payload
+    sent per rank, the same volume as the direct per-destination routing
+    but pipelined as a schedule of partial sums.
+    """
+    if p < 1:
+        raise ValueError(f"group size must be >= 1, got {p}")
+    if p == 1:
+        return (tuple(),)
+    scheds: list[list[Step]] = [[] for _ in range(p)]
+    for r in range(p):
+        right, left = (r + 1) % p, (r - 1) % p
+        for s in range(p - 1):
+            c_send = (r - 1 - s) % p
+            c_recv = (r - 2 - s) % p
+            scheds[r].append(Step("send", right, c_send, c_send + 1))
+            scheds[r].append(
+                Step("recv_reduce", left, c_recv, c_recv + 1, acc_first=False)
+            )
+    return tuple(tuple(s) for s in scheds)
+
+
+def _compile_ring(p: int) -> tuple[tuple[Step, ...], ...]:
+    scheds: list[list[Step]] = [[] for _ in range(p)]
+    for r in range(p):
+        right, left = (r + 1) % p, (r - 1) % p
+        # Reduce-scatter: after step s every rank holds the running fold of
+        # chunk (r - s - 1); chunk c completes at rank (c - 1) having been
+        # folded in ring order starting at rank c.
+        for s in range(p - 1):
+            c_send = (r - s) % p
+            c_recv = (r - s - 1) % p
+            scheds[r].append(Step("send", right, c_send, c_send + 1))
+            scheds[r].append(
+                Step("recv_reduce", left, c_recv, c_recv + 1, acc_first=False)
+            )
+        # Allgather: circulate the finished chunks the rest of the way.
+        for s in range(p - 1):
+            c_send = (r + 1 - s) % p
+            c_recv = (r - s) % p
+            scheds[r].append(Step("send", right, c_send, c_send + 1))
+            scheds[r].append(Step("recv", left, c_recv, c_recv + 1))
+    return tuple(tuple(s) for s in scheds)
+
+
+def _compile_rabenseifner(p: int) -> tuple[tuple[Step, ...], ...]:
+    scheds: list[list[Step]] = [[] for _ in range(p)]
+    lo = [0] * p
+    hi = [p] * p
+    covers_min = list(range(p))
+    # Recursive halving reduce-scatter: partners at distance `mask` split
+    # their (identical) current chunk range, each keeping the half that
+    # contains its own destination chunk.
+    mask = p >> 1
+    while mask:
+        old_min = covers_min[:]
+        for r in range(p):
+            peer = r ^ mask
+            mid = (lo[r] + hi[r]) // 2
+            if r & mask == 0:
+                keep, send = (lo[r], mid), (mid, hi[r])
+            else:
+                keep, send = (mid, hi[r]), (lo[r], mid)
+            scheds[r].append(Step("send", peer, send[0], send[1]))
+            scheds[r].append(
+                Step(
+                    "recv_reduce",
+                    peer,
+                    keep[0],
+                    keep[1],
+                    acc_first=old_min[r] < old_min[peer],
+                )
+            )
+            lo[r], hi[r] = keep
+            covers_min[r] = min(old_min[r], old_min[peer])
+        mask >>= 1
+    # Recursive doubling allgather: owned ranges pair back up and merge.
+    mask = 1
+    while mask < p:
+        old = [(lo[r], hi[r]) for r in range(p)]
+        for r in range(p):
+            peer = r ^ mask
+            scheds[r].append(Step("send", peer, old[r][0], old[r][1]))
+            scheds[r].append(Step("recv", peer, old[peer][0], old[peer][1]))
+            lo[r] = min(old[r][0], old[peer][0])
+            hi[r] = max(old[r][1], old[peer][1])
+        mask <<= 1
+    return tuple(tuple(s) for s in scheds)
+
+
+def _compile_recursive_doubling(p: int) -> tuple[tuple[Step, ...], ...]:
+    scheds: list[list[Step]] = [[] for _ in range(p)]
+    pof2 = 1 << (p.bit_length() - 1)
+    rem = p - pof2
+    covers_min = list(range(p))
+    # MPICH non-power-of-two fold: the first 2*rem ranks pair up, evens
+    # fold into their odd neighbour and sit out the doubling.
+    newrank: dict[int, int | None] = {}
+    for r in range(p):
+        if r < 2 * rem:
+            if r % 2 == 0:
+                scheds[r].append(Step("send", r + 1, 0, p))
+                newrank[r] = None
+            else:
+                scheds[r].append(Step("recv_reduce", r - 1, 0, p, acc_first=False))
+                covers_min[r] = r - 1
+                newrank[r] = r // 2
+        else:
+            newrank[r] = r - rem
+    inv = {nr: r for r, nr in newrank.items() if nr is not None}
+    mask = 1
+    while mask < pof2:
+        old_min = covers_min[:]
+        for nr in range(pof2):
+            r, peer = inv[nr], inv[nr ^ mask]
+            scheds[r].append(Step("send", peer, 0, p))
+            scheds[r].append(
+                Step("recv_reduce", peer, 0, p, acc_first=old_min[r] < old_min[peer])
+            )
+            covers_min[r] = min(old_min[r], old_min[peer])
+        mask <<= 1
+    for r in range(2 * rem):
+        if r % 2 == 0:
+            scheds[r].append(Step("recv", r + 1, 0, p))
+        else:
+            scheds[r].append(Step("send", r - 1, 0, p))
+    return tuple(tuple(s) for s in scheds)
+
+
+# ---------------------------------------------------------------------------
+# Binomial trees for the rooted collectives
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TreeNode:
+    """One rank's position in a binomial tree rooted at ``root``.
+
+    ``children`` are ``(child comm rank, subtree comm ranks)`` pairs in
+    *descending subtree size* (the order a binomial bcast sends); gather
+    and reduce walk them in reverse (ascending relative rank), which is
+    the documented fold order.
+    """
+
+    rank: int
+    parent: int | None
+    children: tuple[tuple[int, tuple[int, ...]], ...]
+
+
+@lru_cache(maxsize=None)
+def compile_tree(p: int, root: int) -> tuple[TreeNode, ...]:
+    """Binomial tree over ``p`` ranks rooted at ``root`` (per-rank nodes)."""
+    if not 0 <= root < p:
+        raise ValueError(f"root={root} out of range for group of size {p}")
+    nodes = []
+    for r in range(p):
+        rel = (r - root) % p
+        parent: int | None = None
+        mask = 1
+        while mask < p:
+            if rel & mask:
+                parent = (r - mask) % p
+                break
+            mask <<= 1
+        # For non-roots the loop broke at the lowest set bit of ``rel``;
+        # for the root it ran to the first power of two >= p.  Children sit
+        # at every smaller power-of-two distance.
+        children: list[tuple[int, tuple[int, ...]]] = []
+        cmask = mask >> 1
+        while cmask > 0:
+            if rel + cmask < p:
+                subtree = tuple(
+                    (root + rel2) % p
+                    for rel2 in range(rel + cmask, min(rel + 2 * cmask, p))
+                )
+                children.append(((r + cmask) % p, subtree))
+            cmask >>= 1
+        nodes.append(TreeNode(rank=r, parent=parent, children=tuple(children)))
+    return tuple(nodes)
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def _stage_segment(comm, seg: np.ndarray) -> np.ndarray:
+    """Copy ``seg`` into a pooled staging buffer; return the frozen view.
+
+    The working buffer keeps being reduced into after a send, so segments
+    must never cross the boundary as views of it (a lagging receiver would
+    observe the mutation under the thread backend's zero-copy transport).
+    The pool reclaims the staging buffer once the receivers drop the view
+    (:meth:`~repro.comm.buffers.BufferPool.give_deferred`).
+    """
+    pool = comm._alg_pool
+    buf = pool.take(seg.shape, seg.dtype)
+    np.copyto(buf, seg)
+    view = buf.view()
+    view.flags.writeable = False
+    pool.give_deferred(buf, view)
+    return view
+
+
+class ScheduleRunner:
+    """Drives one compiled reduction schedule over a communicator.
+
+    Execution is *progressive*: :meth:`launch` performs every step up to
+    the first unsatisfied receive (sends are eager and never block),
+    :meth:`progress` advances as far as nonblocking probes allow, and
+    :meth:`finish` blocks through the remaining steps.  The arithmetic
+    order is fixed by the compiled schedule, so *when* progress happens
+    never affects the result.
+    """
+
+    def __init__(
+        self,
+        comm,
+        opname: str,
+        steps: tuple[Step, ...],
+        value: np.ndarray,
+        fn: Callable[[Any, Any], Any],
+        seq: int,
+        offsets: tuple[int, ...] | None = None,
+        owns_buffer: bool = False,
+    ) -> None:
+        self._comm = comm
+        self._opname = opname
+        self._steps = steps
+        self._shape = value.shape
+        # Private working copy: flattened, reduced in place.
+        # ``owns_buffer=True`` skips the copy when the caller hands over a
+        # freshly built array nothing else references (e.g. the
+        # concatenated reduce_scatter parts).
+        flat = np.ascontiguousarray(value).reshape(-1)
+        self._buf = flat if owns_buffer else flat.copy()
+        # ``offsets`` overrides the near-equal chunking for ops whose
+        # chunks are semantic units (reduce_scatter's per-destination
+        # parts); every rank must derive the identical table.
+        self._off = (
+            offsets
+            if offsets is not None
+            else chunk_offsets(self._buf.size, comm.size)
+        )
+        self._fn = fn
+        self._tag = comm._tag_key(("#alg", seq))
+        self._seq = seq
+        self._pos = 0
+        self.wire_sent = 0
+        self.wire_recv = 0
+
+    # -- step primitives ---------------------------------------------------
+    def _range(self, step: Step) -> tuple[int, int]:
+        return self._off[step.lo], self._off[step.hi]
+
+    def _send(self, step: Step) -> None:
+        a, b = self._range(step)
+        if b == a:
+            return  # empty segment: skipped symmetrically on the recv side
+        comm = self._comm
+        view = _stage_segment(comm, self._buf[a:b])
+        comm._world.deliver(
+            comm.world_rank, comm._members[step.peer], self._tag, view
+        )
+        self.wire_sent += view.nbytes
+
+    def _apply(self, step: Step, payload: np.ndarray) -> None:
+        a, b = self._range(step)
+        if step.kind == "recv":
+            self._buf[a:b] = payload
+        else:
+            seg = self._buf[a:b]
+            self._buf[a:b] = (
+                self._fn(seg, payload) if step.acc_first else self._fn(payload, seg)
+            )
+        self.wire_recv += payload.nbytes
+
+    def _describe(self) -> str:
+        # ``World.collect`` appends "(world rank dest <- source, tag=...)",
+        # so a timeout reads e.g. "iallreduce[seq=0, schedule step 3](world
+        # rank 1 <- 0, ...) timed out" — naming the op, sequence, schedule
+        # position, waiting rank, and stuck peer.
+        return f"{self._opname}[seq={self._seq}, schedule step {self._pos}]"
+
+    # -- driving -----------------------------------------------------------
+    def launch(self) -> bool:
+        """Run eagerly up to the first unsatisfied receive (never blocks)."""
+        return self.progress()
+
+    def progress(self) -> bool:
+        """Advance as far as nonblocking probes allow; True when complete."""
+        comm = self._comm
+        while self._pos < len(self._steps):
+            step = self._steps[self._pos]
+            if step.kind == "send":
+                self._send(step)
+            else:
+                a, b = self._range(step)
+                if b > a:
+                    got, payload = comm._world.try_collect(
+                        comm.world_rank, comm._members[step.peer], self._tag
+                    )
+                    if not got:
+                        return False
+                    self._apply(step, payload)
+            self._pos += 1
+        return True
+
+    def finish(self) -> np.ndarray:
+        """Block through the remaining steps; return the reduced array."""
+        comm = self._comm
+        while self._pos < len(self._steps):
+            step = self._steps[self._pos]
+            if step.kind == "send":
+                self._send(step)
+            else:
+                a, b = self._range(step)
+                if b > a:
+                    payload = comm._world.collect(
+                        comm.world_rank,
+                        comm._members[step.peer],
+                        self._tag,
+                        opname=self._describe(),
+                    )
+                    self._apply(step, payload)
+            self._pos += 1
+        return self._buf.reshape(self._shape)
+
+    @property
+    def complete(self) -> bool:
+        return self._pos >= len(self._steps)
+
+
+class _TreeTransport:
+    """Minimal pt2pt endpoint the tree collectives run over."""
+
+    def __init__(self, comm, opname: str, seq: int) -> None:
+        self._comm = comm
+        self._opname = opname
+        self._tag = comm._tag_key(("#alg", seq))
+        self.wire_sent = 0
+        self.wire_recv = 0
+
+    def send(self, peer: int, payload: Any) -> None:
+        from repro.comm.communicator import _freeze, payload_nbytes
+
+        comm = self._comm
+        frozen = _freeze(payload)
+        comm._world.deliver(
+            comm.world_rank, comm._members[peer], self._tag, frozen
+        )
+        self.wire_sent += payload_nbytes(frozen)
+
+    def recv(self, peer: int) -> Any:
+        from repro.comm.communicator import payload_nbytes
+
+        comm = self._comm
+        payload = comm._world.collect(
+            comm.world_rank,
+            comm._members[peer],
+            self._tag,
+            opname=f"{self._opname}[tree] <- comm rank {peer}",
+        )
+        self.wire_recv += payload_nbytes(payload)
+        return payload
+
+
+def run_tree_bcast(comm, node: TreeNode, payload: Any, opname: str, seq: int):
+    """Binomial broadcast: pure routing, bitwise-identical to ``"direct"``."""
+    t = _TreeTransport(comm, opname, seq)
+    if node.parent is not None:
+        payload = t.recv(node.parent)
+    for child, _subtree in node.children:  # largest subtree first
+        t.send(child, payload)
+    return payload, t
+
+
+def run_tree_reduce(
+    comm, node: TreeNode, value: Any, fn: Callable[[Any, Any], Any],
+    opname: str, seq: int,
+):
+    """Binomial reduce toward the root.
+
+    Children are folded in ascending relative rank (each delivering its
+    already-folded subtree), so for root 0 on 4 ranks the root computes
+    ``(x0 + x1) + (x2 + x3)`` — fixed for a given ``(p, root)``.
+    """
+    t = _TreeTransport(comm, opname, seq)
+    acc = value
+    for child, _subtree in reversed(node.children):  # ascending relative rank
+        acc = fn(acc, t.recv(child))
+    if node.parent is not None:
+        t.send(node.parent, acc)
+        return None, t
+    return acc, t
+
+
+def run_tree_gather(comm, node: TreeNode, payload: Any, opname: str, seq: int):
+    """Binomial gather: subtree bundles of ``(comm rank, payload)`` pairs
+    merge on the way up; the root assembles the comm-rank-ordered list.
+    Pure routing — bitwise-identical to ``"direct"``."""
+    t = _TreeTransport(comm, opname, seq)
+    bundle: list[tuple[int, Any]] = [(node.rank, payload)]
+    for child, _subtree in reversed(node.children):
+        bundle.extend(t.recv(child))
+    if node.parent is not None:
+        t.send(node.parent, bundle)
+        return None, t
+    slots: list[Any] = [None] * comm.size
+    for rank, item in bundle:
+        slots[rank] = item
+    return slots, t
+
+
+def run_tree_scatter(
+    comm, node: TreeNode, payloads: Any, root: int, opname: str, seq: int
+):
+    """Binomial scatter: the root sends each child its subtree's bundle of
+    ``(comm rank, payload)`` pairs; interior nodes keep their own piece and
+    forward the rest.  Pure routing — bitwise-identical to ``"direct"``."""
+    t = _TreeTransport(comm, opname, seq)
+    if node.parent is None:
+        bundle = [(j, payloads[j]) for j in range(comm.size)]
+    else:
+        bundle = t.recv(node.parent)
+    by_rank = dict(bundle)
+    own = by_rank[node.rank]
+    for child, subtree in node.children:
+        t.send(child, [(r, by_rank[r]) for r in subtree])
+    return own, t

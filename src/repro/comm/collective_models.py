@@ -29,6 +29,11 @@ class AllreduceAlgorithm(str, Enum):
     RING = "ring"
 
 
+#: The legacy deposit-combine exchange (every rank ships its whole payload
+#: to every peer): not a scheduled algorithm, but priceable so modeled and
+#: measured traffic can be compared for the bitwise-reference mode too.
+DIRECT_ALGORITHM = "direct"
+
 #: Message size (bytes) above which bandwidth-optimal algorithms win.
 #: Thakur et al. use 2 KiB as the small/large cutoff for allreduce.
 SMALL_MESSAGE_CUTOFF: int = 2048
@@ -61,13 +66,18 @@ def allreduce_time(
     p: int,
     nbytes: float,
     link: LinkParameters,
-    algorithm: AllreduceAlgorithm | None = None,
+    algorithm: AllreduceAlgorithm | str | None = None,
 ) -> float:
     """AR(p, n): allreduce of ``n`` bytes over ``p`` ranks.
 
     With ``algorithm=None`` the fastest algorithm for this (p, n, link) is
     used (mirroring MPICH/NCCL tuned selection and the paper's observation
     that "allreduces use different algorithms for different n and p").
+    ``algorithm`` also accepts the engine's knob values: ``"auto"``
+    (Thakur-style :func:`select_allreduce_algorithm` — the *same* selection
+    the communicator applies on the wire, so modeled and measured traffic
+    agree) and ``"direct"`` (the legacy deposit-combine exchange: ``p-1``
+    full payloads in and out of every rank plus a full local fold).
     """
     if p <= 1 or nbytes <= 0:
         return 0.0
@@ -75,6 +85,14 @@ def allreduce_time(
         return min(
             allreduce_time(p, nbytes, link, alg) for alg in AllreduceAlgorithm
         )
+    if not isinstance(algorithm, AllreduceAlgorithm):
+        if algorithm == "auto":
+            algorithm = select_allreduce_algorithm(p, nbytes)
+        elif algorithm == DIRECT_ALGORITHM:
+            a, b, g = link.alpha, link.beta, link.gamma
+            return (p - 1) * (a + nbytes * b) + (p - 1) * nbytes * g
+        else:
+            algorithm = AllreduceAlgorithm(algorithm)
     a, b, g = link.alpha, link.beta, link.gamma
     frac = (p - 1) / p
     lg = math.log2(p)
@@ -88,12 +106,66 @@ def allreduce_time(
 
 
 def select_allreduce_algorithm(p: int, nbytes: float) -> AllreduceAlgorithm:
-    """Thakur-style selection: latency-optimal for small n, bandwidth for large."""
+    """Thakur-style selection: latency-optimal for small n, bandwidth for large.
+
+    This is the single selection rule shared by the cost model, the
+    simulator, and the engine's ``algorithm="auto"`` collectives, so the
+    algorithm the model prices is the one the wire actually runs.
+    """
     if nbytes < SMALL_MESSAGE_CUTOFF:
         return AllreduceAlgorithm.RECURSIVE_DOUBLING
     if p & (p - 1) == 0:  # power of two: halving/doubling applies directly
         return AllreduceAlgorithm.RABENSEIFNER
     return AllreduceAlgorithm.RING
+
+
+def resolve_allreduce_algorithm(
+    algorithm: AllreduceAlgorithm | str | None, p: int, nbytes: float
+) -> str:
+    """Normalize an ``algorithm=`` knob value to a concrete algorithm name.
+
+    ``None``/``"auto"`` apply :func:`select_allreduce_algorithm`;
+    ``"direct"`` passes through; anything else must name an
+    :class:`AllreduceAlgorithm` member (``ValueError`` otherwise).
+    """
+    if isinstance(algorithm, AllreduceAlgorithm):
+        return algorithm.value
+    if algorithm in (None, "auto"):
+        return select_allreduce_algorithm(p, nbytes).value
+    if algorithm == DIRECT_ALGORITHM:
+        return DIRECT_ALGORITHM
+    return AllreduceAlgorithm(algorithm).value
+
+
+def allreduce_wire_bytes(
+    p: int, nbytes: float, algorithm: AllreduceAlgorithm | str | None = None
+) -> float:
+    """Per-rank bytes *sent* on the wire by one allreduce of ``n`` bytes.
+
+    The model-side counterpart of the engine's wire counters
+    (:class:`~repro.comm.stats.CommStats` ``wire`` split / the process
+    backend's transport counters): ring and Rabenseifner move the
+    bandwidth-optimal ``2n(p-1)/p``, recursive doubling ``n·lg p̂`` (p̂ the
+    largest power of two <= p; the non-power-of-two fold adds one payload
+    on the folded ranks — the worst case is reported), and the legacy
+    ``"direct"`` exchange ``n(p-1)``.
+    """
+    if p <= 1 or nbytes <= 0:
+        return 0.0
+    name = resolve_allreduce_algorithm(algorithm, p, nbytes)
+    if name == DIRECT_ALGORITHM:
+        return nbytes * (p - 1)
+    if name == AllreduceAlgorithm.RECURSIVE_DOUBLING.value:
+        pof2 = 1 << (p.bit_length() - 1)
+        extra = nbytes if pof2 != p else 0.0
+        return nbytes * math.log2(pof2) + extra
+    if (
+        name == AllreduceAlgorithm.RABENSEIFNER.value
+        and p & (p - 1) != 0
+    ):
+        name = AllreduceAlgorithm.RING.value  # schedule-level fallback
+    # ring and (power-of-two) Rabenseifner are both bandwidth-optimal.
+    return 2.0 * nbytes * (p - 1) / p
 
 
 def segment_sizes(nbytes: float, segment_bytes: float) -> list[float]:

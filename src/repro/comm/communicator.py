@@ -32,17 +32,29 @@ Semantics implemented:
   the dL/dw allreduces with backpropagation (paper §IV);
 * ``split(color, key)`` creating sub-communicators, the building block for
   the sample-group × spatial-group process grids of the paper's hybrid
-  sample/spatial parallelism.
+  sample/spatial parallelism;
+* **algorithmic wire schedules**: the reduction and rooted collectives take
+  an ``algorithm=`` knob (``"auto"`` → the cost model's Thakur-style
+  selection; ``REPRO_COLLECTIVE_ALG`` overrides globally) that compiles
+  ring / Rabenseifner / recursive-doubling / binomial-tree schedules onto
+  the point-to-point transport (:mod:`repro.comm.algorithms`), cutting an
+  allreduce's per-rank wire volume from ``n(p-1)`` to ``2n(p-1)/p``;
+  ``"direct"`` retains the deposit-combine comm-rank-order fold as the
+  bitwise-reference mode.
 """
 
 from __future__ import annotations
 
+import os
 from time import perf_counter
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.comm import algorithms as _alg
 from repro.comm.backend import BaseWorld, GroupChannel
+from repro.comm.buffers import BufferPool
+from repro.comm.collective_models import resolve_allreduce_algorithm
 from repro.comm.stats import CommStats
 
 _REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
@@ -51,6 +63,22 @@ _REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
     "max": lambda a, b: np.maximum(a, b),
     "min": lambda a, b: np.minimum(a, b),
 }
+
+#: Environment override for every ``algorithm=`` collective knob: set to
+#: ``direct`` for the bitwise-reference mode (every collective runs the
+#: legacy deposit-combine path), to ``ring`` / ``rabenseifner`` /
+#: ``recursive_doubling`` to force the reduction schedules, to
+#: ``binomial`` to force the rooted trees, or to ``auto`` for model-driven
+#: selection.  Values that are meaningless for an op (e.g. ``binomial``
+#: for an allreduce) leave that op on its own default resolution.
+COLLECTIVE_ALG_ENV = "REPRO_COLLECTIVE_ALG"
+
+_REDUCTION_ALG_CHOICES = {"auto", "direct", *_alg.REDUCTION_ALGORITHMS}
+_TREE_ALG_CHOICES = {"auto", "direct", "binomial"}
+_RS_ALG_CHOICES = {"auto", "direct", "ring"}
+#: Every name the env override may legally carry; anything else is a typo
+#: and must fail loudly rather than silently disable the override.
+_ALL_ALG_CHOICES = _REDUCTION_ALG_CHOICES | _TREE_ALG_CHOICES | _RS_ALG_CHOICES
 
 #: When True (default), C-contiguous arrays are shared across the boundary
 #: as read-only views instead of deep copies.
@@ -103,6 +131,11 @@ def _private(payload: Any) -> Any:
     if isinstance(payload, list):
         return [_private(p) for p in payload]
     return payload
+
+
+def _schedulable_array(payload: Any) -> bool:
+    """True if a payload can run through the chunked reduction schedules."""
+    return isinstance(payload, np.ndarray) and payload.dtype != object
 
 
 def payload_nbytes(payload: Any) -> int:
@@ -220,12 +253,17 @@ class _CollectiveRequest(Request):
         combine: Callable[[list[Any]], Any],
         opname: str,
         count_stats: bool = True,
+        wire: tuple[int, int | Callable[[Any], int]] | None = None,
     ) -> None:
         self._comm = comm
         self._token = token
         self._combine = combine
         self._opname = opname
         self._count_stats = count_stats
+        #: (sent bytes, received bytes or fn(result) -> received bytes):
+        #: the notional wire volume of the deposit-combine exchange,
+        #: recorded at completion under the op's wire counters.
+        self._wire = wire
         self._t_launch = perf_counter()
 
     def _complete(self, slots: list[Any], waited: float) -> None:
@@ -246,6 +284,11 @@ class _CollectiveRequest(Request):
             overlapped,
             collective=self._count_stats,
         )
+        if self._wire is not None:
+            sent, recv = self._wire
+            comm.stats.record_wire(
+                self._opname, sent, recv(result) if callable(recv) else recv
+            )
         self._result = result
         self._done = True
 
@@ -263,6 +306,73 @@ class _CollectiveRequest(Request):
         if self._comm._channel.nb_test(self._token):
             slots = self._comm._channel.nb_wait(self._token)
             self._complete(slots, waited=0.0)
+        return self._done
+
+
+class _ScheduleRequest(Request):
+    """Pending algorithmic (scheduled) nonblocking collective.
+
+    The compiled schedule is driven *progressively*: issue time performs
+    every step up to the first unsatisfied receive (all sends are eager),
+    ``test()`` advances with nonblocking probes, ``wait()`` blocks through
+    the rest.  Because later steps of a schedule depend on peers making
+    progress on the *same* schedule, waiting on a request first completes
+    any earlier in-flight scheduled collectives on the communicator (they
+    cache their results in their own request objects) — the liveness rule
+    that lets requests be waited in any order, mirroring an MPI progress
+    engine.  The reduction order is fixed at compile time, so results are
+    independent of when progress happens.
+    """
+
+    def __init__(
+        self, comm: "Communicator", runner: "_alg.ScheduleRunner", opname: str
+    ) -> None:
+        self._comm = comm
+        self._runner = runner
+        self._opname = opname
+        self._t_launch = perf_counter()
+        runner.launch()
+        comm._alg_inflight.append(self)
+
+    def _complete(self, result: Any, waited: float) -> None:
+        comm = self._comm
+        runner = self._runner
+        comm.stats.record_wire(self._opname, runner.wire_sent, runner.wire_recv)
+        overlapped = (perf_counter() - self._t_launch) - waited
+        comm.stats.record_async(
+            self._opname, payload_nbytes(result), waited, overlapped
+        )
+        try:
+            comm._alg_inflight.remove(self)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        self._result = result
+        self._done = True
+
+    def _drain_predecessors(self, blocking: bool) -> None:
+        for req in list(self._comm._alg_inflight):
+            if req is self:
+                break
+            if blocking:
+                req.wait()
+            else:
+                req.test()
+
+    def wait(self) -> Any:
+        if self._done:
+            return self._result
+        t0 = perf_counter()
+        self._drain_predecessors(blocking=True)
+        result = self._runner.finish()
+        self._complete(result, waited=perf_counter() - t0)
+        return self._result
+
+    def test(self) -> bool:
+        if self._done:
+            return True
+        self._drain_predecessors(blocking=False)
+        if self._runner.progress():
+            self._complete(self._runner.finish(), waited=0.0)
         return self._done
 
 
@@ -285,6 +395,12 @@ class Communicator:
         self._op_seq = 0
         self._nb_seq = 0  # nonblocking-collective sequence (matched across ranks)
         self._xchg_seq = 0  # pt2pt exchange-pattern sequence (matched across ranks)
+        self._alg_seq = 0  # algorithmic-schedule sequence (matched across ranks)
+        #: Staging buffers for the schedules' send segments (recycled once
+        #: receivers drop their zero-copy views).
+        self._alg_pool = BufferPool(max_buffers_per_key=4)
+        #: In-flight algorithmic nonblocking collectives, in issue order.
+        self._alg_inflight: list["_ScheduleRequest"] = []
         self.stats: CommStats = world.rank_stats(members[rank])
 
     # -- construction -------------------------------------------------------
@@ -393,51 +509,227 @@ class Communicator:
         # communicators (e.g. spatial group vs sample group) from colliding.
         return (self._key, tag)
 
+    # -- algorithm selection --------------------------------------------------
+    def _next_alg_seq(self) -> int:
+        """Sequence number for one algorithmic (scheduled) collective.
+
+        Matched across ranks the same way nonblocking-collective sequences
+        are: every member issues a group's collectives in the same program
+        order, so the pt2pt tags the schedules exchange under line up.
+        """
+        seq = self._alg_seq
+        self._alg_seq += 1
+        return seq
+
+    def _knob(self, algorithm: Any, choices: set, opname: str) -> str:
+        """Validate an ``algorithm=`` knob and apply the env override.
+
+        ``REPRO_COLLECTIVE_ALG`` overrides every call site when its value
+        is meaningful for the op (``direct`` always is — the global
+        bitwise-reference mode); meaningless combinations (``binomial``
+        for an allreduce) leave the op on its own resolution.
+        """
+        name = "auto" if algorithm is None else getattr(algorithm, "value", algorithm)
+        if name not in choices:
+            raise ValueError(
+                f"unknown {opname} algorithm {name!r}; "
+                f"expected one of {sorted(choices)}"
+            )
+        env = os.environ.get(COLLECTIVE_ALG_ENV)
+        if env:
+            if env not in _ALL_ALG_CHOICES:
+                raise ValueError(
+                    f"{COLLECTIVE_ALG_ENV}={env!r} names no collective "
+                    f"algorithm; expected one of {sorted(_ALL_ALG_CHOICES)}"
+                )
+            if env in choices:
+                name = env
+        return name
+
+    def _resolve_reduction(self, algorithm: Any, payload: Any, opname: str) -> str:
+        name = self._knob(algorithm, _REDUCTION_ALG_CHOICES, opname)
+        if self.size == 1 or not _schedulable_array(payload):
+            return "direct"
+        if name == "auto":
+            return resolve_allreduce_algorithm("auto", self.size, payload.nbytes)
+        return name
+
+    def _resolve_tree(self, algorithm: Any, opname: str) -> str:
+        name = self._knob(algorithm, _TREE_ALG_CHOICES, opname)
+        if self.size == 1:
+            return "direct"
+        return "binomial" if name == "auto" else name
+
+    def _progress_inflight_schedules(self) -> None:
+        """Advance pending scheduled collectives without blocking.
+
+        Called on entry to the blocking channel collectives: a rank about
+        to sink into a rendezvous first pushes its in-flight schedules as
+        far as the already-arrived messages allow, so peers driving those
+        schedules keep receiving segments.  (The SPMD discipline still
+        requires every rank to eventually wait each scheduled request —
+        a rank that abandons one can starve peers that wait it.)
+        """
+        for req in list(self._alg_inflight):
+            req.test()
+
     # -- collectives ------------------------------------------------------------
     def barrier(self) -> None:
+        self._progress_inflight_schedules()
         self._op_seq += 1
         self._channel.barrier()
 
-    def bcast(self, payload: Any, root: int = 0) -> Any:
-        def combine(slots: list[Any]) -> Any:
-            return _private(slots[root])
+    def bcast(
+        self, payload: Any, root: int = 0, *, algorithm: str | None = None
+    ) -> Any:
+        """Broadcast ``root``'s payload to every member.
 
-        # Every rank reads only the root's slot, so message-passing
-        # backends route root -> everyone instead of a full allgather.
-        result = self._collective(
-            payload if self.rank == root else None, combine, "bcast",
-            needs=lambda r: (root,),
-        )
+        ``algorithm``: ``"binomial"`` (the default via ``"auto"``) routes
+        the payload down a binomial tree in ``⌈lg p⌉`` point-to-point
+        rounds, so the root sends ``⌈lg p⌉`` copies instead of ``p - 1``;
+        ``"direct"`` is the legacy root-deposits exchange.  Both are pure
+        routing — results are bitwise identical either way.
+        """
+        self._check_peer(root, "root")
+        alg = self._resolve_tree(algorithm, "bcast")
+        if alg == "binomial":
+            node = _alg.compile_tree(self.size, root)[self.rank]
+            got, t = _alg.run_tree_bcast(
+                self,
+                node,
+                _freeze(payload) if self.rank == root else None,
+                "bcast",
+                self._next_alg_seq(),
+            )
+            result = _private(got)
+            self.stats.record_wire("bcast", t.wire_sent, t.wire_recv)
+        else:
+            def combine(slots: list[Any]) -> Any:
+                return _private(slots[root])
+
+            # Every rank reads only the root's slot, so message-passing
+            # backends route root -> everyone instead of a full allgather.
+            result = self._collective(
+                payload if self.rank == root else None, combine, "bcast",
+                needs=lambda r: (root,),
+            )
+            n = payload_nbytes(result)
+            if self.rank == root:
+                self.stats.record_wire("bcast", sent=n * (self.size - 1))
+            else:
+                self.stats.record_wire("bcast", recv=n)
         self.stats.record_collective("bcast", payload_nbytes(result))
         return result
 
-    def gather(self, payload: Any, root: int = 0) -> list[Any] | None:
-        def combine(slots: list[Any]) -> list[Any]:
-            return list(slots)
+    def gather(
+        self, payload: Any, root: int = 0, *, algorithm: str | None = None
+    ) -> list[Any] | None:
+        """Gather every member's payload at ``root`` (comm-rank order).
 
-        all_ranks = tuple(range(self.size))
-        gathered = self._collective(
-            payload, combine, "gather",
-            needs=lambda r: all_ranks if r == root else (),
-        )
-        self.stats.record_collective("gather", payload_nbytes(payload))
-        return gathered if self.rank == root else None
+        ``"binomial"`` (the default via ``"auto"``) merges subtree bundles
+        up a binomial tree; ``"direct"`` ships every contribution straight
+        to the root.  Pure routing — bitwise identical either way.  The
+        root's stats row accounts the full gathered volume (non-roots
+        their own contribution), so ``comm_report`` rows line up with the
+        transport counters.
+        """
+        self._check_peer(root, "root")
+        alg = self._resolve_tree(algorithm, "gather")
+        own = payload_nbytes(payload)
+        if alg == "binomial":
+            node = _alg.compile_tree(self.size, root)[self.rank]
+            gathered, t = _alg.run_tree_gather(
+                self, node, _freeze(payload), "gather", self._next_alg_seq()
+            )
+            self.stats.record_wire("gather", t.wire_sent, t.wire_recv)
+        else:
+            all_ranks = tuple(range(self.size))
 
-    def scatter(self, payloads: Sequence[Any] | None, root: int = 0) -> Any:
+            def combine(slots: list[Any]) -> list[Any]:
+                return list(slots)
+
+            gathered = self._collective(
+                payload, combine, "gather",
+                needs=lambda r: all_ranks if r == root else (),
+            )
+            if self.rank == root:
+                self.stats.record_wire(
+                    "gather",
+                    recv=sum(
+                        payload_nbytes(s)
+                        for i, s in enumerate(gathered)
+                        if i != self.rank
+                    ),
+                )
+            else:
+                self.stats.record_wire("gather", sent=own)
+        if self.rank == root:
+            self.stats.record_collective(
+                "gather", sum(payload_nbytes(s) for s in gathered)
+            )
+            return gathered
+        self.stats.record_collective("gather", own)
+        return None
+
+    def scatter(
+        self,
+        payloads: Sequence[Any] | None,
+        root: int = 0,
+        *,
+        algorithm: str | None = None,
+    ) -> Any:
+        """Distribute ``payloads[j]`` from ``root`` to comm-rank ``j``.
+
+        ``"binomial"`` (the default via ``"auto"``) sends each child its
+        subtree's bundle down a binomial tree; ``"direct"`` ships from the
+        root directly.  Pure routing — bitwise identical either way.  The
+        root's stats row accounts all scattered pieces (non-roots their
+        received piece).
+        """
+        self._check_peer(root, "root")
         if self.rank == root:
             if payloads is None or len(payloads) != self.size:
                 raise ValueError(
                     f"scatter root must supply exactly {self.size} payloads"
                 )
+        alg = self._resolve_tree(algorithm, "scatter")
+        if alg == "binomial":
+            node = _alg.compile_tree(self.size, root)[self.rank]
+            own, t = _alg.run_tree_scatter(
+                self,
+                node,
+                _freeze(list(payloads)) if self.rank == root else None,
+                root,
+                "scatter",
+                self._next_alg_seq(),
+            )
+            result = _private(own)
+            self.stats.record_wire("scatter", t.wire_sent, t.wire_recv)
+        else:
+            def combine(slots: list[Any]) -> Any:
+                return _private(slots[root][self.rank])
 
-        def combine(slots: list[Any]) -> Any:
-            return _private(slots[root][self.rank])
-
-        result = self._collective(
-            payloads if self.rank == root else None, combine, "scatter",
-            needs=lambda r: (root,),
+            result = self._collective(
+                payloads if self.rank == root else None, combine, "scatter",
+                needs=lambda r: (root,),
+            )
+            if self.rank == root:
+                self.stats.record_wire(
+                    "scatter",
+                    sent=sum(
+                        payload_nbytes(p)
+                        for i, p in enumerate(payloads)
+                        if i != self.rank
+                    ),
+                )
+            else:
+                self.stats.record_wire("scatter", recv=payload_nbytes(result))
+        self.stats.record_collective(
+            "scatter",
+            sum(payload_nbytes(p) for p in payloads)
+            if self.rank == root
+            else payload_nbytes(result),
         )
-        self.stats.record_collective("scatter", payload_nbytes(result))
         return result
 
     def allgather(self, payload: Any) -> list[Any]:
@@ -445,16 +737,32 @@ class Communicator:
             return list(slots)
 
         result = self._collective(payload, combine, "allgather")
-        self.stats.record_collective("allgather", payload_nbytes(payload))
+        own = payload_nbytes(payload)
+        self.stats.record_wire(
+            "allgather",
+            sent=own * (self.size - 1),
+            recv=sum(
+                payload_nbytes(s) for i, s in enumerate(result) if i != self.rank
+            ),
+        )
+        self.stats.record_collective("allgather", own)
         return result
 
-    def alltoall(self, payloads: Sequence[Any], *, count_stats: bool = True) -> list[Any]:
+    def alltoall(
+        self,
+        payloads: Sequence[Any],
+        *,
+        count_stats: bool = True,
+        opname: str = "alltoall",
+    ) -> list[Any]:
         """``payloads[j]`` is sent to comm-rank ``j``; returns what each rank sent us.
 
         ``count_stats=False`` skips the generic "alltoall" accounting —
         used by structured patterns (the blocking shuffle) that record
         their traffic under their own op name, keeping per-op counters
-        comparable between the blocking and nonblocking paths.
+        comparable between the blocking and nonblocking paths.  ``opname``
+        labels the wire-byte counters (structured patterns pass their own
+        name so logical and wire rows line up in ``comm_report``).
         """
         if len(payloads) != self.size:
             raise ValueError(f"alltoall requires exactly {self.size} payloads")
@@ -466,12 +774,19 @@ class Communicator:
         def combine(received: list[Any]) -> list[Any]:
             return list(received)
 
-        result = self._collective(list(payloads), combine, "alltoall", parts=True)
+        result = self._collective(list(payloads), combine, opname, parts=True)
+        sent = sum(
+            payload_nbytes(p) for i, p in enumerate(payloads) if i != self.rank
+        )
+        self.stats.record_wire(
+            opname,
+            sent=sent,
+            recv=sum(
+                payload_nbytes(r) for i, r in enumerate(result) if i != self.rank
+            ),
+        )
         if count_stats:
-            self.stats.record_collective(
-                "alltoall",
-                sum(payload_nbytes(p) for i, p in enumerate(payloads) if i != self.rank),
-            )
+            self.stats.record_collective("alltoall", sent)
         return result
 
     def ialltoall(
@@ -502,12 +817,72 @@ class Communicator:
         def combine(received: list[Any]) -> list[Any]:
             return list(received)
 
+        rank = self.rank
+        sent = sum(payload_nbytes(p) for i, p in enumerate(payloads) if i != rank)
+
+        def wire_recv(result: list[Any]) -> int:
+            return sum(
+                payload_nbytes(r) for i, r in enumerate(result) if i != rank
+            )
+
         return self._icollective(
-            list(payloads), combine, opname, count_stats, parts=True
+            list(payloads), combine, opname, count_stats, parts=True,
+            wire=(sent, wire_recv),
         )
 
-    def reduce(self, value: Any, op: str = "sum", root: int = 0) -> Any | None:
-        result = self.allreduce(value, op=op)
+    def reduce(
+        self,
+        value: Any,
+        op: str = "sum",
+        root: int = 0,
+        *,
+        algorithm: str | None = None,
+    ) -> Any | None:
+        """Rooted reduction: the result lands at ``root``, ``None`` elsewhere.
+
+        Historically this ran a full allreduce and threw the result away
+        on non-roots — allreduce wire volume for a rooted op.  It is now a
+        genuinely rooted collective recorded under its own ``"reduce"``
+        stats: ``"direct"`` routes every contribution to the root only
+        (non-roots move just their own payload) and folds in comm-rank
+        order — bitwise identical to the historical result — while
+        ``"binomial"`` (the default via ``"auto"`` for array payloads)
+        folds up a binomial tree, each node combining its children in
+        ascending relative rank, so non-roots move ``O(n log p)`` and the
+        root receives ``⌈lg p⌉`` messages instead of ``p - 1``.
+        """
+        self._check_peer(root, "root")
+        try:
+            fn = _REDUCE_OPS[op]
+        except KeyError:
+            raise ValueError(f"unknown reduction op {op!r}") from None
+        alg = self._resolve_tree(algorithm, "reduce")
+        if alg == "binomial" and not _schedulable_array(value):
+            alg = "direct"
+        n = payload_nbytes(value)
+        if alg == "binomial":
+            node = _alg.compile_tree(self.size, root)[self.rank]
+            result, t = _alg.run_tree_reduce(
+                self, node, value, fn, "reduce", self._next_alg_seq()
+            )
+            self.stats.record_wire("reduce", t.wire_sent, t.wire_recv)
+        else:
+            all_ranks = tuple(range(self.size))
+            fold = self._reduce_combine(fn)
+            root_here = self.rank == root
+
+            def combine(slots: list[Any]) -> Any:
+                return fold(slots) if root_here else None
+
+            result = self._collective(
+                value, combine, "reduce",
+                needs=lambda r: all_ranks if r == root else (),
+            )
+            if root_here:
+                self.stats.record_wire("reduce", recv=n * (self.size - 1))
+            else:
+                self.stats.record_wire("reduce", sent=n)
+        self.stats.record_collective("reduce", n)
         return result if self.rank == root else None
 
     @staticmethod
@@ -524,38 +899,107 @@ class Communicator:
 
         return combine
 
-    def allreduce(self, value: Any, op: str = "sum") -> Any:
-        """Element-wise reduction combined in deterministic comm-rank order."""
-        try:
-            fn = _REDUCE_OPS[op]
-        except KeyError:
-            raise ValueError(f"unknown reduction op {op!r}") from None
+    def allreduce(
+        self, value: Any, op: str = "sum", *, algorithm: str | None = None
+    ) -> Any:
+        """Element-wise reduction over every member.
 
-        result = self._collective(value, self._reduce_combine(fn), "allreduce")
-        self.stats.record_collective("allreduce", payload_nbytes(result))
-        return result
+        ``algorithm`` selects how the payload moves on the wire:
 
-    def iallreduce(self, value: Any, op: str = "sum") -> Request:
-        """Nonblocking allreduce: deposits immediately, returns a handle.
+        * ``None``/``"auto"`` — model-driven selection (the same
+          Thakur-style rule the cost model prices): recursive doubling for
+          small payloads, Rabenseifner for large power-of-two groups, ring
+          otherwise;
+        * ``"ring"`` / ``"rabenseifner"`` / ``"recursive_doubling"`` —
+          force one of the chunked point-to-point schedules
+          (:mod:`repro.comm.algorithms`), ``2n(p-1)/p`` bytes per rank for
+          the bandwidth-optimal pair;
+        * ``"direct"`` — the legacy deposit-combine exchange, folding in
+          comm-rank order: the bitwise-reference mode (``n(p-1)`` per rank
+          on a message-passing backend).
 
-        ``wait()`` blocks only until every member has deposited (never until
-        they have read), then combines in deterministic comm-rank order —
-        bitwise identical to :meth:`allreduce`.  Any number of iallreduces
-        may be in flight per communicator; all members must issue them in
-        the same order.
+        Non-array payloads (scalars, tuples, object arrays) always take
+        ``"direct"``.  Every mode is deterministic across runs and
+        backends; the scheduled modes match ``"direct"`` to floating-point
+        *allclose* (their documented reduction orders differ).  The
+        ``REPRO_COLLECTIVE_ALG`` environment variable overrides the knob
+        globally.
         """
         try:
             fn = _REDUCE_OPS[op]
         except KeyError:
             raise ValueError(f"unknown reduction op {op!r}") from None
-        return self._icollective(value, self._reduce_combine(fn), "iallreduce")
 
-    def reduce_scatter(self, parts: Sequence[Any], op: str = "sum") -> Any:
+        alg = self._resolve_reduction(algorithm, value, "allreduce")
+        if alg == "direct":
+            result = self._collective(value, self._reduce_combine(fn), "allreduce")
+            n = payload_nbytes(result)
+            self.stats.record_wire(
+                "allreduce", n * (self.size - 1), n * (self.size - 1)
+            )
+        else:
+            steps = _alg.compile_allreduce(self.size, alg)[self.rank]
+            runner = _alg.ScheduleRunner(
+                self, "allreduce", steps, value, fn, self._next_alg_seq()
+            )
+            result = runner.finish()
+            self.stats.record_wire("allreduce", runner.wire_sent, runner.wire_recv)
+        self.stats.record_collective("allreduce", payload_nbytes(result))
+        return result
+
+    def iallreduce(
+        self, value: Any, op: str = "sum", *, algorithm: str | None = None
+    ) -> Request:
+        """Nonblocking allreduce: returns a handle immediately.
+
+        ``algorithm`` selects the wire path exactly as in
+        :meth:`allreduce`.  With ``"direct"``, the call deposits its
+        contribution and ``wait()`` blocks only until every member has
+        deposited, then combines in comm-rank order — bitwise identical to
+        the blocking ``"direct"`` allreduce.  With a scheduled algorithm,
+        the first segments are sent eagerly at issue time and the
+        remaining steps progress on ``test()``/``wait()``; requests may be
+        waited in any order (waiting one first completes earlier in-flight
+        scheduled collectives — see :class:`_ScheduleRequest`).  All
+        members must issue their nonblocking collectives in the same
+        order, as always — and, unlike the fire-and-forget-able
+        ``"direct"`` deposits, every member must eventually ``wait()`` (or
+        ``test()`` to completion) each *scheduled* request: later segments
+        only move when their owner drives them, so a rank that abandons
+        one can starve peers that wait it.
+        """
+        try:
+            fn = _REDUCE_OPS[op]
+        except KeyError:
+            raise ValueError(f"unknown reduction op {op!r}") from None
+        alg = self._resolve_reduction(algorithm, value, "iallreduce")
+        if alg == "direct":
+            n = payload_nbytes(value)
+            return self._icollective(
+                value, self._reduce_combine(fn), "iallreduce",
+                wire=(n * (self.size - 1), n * (self.size - 1)),
+            )
+        steps = _alg.compile_allreduce(self.size, alg)[self.rank]
+        runner = _alg.ScheduleRunner(
+            self, "iallreduce", steps, value, fn, self._next_alg_seq()
+        )
+        return _ScheduleRequest(self, runner, "iallreduce")
+
+    def reduce_scatter(
+        self, parts: Sequence[Any], op: str = "sum", *, algorithm: str | None = None
+    ) -> Any:
         """``parts[j]`` is this rank's contribution destined for rank ``j``.
 
         Returns the reduction, over all ranks, of their contribution for
         *this* rank.  This is the primitive channel-parallel convolution
         uses to combine partial sums over the channel group (paper §III-D).
+
+        ``algorithm``: ``"ring"`` (the default via ``"auto"`` when every
+        part is an ndarray of one dtype) circulates partial sums around
+        the ring — part ``j`` is folded in ring order starting at rank
+        ``j + 1`` — moving the same ``(p-1)/p`` volume as ``"direct"`` but
+        as a pipelined schedule; ``"direct"`` ships each piece to its
+        destination and folds in comm-rank order (bitwise reference).
         """
         if len(parts) != self.size:
             raise ValueError(f"reduce_scatter requires exactly {self.size} parts")
@@ -564,19 +1008,61 @@ class Communicator:
         except KeyError:
             raise ValueError(f"unknown reduction op {op!r}") from None
 
-        # ``parts`` routing: each member receives only the pieces destined
-        # for it; the fold below runs over the same values in the same
-        # comm-rank order as the historical full-slot form, so results are
-        # bitwise identical.
-        def combine(received: list[Any]) -> Any:
-            if len(received) == 1:
-                return _private(received[0])
-            acc = fn(received[0], received[1])
-            for piece in received[2:]:
-                acc = fn(acc, piece)
-            return acc
+        alg = self._knob(algorithm, _RS_ALG_CHOICES, "reduce_scatter")
+        if (
+            self.size == 1
+            or not all(_schedulable_array(x) for x in parts)
+            or len({x.dtype for x in parts}) != 1
+        ):
+            alg = "direct"
+        elif alg == "auto":
+            alg = "ring"
 
-        result = self._collective(list(parts), combine, "reduce_scatter", parts=True)
+        if alg == "ring":
+            flat = np.concatenate(
+                [np.ascontiguousarray(x).reshape(-1) for x in parts]
+            )
+            offsets = [0]
+            for x in parts:
+                offsets.append(offsets[-1] + x.size)
+            steps = _alg.compile_reduce_scatter(self.size)[self.rank]
+            runner = _alg.ScheduleRunner(
+                self, "reduce_scatter", steps, flat, fn,
+                self._next_alg_seq(), offsets=tuple(offsets),
+                owns_buffer=True,  # the concatenation above is fresh
+            )
+            out = runner.finish()
+            result = out[offsets[self.rank] : offsets[self.rank + 1]].reshape(
+                parts[self.rank].shape
+            )
+            self.stats.record_wire(
+                "reduce_scatter", runner.wire_sent, runner.wire_recv
+            )
+        else:
+            # ``parts`` routing: each member receives only the pieces
+            # destined for it; the fold below runs over the same values in
+            # the same comm-rank order as the historical full-slot form,
+            # so results are bitwise identical.
+            def combine(received: list[Any]) -> Any:
+                if len(received) == 1:
+                    return _private(received[0])
+                acc = fn(received[0], received[1])
+                for piece in received[2:]:
+                    acc = fn(acc, piece)
+                return acc
+
+            result = self._collective(
+                list(parts), combine, "reduce_scatter", parts=True
+            )
+            self.stats.record_wire(
+                "reduce_scatter",
+                sent=sum(
+                    payload_nbytes(x)
+                    for i, x in enumerate(parts)
+                    if i != self.rank
+                ),
+                recv=(self.size - 1) * payload_nbytes(result),
+            )
         self.stats.record_collective("reduce_scatter", payload_nbytes(result))
         return result
 
@@ -622,6 +1108,7 @@ class Communicator:
         needs: Callable[[int], Any] | None = None,
         parts: bool = False,
     ) -> Any:
+        self._progress_inflight_schedules()
         self._op_seq += 1
         return self._channel.collective(
             _freeze(contribution), combine, opname, needs=needs, parts=parts
@@ -634,8 +1121,9 @@ class Communicator:
         opname: str,
         count_stats: bool = True,
         parts: bool = False,
+        wire: tuple[int, int | Callable[[Any], int]] | None = None,
     ) -> Request:
         seq = self._nb_seq
         self._nb_seq += 1
         token = self._channel.nb_start(seq, _freeze(contribution), opname, parts=parts)
-        return _CollectiveRequest(self, token, combine, opname, count_stats)
+        return _CollectiveRequest(self, token, combine, opname, count_stats, wire)

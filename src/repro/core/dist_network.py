@@ -96,6 +96,7 @@ class DistNetwork:
         grad_bucket_bytes: int = DEFAULT_BUCKET_BYTES,
         overlap_halo: bool = True,
         overlap_shuffle: bool = True,
+        collective_algorithm: str | None = None,
     ) -> None:
         if isinstance(strategy, LayerParallelism):
             strategy = ParallelStrategy.uniform(strategy)
@@ -114,6 +115,12 @@ class DistNetwork:
         self.grad_bucket_bytes = grad_bucket_bytes
         self.overlap_halo = overlap_halo
         self.overlap_shuffle = overlap_shuffle
+        #: Wire algorithm for the gradient allreduces (the
+        #: :meth:`~repro.comm.communicator.Communicator.allreduce` knob):
+        #: None == "auto" (model-driven schedule selection); "direct" pins
+        #: the bitwise-reference deposit-combine path, making the
+        #: overlapped and blocking reducers bitwise-identical.
+        self.collective_algorithm = collective_algorithm
         self.shapes = spec.infer_shapes()
         # Recycles the staged shuffle send payloads across steps (deferred
         # reclamation once the receivers drop their zero-copy views).
@@ -345,7 +352,9 @@ class DistNetwork:
         #: ShuffleExchange), in route_back arrival order.
         pending: dict[str, list] = {}
         reducer = (
-            BucketedGradReducer(self.grad_bucket_bytes)
+            BucketedGradReducer(
+                self.grad_bucket_bytes, algorithm=self.collective_algorithm
+            )
             if self.overlap_grad_reduce
             else None
         )
@@ -470,7 +479,10 @@ class DistNetwork:
         comm = self._grad_comm(y)
         if comm is None:
             return partials
-        return {k: comm.allreduce(v) for k, v in partials.items()}
+        return {
+            k: comm.allreduce(v, algorithm=self.collective_algorithm)
+            for k, v in partials.items()
+        }
 
     # -- convenience -----------------------------------------------------------------
     def loss_and_grad(

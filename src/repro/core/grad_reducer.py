@@ -17,11 +17,22 @@ nonblocking :meth:`~repro.comm.communicator.Communicator.iallreduce`:
 * :meth:`drain` flushes the remainders, waits for every in-flight request,
   and scatters the reduced buffers back into per-layer gradient dicts.
 
-Bitwise stability: an allreduce combines contributions element-wise in
-comm-rank order, so concatenating tensors into one buffer performs the
-*identical* floating-point additions as reducing them one by one — the
-overlapped path reproduces the blocking path exactly, which
-``tests/test_overlap_reducer.py`` verifies on whole training runs.
+``algorithm`` selects how each bucket moves on the wire (the
+:meth:`~repro.comm.communicator.Communicator.iallreduce` knob): the
+default ``"auto"`` picks the model-driven schedule — ring / Rabenseifner
+buckets cost ``2n(p-1)/p`` bytes per rank instead of the deposit-combine
+path's ``n(p-1)`` — and ``"direct"`` pins the legacy bitwise-reference
+exchange.
+
+Bitwise stability (``algorithm="direct"``): a direct allreduce combines
+contributions element-wise in comm-rank order, so concatenating tensors
+into one buffer performs the *identical* floating-point additions as
+reducing them one by one — the overlapped path reproduces the blocking
+path exactly, which ``tests/test_overlap_reducer.py`` verifies on whole
+training runs.  Scheduled algorithms chunk the bucket, so their reduction
+order (still deterministic across runs and backends) depends on the
+bucketing: overlapped-vs-blocking and ``"auto"``-vs-``"direct"`` then
+match to floating-point allclose rather than bitwise.
 
 All ranks of a group traverse layers in the same (reverse topological)
 order, so buckets fill and flush at identical points everywhere and the
@@ -56,10 +67,16 @@ class _Bucket:
 class BucketedGradReducer:
     """Launches bucketed nonblocking gradient allreduces; drains on demand."""
 
-    def __init__(self, bucket_bytes: int = DEFAULT_BUCKET_BYTES) -> None:
+    def __init__(
+        self,
+        bucket_bytes: int = DEFAULT_BUCKET_BYTES,
+        algorithm: str | None = None,
+    ) -> None:
         if bucket_bytes < 1:
             raise ValueError(f"bucket_bytes must be >= 1, got {bucket_bytes}")
         self.bucket_bytes = bucket_bytes
+        #: Collective algorithm for the bucket allreduces (None == "auto").
+        self.algorithm = algorithm
         self._buckets: dict[Any, _Bucket] = {}
         self._inflight: list[tuple[Request, _Bucket]] = []
         self._done: dict[str, dict[str, np.ndarray]] = {}
@@ -99,7 +116,9 @@ class BucketedGradReducer:
         else:
             flat = np.concatenate([a.ravel() for a in bucket.arrays])
         bucket.arrays = []
-        self._inflight.append((bucket.comm.iallreduce(flat), bucket))
+        self._inflight.append(
+            (bucket.comm.iallreduce(flat, algorithm=self.algorithm), bucket)
+        )
 
     # -- draining side -------------------------------------------------------
     @property

@@ -142,6 +142,7 @@ def conv_layer_cost(
     pad=0,
     parallelism: LayerParallelism,
     total_ranks: int | None = None,
+    allreduce_algorithm=None,
 ) -> ConvLayerCost:
     """Cost of one convolutional layer under ``parallelism``.
 
@@ -217,7 +218,7 @@ def conv_layer_cost(
     # -- gradient allreduce: AR(|P(D(C), D(F))|, F*C*K^2) --------------------------
     params_bytes = f * c * kh * kw * db
     ar_link = machine.link_for_group(total_ranks)
-    ar = allreduce_time(total_ranks, params_bytes, ar_link)
+    ar = allreduce_time(total_ranks, params_bytes, ar_link, allreduce_algorithm)
 
     return ConvLayerCost(
         fp_compute=fp_c,
@@ -317,6 +318,7 @@ def elementwise_layer_cost(
     total_ranks: int = 1,
     stats_allreduce_bytes: float = 0.0,
     stats_group: int = 1,
+    allreduce_algorithm=None,
 ) -> ConvLayerCost:
     """BN / ReLU / add / GAP: memory-bound passes (+BN's statistics
     allreduces over its aggregation group and parameter allreduce)."""
@@ -326,10 +328,15 @@ def elementwise_layer_cost(
     halo = 0.0
     if stats_allreduce_bytes > 0 and stats_group > 1:
         link = machine.link_for_group(stats_group)
-        halo = allreduce_time(stats_group, stats_allreduce_bytes, link)
+        halo = allreduce_time(
+            stats_group, stats_allreduce_bytes, link, allreduce_algorithm
+        )
     ar = 0.0
     if params_bytes > 0 and total_ranks > 1:
-        ar = allreduce_time(total_ranks, params_bytes, machine.link_for_group(total_ranks))
+        ar = allreduce_time(
+            total_ranks, params_bytes, machine.link_for_group(total_ranks),
+            allreduce_algorithm,
+        )
     return ConvLayerCost(
         fp_compute=fp,
         fp_halo=halo,

@@ -78,6 +78,7 @@ class NetworkCostModel:
         cheap_layers: str = "memory",
         allreduce_bucket_bytes: int | None = None,
         overlap_shuffle: bool = True,
+        allreduce_algorithm: str | None = None,
     ) -> None:
         if cheap_layers not in ("memory", "free"):
             raise ValueError("cheap_layers must be 'memory' or 'free'")
@@ -91,6 +92,13 @@ class NetworkCostModel:
         self.cheap_layers = cheap_layers
         self.allreduce_bucket_bytes = allreduce_bucket_bytes
         self.overlap_shuffle = overlap_shuffle
+        #: Allreduce wire algorithm, matching the engine's ``algorithm=``
+        #: knob: None keeps the historical fastest-per-(p, n) pricing,
+        #: "auto" applies the *same* Thakur-style selection the
+        #: communicator runs on the wire, and a concrete name (incl.
+        #: "direct") pins one algorithm — so modeled and measured traffic
+        #: use one selection rule.
+        self.allreduce_algorithm = allreduce_algorithm
         self.shapes = spec.infer_shapes()
 
     # -- per-layer costing -------------------------------------------------------
@@ -115,6 +123,7 @@ class NetworkCostModel:
                 pad=layer.params.get("pad", 0),
                 parallelism=par,
                 total_ranks=total,
+                allreduce_algorithm=self.allreduce_algorithm,
             )
         if layer.kind == "pool":
             c, h, w = self.shapes[layer.parents[0]]
@@ -149,6 +158,7 @@ class NetworkCostModel:
                     total_ranks=strategy.nranks,
                     stats_allreduce_bytes=2 * c * db,
                     stats_group=stats_group,
+                    allreduce_algorithm=self.allreduce_algorithm,
                 )
             if self.cheap_layers == "free":
                 return None
@@ -174,6 +184,7 @@ class NetworkCostModel:
             ar = allreduce_time(
                 strategy.nranks, ar_bytes,
                 self.machine.link_for_group(strategy.nranks),
+                self.allreduce_algorithm,
             )
             return ConvLayerCost(
                 fp, 0.0, bp, 0.0, 0.0, ar,
@@ -261,7 +272,8 @@ class NetworkCostModel:
             if nbytes > 0:
                 start_allreduce(
                     allreduce_time(
-                        group, nbytes, self.machine.link_for_group(group)
+                        group, nbytes, self.machine.link_for_group(group),
+                        self.allreduce_algorithm,
                     )
                 )
 

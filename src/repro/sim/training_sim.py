@@ -82,6 +82,7 @@ class TrainingStepSimulator:
         overlap_allreduce: bool = True,
         allreduce_bucket_bytes: int | None = None,
         overlap_shuffle: bool = True,
+        allreduce_algorithm: str | None = None,
     ) -> None:
         self.spec = spec
         self.machine = machine
@@ -89,10 +90,17 @@ class TrainingStepSimulator:
         self.overlap_allreduce = overlap_allreduce
         self.allreduce_bucket_bytes = allreduce_bucket_bytes
         self.overlap_shuffle = overlap_shuffle
+        #: Allreduce wire algorithm (engine's ``algorithm=`` knob): None
+        #: keeps the historical fastest-per-(p, n) pricing, "auto" applies
+        #: the engine's Thakur-style selection, a concrete name (incl.
+        #: "direct") pins one algorithm — modeled and measured traffic
+        #: then share one selection rule.
+        self.allreduce_algorithm = allreduce_algorithm
         # Reuse the analytic per-layer component costs; the simulator only
         # re-derives the *schedule*, never the kernel times.
         self.cost_model = NetworkCostModel(
-            spec, machine, conv_model=conv_model, overlap=True
+            spec, machine, conv_model=conv_model, overlap=True,
+            allreduce_algorithm=allreduce_algorithm,
         )
 
     def simulate(
@@ -193,7 +201,8 @@ class TrainingStepSimulator:
             if nbytes <= 0:
                 return
             dur = allreduce_time(
-                group, nbytes, self.machine.link_for_group(group)
+                group, nbytes, self.machine.link_for_group(group),
+                self.allreduce_algorithm,
             )
             deps = list(contributors)
             if last_ar is not None:

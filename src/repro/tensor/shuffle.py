@@ -373,7 +373,7 @@ def shuffle(
 
     # Traffic is recorded under "shuffle" above (identically to the
     # overlapped path), so the generic alltoall accounting is suppressed.
-    received = comm.alltoall(payloads, count_stats=False)
+    received = comm.alltoall(payloads, count_stats=False, opname=SHUFFLE_OP)
 
     new_local = np.zeros(plan.out_shape, dtype=src.dtype)
     filled = 0

@@ -1,10 +1,13 @@
 """Integration: overlapped bucketed gradient reduction == blocking path.
 
 The overlapped reducer concatenates gradients into buckets and reduces them
-with nonblocking allreduces, but performs the *identical* element-wise
+with nonblocking allreduces; with the bitwise-reference
+``collective_algorithm="direct"`` it performs the *identical* element-wise
 additions in the identical comm-rank order — so whole training runs must be
 bitwise equal to the blocking path, for every strategy and bucket size, and
-regardless of the zero-copy boundary mode.
+regardless of the zero-copy boundary mode.  (The scheduled wire algorithms
+chunk buckets, so their cross-mode match is allclose instead; that parity
+lives in ``tests/test_collective_algorithms.py``.)
 """
 
 import numpy as np
@@ -41,7 +44,9 @@ def train(nranks, strategy, overlap, steps=3, bucket_bytes=None, lr=0.1):
     x, t = make_batch()
 
     def prog(comm):
-        kwargs = {"overlap_grad_reduce": overlap}
+        # "direct" pins the comm-rank-order fold, the mode whose bucketed
+        # and per-tensor reductions are bitwise interchangeable.
+        kwargs = {"overlap_grad_reduce": overlap, "collective_algorithm": "direct"}
         if bucket_bytes is not None:
             kwargs["grad_bucket_bytes"] = bucket_bytes
         net = DistNetwork(conv_net(), comm, strategy, seed=0, **kwargs)

@@ -148,15 +148,19 @@ class TestBitwiseParity:
                     np.testing.assert_array_equal(t, p)
 
     def test_rooted_collectives_route_narrowly(self):
-        """On the process backend a gather flows everyone->root and a bcast
-        root->everyone — non-participating pairs ship nothing (the thread
-        backend's shared slots make routing moot there)."""
+        """On the process backend a direct gather flows everyone->root and a
+        direct bcast root->everyone — non-participating pairs ship nothing
+        (the thread backend's shared slots make routing moot there).  The
+        default binomial-tree routing is covered by
+        tests/test_collective_algorithms.py."""
         big = np.arange(8192, dtype=np.float64)  # well above the shm floor
 
         def prog(comm):
-            comm.gather(big * comm.rank, root=0)
+            comm.gather(big * comm.rank, root=0, algorithm="direct")
             after_gather = comm._world.transport["shm_messages"]
-            comm.bcast(big if comm.rank == 0 else None, root=0)
+            comm.bcast(
+                big if comm.rank == 0 else None, root=0, algorithm="direct"
+            )
             after_bcast = comm._world.transport["shm_messages"]
             comm.barrier()
             return after_gather, after_bcast - after_gather
@@ -237,18 +241,30 @@ class TestFailureHandling:
 
     def test_collective_timeout_names_rank_op_and_seq(self):
         """A wedged nonblocking collective fails with a diagnostic naming
-        the waiting rank, the operation, and its sequence number."""
+        the waiting rank, the operation, and its sequence number — on both
+        the deposit path and the scheduled path."""
 
-        def prog(comm):
+        def prog_direct(comm):
             if comm.rank == 0:
                 return None  # never contributes
-            return comm.iallreduce(np.ones(4)).wait()
+            return comm.iallreduce(np.ones(4), algorithm="direct").wait()
 
         with pytest.raises(
             CommAborted,
             match=r"iallreduce\[seq=0\].*world rank 1.*contribution of world rank 0",
         ):
-            run_spmd(2, prog, timeout=2.0, backend="process")
+            run_spmd(2, prog_direct, timeout=2.0, backend="process")
+
+        def prog_sched(comm):
+            if comm.rank == 0:
+                return None  # never sends its schedule segments
+            return comm.iallreduce(np.ones(4), algorithm="ring").wait()
+
+        with pytest.raises(
+            CommAborted,
+            match=r"iallreduce\[seq=0, schedule step \d+\].*world rank 1 <- 0.*timed out",
+        ):
+            run_spmd(2, prog_sched, timeout=2.0, backend="process")
 
     def test_recv_timeout_names_ranks_and_tag(self):
         def prog(comm):
