@@ -1,0 +1,225 @@
+"""Fault-recovery costs of the PR 6 runtime: how fast a dead rank is
+detected, and what checkpointing charges per training step.
+
+Two measured sections:
+
+* **Detection latency** — a rank is killed by an injected hard crash
+  (``os._exit``) mid-allreduce on the process backend and every survivor
+  times the gap from entering the collective to its ``CommAborted``.  The
+  sweep over ``detect_interval`` shows latency tracking the heartbeat
+  cadence, not the (deliberately huge) op timeout — the contract tested in
+  ``tests/test_faults.py`` is ``< 2 x detect_interval``.
+
+* **Checkpoint overhead** — per-step wall time of a small training run
+  with ``checkpoint_every=1`` against the same run without checkpointing,
+  plus the isolated atomic-save and resume-restore costs.
+
+Emits a table and ``benchmarks/results/BENCH_fault_recovery.json`` (smoke
+runs write ``BENCH_fault_recovery_smoke.json`` so the tracked trajectory
+is never clobbered by reduced sizes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+from time import monotonic, perf_counter
+
+import numpy as np
+
+from repro.comm import CommAborted, run_spmd
+from repro.core import DistNetwork, DistTrainer, LayerParallelism
+from repro.nn import NetworkSpec, SGD
+
+try:
+    from benchmarks.common import RESULTS_DIR, render_table
+except ImportError:
+    from common import RESULTS_DIR, render_table
+
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_fault_recovery.json")
+
+FULL_INTERVALS = (0.1, 0.25, 0.5)
+SMOKE_INTERVALS = (0.2,)
+NRANKS = 4
+CRASH_RANK = 1
+
+
+# -- detection latency -------------------------------------------------------
+def _detect_prog(comm):
+    x = np.full(4096, float(comm.rank))
+    t0 = monotonic()
+    try:
+        # The direct path blocks in one collective; detection must come
+        # from the parent's child-exit watcher, not the 60 s op timeout.
+        comm.allreduce(x, algorithm="direct")
+    except CommAborted:
+        return monotonic() - t0
+    return None
+
+
+def measure_detection(detect_intervals, repeats: int):
+    """For each heartbeat interval: worst survivor latency over repeats."""
+    rows = []
+    for detect in detect_intervals:
+        worst = 0.0
+        for _ in range(repeats):
+            out = run_spmd(
+                NRANKS,
+                _detect_prog,
+                backend="process",
+                faults=f"crash@rank{CRASH_RANK}:tag=#coll",
+                allow_failures=True,
+                detect_interval=detect,
+                timeout=60.0,
+            )
+            survivors = [
+                out[r] for r in range(NRANKS)
+                if r != CRASH_RANK and isinstance(out[r], float)
+            ]
+            if survivors:
+                worst = max(worst, max(survivors))
+        rows.append({
+            "detect_interval_s": detect,
+            "worst_survivor_latency_s": worst,
+            "bound_s": 2.0 * detect,
+            "within_bound": worst < 2.0 * detect,
+        })
+    return rows
+
+
+# -- checkpoint overhead -----------------------------------------------------
+def _ckpt_spec() -> NetworkSpec:
+    spec = NetworkSpec("fault_recovery")
+    spec.add("input", "input", channels=3, height=16, width=16)
+    spec.add("c1", "conv", ["input"], filters=8, kernel=3, pad=1, bias=True)
+    spec.add("b1", "bn", ["c1"])
+    spec.add("r1", "relu", ["b1"])
+    spec.add("gap", "gap", ["r1"])
+    spec.add("fc", "fc", ["gap"], units=10)
+    spec.add("loss", "softmax_ce", ["fc"])
+    return spec
+
+
+def _ckpt_prog(comm, ckdir: str | None, steps: int):
+    """Train ``steps`` steps; return (per-step s, save s, restore s)."""
+    net = DistNetwork(
+        _ckpt_spec(), comm, LayerParallelism(sample=comm.size), seed=0
+    )
+    trainer = DistTrainer(
+        net,
+        SGD(lr=0.05, momentum=0.9),
+        checkpoint_dir=ckdir,
+        checkpoint_every=1 if ckdir else 0,
+        rng=np.random.default_rng(7),
+    )
+    t0 = perf_counter()
+    for _ in range(steps):
+        x = trainer.rng.standard_normal((8, 3, 16, 16))
+        t = trainer.rng.integers(0, 10, size=8)
+        trainer.step(x, t)
+    per_step = (perf_counter() - t0) / steps
+    save_s = restore_s = None
+    if ckdir:
+        t0 = perf_counter()
+        trainer.save_checkpoint()
+        save_s = perf_counter() - t0
+        t0 = perf_counter()
+        trainer.resume()
+        restore_s = perf_counter() - t0
+    return per_step, save_s, restore_s
+
+
+def measure_checkpoint(steps: int, repeats: int):
+    best = {"plain_step_s": None, "ckpt_step_s": None,
+            "save_s": None, "restore_s": None}
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory() as ckdir:
+            plain = run_spmd(2, _ckpt_prog, None, steps)
+            ck = run_spmd(2, _ckpt_prog, ckdir, steps)
+        for key, val in (
+            ("plain_step_s", max(r[0] for r in plain)),
+            ("ckpt_step_s", max(r[0] for r in ck)),
+            ("save_s", max(r[1] for r in ck)),
+            ("restore_s", max(r[2] for r in ck)),
+        ):
+            best[key] = val if best[key] is None else min(best[key], val)
+    best["overhead_per_step_s"] = best["ckpt_step_s"] - best["plain_step_s"]
+    return best
+
+
+def generate_fault_recovery(
+    detect_intervals=FULL_INTERVALS,
+    steps: int = 8,
+    repeats: int = 3,
+    json_path: str = JSON_PATH,
+):
+    detection = measure_detection(detect_intervals, repeats)
+    ckpt = measure_checkpoint(steps, repeats)
+
+    rows = [
+        (
+            f"{d['detect_interval_s']:.2f}",
+            f"{d['worst_survivor_latency_s'] * 1e3:.0f}",
+            f"{d['bound_s'] * 1e3:.0f}",
+            "yes" if d["within_bound"] else "NO",
+        )
+        for d in detection
+    ]
+    table = render_table(
+        f"Rank-failure detection latency (process backend, {NRANKS} ranks, "
+        "injected crash mid-allreduce, 60 s op timeout)",
+        ("interval (s)", "worst survivor (ms)", "2x bound (ms)", "within"),
+        rows,
+    )
+    table += "\n\n" + render_table(
+        "Checkpoint overhead (2 ranks, atomic per-rank npz, every step)",
+        ("plain step (ms)", "ckpt step (ms)", "overhead (ms)",
+         "save (ms)", "restore (ms)"),
+        [(
+            f"{ckpt['plain_step_s'] * 1e3:.2f}",
+            f"{ckpt['ckpt_step_s'] * 1e3:.2f}",
+            f"{ckpt['overhead_per_step_s'] * 1e3:.2f}",
+            f"{ckpt['save_s'] * 1e3:.2f}",
+            f"{ckpt['restore_s'] * 1e3:.2f}",
+        )],
+    )
+
+    data = {
+        "benchmark": "fault_recovery",
+        "nranks": NRANKS,
+        "detection": detection,
+        "checkpoint": ckpt,
+    }
+    os.makedirs(os.path.dirname(json_path), exist_ok=True)
+    with open(json_path, "w") as f:
+        json.dump(data, f, indent=1)
+    table += f"\n[JSON written to {json_path}]"
+    return table, data
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="single interval, 2 steps, 1 repeat; JSON to a scratch path",
+    )
+    args = parser.parse_args()
+    try:
+        from benchmarks.common import emit
+    except ImportError:
+        from common import emit
+    if args.smoke:
+        emit("bench_fault_recovery", generate_fault_recovery(
+            detect_intervals=SMOKE_INTERVALS, steps=2, repeats=1,
+            json_path=os.path.join(
+                RESULTS_DIR, "BENCH_fault_recovery_smoke.json"
+            ),
+        )[0])
+    else:
+        emit("bench_fault_recovery", generate_fault_recovery()[0])
+
+
+if __name__ == "__main__":
+    main()

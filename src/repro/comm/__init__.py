@@ -40,6 +40,15 @@ from repro.comm.backend import (
     resolve_backend,
     run_spmd,
 )
+from repro.comm.faults import (
+    FAULTS_ENV,
+    INJECTED_CRASH_EXIT,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedFault,
+    JobConfig,
+)
 from repro.comm import proc_backend as _proc_backend  # registers "process"
 from repro.comm.buffers import BufferPool
 from repro.comm.communicator import (
@@ -75,6 +84,13 @@ __all__ = [
     "Communicator",
     "DEFAULT_TIMEOUT",
     "DIRECT_ALGORITHM",
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "INJECTED_CRASH_EXIT",
+    "InjectedCrash",
+    "InjectedFault",
+    "JobConfig",
     "Request",
     "allgather_time",
     "allreduce_wire_bytes",

@@ -46,14 +46,28 @@ Error handling follows MPI's "abort the job" philosophy: if any rank
 raises, the world is aborted, every rendezvous is broken, pending
 nonblocking requests are woken, and the original exception is re-raised in
 the caller with :class:`CommAborted` raised inside the surviving ranks.
-Timeouts identify the stuck operation: the diagnostic names the waiting
-world rank, the operation, and (for sequenced collectives) the sequence
-number, rather than a bare "timed out".
+Abort reasons are structured: the first failure (rank, operation, cause)
+is recorded once per world and every survivor's :class:`CommAborted`
+carries it, so a chaos test can assert that rank 3's death was named on
+ranks 0-2.  Timeouts identify the stuck operation: the diagnostic names
+the waiting world rank, the operation, (for sequenced collectives) the
+sequence number and schedule step, and dumps the pending inbox — the
+queued-but-unmatched ``(source, tag)`` pairs — rather than a bare "timed
+out".
+
+Timeouts are per *transport operation*, not per job: ``run_spmd`` takes a
+default ``timeout`` plus ``op_timeouts`` overrides keyed by operation-name
+prefix (e.g. ``{"recv": 5.0, "iallreduce": 30.0}``) and a ``retries``
+grace count (each expiry below the retry budget logs a warning and waits
+another window instead of aborting).  Deterministic fault injection
+(``run_spmd(..., faults=...)`` / ``REPRO_FAULTS``) hooks the same
+transport paths on both backends; see :mod:`repro.comm.faults`.
 """
 
 from __future__ import annotations
 
 import abc
+import logging
 import os
 import threading
 from collections import deque
@@ -61,9 +75,37 @@ from dataclasses import dataclass, field
 from time import monotonic
 from typing import Any, Callable
 
+from repro.comm.faults import (
+    FAULTS_ENV,
+    FaultInjector,
+    FaultPlan,
+    JobConfig,
+)
+
+logger = logging.getLogger(__name__)
+
 
 class CommAborted(RuntimeError):
-    """Raised inside surviving ranks when the SPMD world has been aborted."""
+    """Raised inside surviving ranks when the SPMD world has been aborted.
+
+    ``failed_rank``/``op``/``seq`` carry the structured abort cause when it
+    is known at the raise site (the message always carries it in text; the
+    attributes are a convenience for programmatic handling and are not
+    preserved across process-boundary pickling).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        failed_rank: int | None = None,
+        op: str | None = None,
+        seq: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.failed_rank = failed_rank
+        self.op = op
+        self.seq = seq
 
 
 #: Default number of seconds a rank will wait on a peer before concluding the
@@ -157,10 +199,27 @@ class BaseWorld(abc.ABC):
     backend_name: str = "abstract"
     size: int
     timeout: float
+    #: Per-job knobs (op timeouts, retries, faults); every concrete world
+    #: assigns one in its constructor.
+    config: JobConfig
 
     @property
     @abc.abstractmethod
     def aborted(self) -> bool: ...
+
+    @property
+    def abort_reason(self) -> str | None:
+        """The recorded cause of the abort (first failure wins), if any."""
+        return None
+
+    def abort_suffix(self) -> str:
+        """Human-readable abort cause to append to survivor diagnostics."""
+        reason = self.abort_reason
+        return f" — {reason}" if reason else ""
+
+    def timeout_for(self, opname: str) -> float:
+        """The timeout bound for one blocked operation named ``opname``."""
+        return self.config.timeout_for(opname)
 
     @abc.abstractmethod
     def deliver(self, source: int, dest: int, tag: Any, payload: Any) -> None: ...
@@ -188,27 +247,33 @@ class BaseWorld(abc.ABC):
         (shared by every communicator that rank participates in)."""
 
     @abc.abstractmethod
-    def abort(self) -> None: ...
+    def abort(self, reason: str | None = None) -> None:
+        """Abort the job; the first non-``None`` ``reason`` is recorded."""
 
 
 # ---------------------------------------------------------------------------
 # Backend registry
 # ---------------------------------------------------------------------------
 
-#: name -> launcher(nranks, fn, args, kwargs, timeout) -> list of results.
+#: name -> launcher(nranks, fn, args, kwargs, config) -> list of results.
 _BACKENDS: dict[str, Callable[..., list[Any]]] = {}
 
 #: Environment variable overriding the default backend for every
 #: ``run_spmd`` call that does not pass ``backend=`` explicitly.
 BACKEND_ENV = "REPRO_BACKEND"
 
+#: Environment override for the process backend's failure-detection pace.
+DETECT_INTERVAL_ENV = "REPRO_DETECT_INTERVAL"
+
 
 def register_backend(name: str, launcher: Callable[..., list[Any]]) -> None:
     """Register a world implementation under ``name``.
 
-    ``launcher(nranks, fn, args, kwargs, timeout)`` must run
-    ``fn(comm, *args, **kwargs)`` on ``nranks`` ranks and return the
-    results in rank order, re-raising the first real rank error.
+    ``launcher(nranks, fn, args, kwargs, config)`` must run
+    ``fn(comm, *args, **kwargs)`` on ``nranks`` ranks under the
+    :class:`~repro.comm.faults.JobConfig` knobs and return the results in
+    rank order, re-raising the first real rank error (or, with
+    ``config.allow_failures``, returning per-rank exceptions in place).
     """
     _BACKENDS[name] = launcher
 
@@ -239,6 +304,11 @@ def run_spmd(
     *args: Any,
     timeout: float = DEFAULT_TIMEOUT,
     backend: str | None = None,
+    op_timeouts: dict[str, float] | None = None,
+    retries: int = 0,
+    faults: "FaultPlan | str | None" = None,
+    allow_failures: bool = False,
+    detect_interval: float | None = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` ranks; return results.
@@ -256,17 +326,56 @@ def run_spmd(
     picklable and ``fn`` itself to be fork-inheritable (any callable
     defined before the call qualifies, closures included).
 
+    Fault-tolerance knobs:
+
+    * ``timeout`` bounds one blocked transport operation (not the job);
+      ``op_timeouts`` overrides it per operation-name prefix and
+      ``retries`` grants each wait that many extra logged timeout windows
+      before the job is aborted.
+    * ``faults`` installs a deterministic
+      :class:`~repro.comm.faults.FaultPlan` (or a string in the
+      ``REPRO_FAULTS`` syntax) on both backends' transport paths; when
+      omitted, the ``REPRO_FAULTS`` environment variable applies.
+    * ``allow_failures`` returns per-rank exceptions *in the result list*
+      instead of re-raising the first one — the chaos-testing mode in
+      which survivor ``CommAborted``\\ s are observable alongside the
+      failed rank's error.
+    * ``detect_interval`` paces the process backend's failure detector
+      (child-exit watcher + heartbeats; env ``REPRO_DETECT_INTERVAL``);
+      a dead rank aborts the job within about one interval.
+
     For ``nranks == 1`` the function is invoked directly on the calling
     thread regardless of backend, which keeps single-rank tests cheap and
     debuggable.
     """
     name = resolve_backend(backend)
+    if faults is None:
+        env_faults = os.environ.get(FAULTS_ENV)
+        if env_faults:
+            faults = FaultPlan.parse(env_faults)
+    elif isinstance(faults, str):
+        faults = FaultPlan.parse(faults)
+    if detect_interval is None:
+        detect_interval = float(os.environ.get(DETECT_INTERVAL_ENV, 0.25))
+    config = JobConfig(
+        timeout=timeout,
+        op_timeouts=dict(op_timeouts or {}),
+        retries=retries,
+        faults=faults,
+        allow_failures=allow_failures,
+        detect_interval=detect_interval,
+    )
     if nranks == 1:
         from repro.comm.communicator import Communicator
 
-        world = World(size=nranks, timeout=timeout)
-        return [fn(Communicator._world_comm(world, 0), *args, **kwargs)]
-    return _BACKENDS[name](nranks, fn, args, kwargs, timeout)
+        world = World(size=nranks, timeout=timeout, config=config)
+        try:
+            return [fn(Communicator._world_comm(world, 0), *args, **kwargs)]
+        except Exception as exc:
+            if allow_failures:
+                return [exc]
+            raise
+    return _BACKENDS[name](nranks, fn, args, kwargs, config)
 
 
 # ---------------------------------------------------------------------------
@@ -294,6 +403,8 @@ class _Mailbox:
 
     def get(self, source: int, tag: Any, timeout: float, describe: str) -> Any:
         key = (source, tag)
+        retries = self._world.config.retries
+        attempt = 0
         deadline = monotonic() + timeout
         with self._cv:
             while True:
@@ -301,11 +412,26 @@ class _Mailbox:
                 if q:
                     return q.popleft()
                 if self._world.aborted:
-                    raise CommAborted(f"{describe} interrupted: world aborted")
+                    raise CommAborted(
+                        f"{describe} interrupted: world aborted"
+                        f"{self._world.abort_suffix()}"
+                    )
                 remaining = deadline - monotonic()
                 if remaining <= 0:
+                    if attempt < retries:
+                        attempt += 1
+                        logger.warning(
+                            "%s still waiting after %.1fs; retry %d/%d "
+                            "(pending inbox: %s)",
+                            describe, timeout, attempt, retries,
+                            self.pending_keys(),
+                        )
+                        deadline = monotonic() + timeout
+                        continue
                     raise CommAborted(
                         f"{describe} timed out after {timeout:.1f}s"
+                        f"{_retry_note(attempt)}; "
+                        f"pending inbox: {self.pending_keys()}"
                     )
                 self._cv.wait(timeout=min(remaining, 0.5))
 
@@ -318,13 +444,34 @@ class _Mailbox:
                 return True, q.popleft()
             if self._world.aborted:
                 raise CommAborted(
-                    f"irecv(source={source}, tag={tag}) interrupted: world aborted"
+                    f"irecv(source={source}, tag={tag}) interrupted: "
+                    f"world aborted{self._world.abort_suffix()}"
                 )
             return False, None
 
     def pending(self) -> int:
         with self._cv:
             return sum(len(q) for q in self._queues.values())
+
+    def pending_keys(self, limit: int = 8) -> str:
+        """Queued-but-unmatched ``(source, tag)`` pairs, for diagnostics."""
+        with self._cv:
+            keys = [k for k, q in self._queues.items() if q]
+        return _format_pending(keys, limit)
+
+
+def _format_pending(keys: list, limit: int) -> str:
+    if not keys:
+        return "(empty)"
+    shown = ", ".join(
+        f"(source={s}, tag={t!r})" for s, t in keys[:limit]
+    )
+    more = len(keys) - limit
+    return f"[{shown}{f', … +{more} more' if more > 0 else ''}]"
+
+
+def _retry_note(attempts: int) -> str:
+    return f" (after {attempts} retries)" if attempts else ""
 
 
 class _PendingOp:
@@ -450,12 +597,14 @@ class ThreadChannel(GroupChannel):
         return [slots[i][rank] for i in range(len(self._members))]
 
     def barrier(self, opname: str = "barrier") -> None:
+        bound = self._world.timeout_for(opname)
         try:
-            self._ctx.barrier.wait(timeout=self._world.timeout)
+            self._ctx.barrier.wait(timeout=bound)
         except threading.BrokenBarrierError:
             raise CommAborted(
                 f"{self._diag(opname)} interrupted: world aborted or a peer "
-                f"missed the rendezvous within {self._world.timeout:.1f}s"
+                f"missed the rendezvous within {bound:.1f}s"
+                f"{self._world.abort_suffix()}"
             ) from None
 
     def collective(
@@ -493,26 +642,27 @@ class ThreadChannel(GroupChannel):
             if self._world.aborted:
                 raise CommAborted(
                     f"{self._diag(token.opname, token.seq)} interrupted: "
-                    "world aborted"
+                    f"world aborted{self._world.abort_suffix()}"
                 )
             return token.op.deposited >= len(self._members)
 
     def nb_wait(self, token: _ThreadToken) -> list[Any]:
         ctx = self._ctx
         n = len(self._members)
-        deadline = monotonic() + self._world.timeout
+        bound = self._world.timeout_for(token.opname)
+        deadline = monotonic() + bound
         with ctx.pending_cv:
             while token.op.deposited < n:
                 if self._world.aborted:
                     raise CommAborted(
                         f"{self._diag(token.opname, token.seq)} interrupted: "
-                        "world aborted"
+                        f"world aborted{self._world.abort_suffix()}"
                     )
                 remaining = deadline - monotonic()
                 if remaining <= 0:
                     raise CommAborted(
                         f"{self._diag(token.opname, token.seq)} timed out "
-                        f"after {self._world.timeout:.1f}s with "
+                        f"after {bound:.1f}s with "
                         f"{token.op.deposited}/{n} contributions deposited"
                     )
                 ctx.pending_cv.wait(timeout=min(remaining, 0.5))
@@ -530,7 +680,9 @@ class World(BaseWorld):
 
     size: int
     timeout: float = DEFAULT_TIMEOUT
+    config: JobConfig | None = None
     _aborted: bool = False
+    _abort_reason: str | None = None
     _mailboxes: list[_Mailbox] = field(default_factory=list)
     _groups: dict[Any, _Rendezvous] = field(default_factory=dict)
     _groups_lock: threading.Lock = field(default_factory=threading.Lock)
@@ -541,16 +693,38 @@ class World(BaseWorld):
     def __post_init__(self) -> None:
         if self.size < 1:
             raise ValueError(f"world size must be >= 1, got {self.size}")
+        if self.config is None:
+            self.config = JobConfig(timeout=self.timeout)
+        else:
+            self.timeout = self.config.timeout
         self._mailboxes = [_Mailbox(self) for _ in range(self.size)]
         self._stats_registry = None
+        faults = self.config.faults
+        self._injectors: list[FaultInjector | None] = [
+            faults.injector(r) if faults is not None else None
+            for r in range(self.size)
+        ]
 
     @property
     def aborted(self) -> bool:
         return self._aborted
 
+    @property
+    def abort_reason(self) -> str | None:
+        return self._abort_reason
+
     # -- point-to-point ----------------------------------------------------
     def deliver(self, source: int, dest: int, tag: Any, payload: Any) -> None:
         self._check_rank(dest, "dest")
+        inj = self._injectors[source] if 0 <= source < self.size else None
+        if inj is not None:
+            # On the thread backend an injected crash propagates as an
+            # exception in the sending rank's thread; no process to kill.
+            action, payload = inj.on_transport(
+                "send", dest, tag, payload, lambda detail: None
+            )
+            if action == "drop":
+                return
         self._mailboxes[dest].put(source, tag, payload)
 
     def collect(self, dest: int, source: int, tag: Any, opname: str = "recv") -> Any:
@@ -558,11 +732,31 @@ class World(BaseWorld):
         describe = (
             f"{opname}(world rank {dest} <- {source}, tag={tag!r})"
         )
-        return self._mailboxes[dest].get(source, tag, self.timeout, describe)
+        payload = self._mailboxes[dest].get(
+            source, tag, self.timeout_for(opname), describe
+        )
+        return self._recv_fault(dest, source, tag, payload)
 
     def try_collect(self, dest: int, source: int, tag: Any) -> tuple[bool, Any]:
         self._check_rank(source, "source")
-        return self._mailboxes[dest].try_get(source, tag)
+        ok, payload = self._mailboxes[dest].try_get(source, tag)
+        if ok:
+            payload = self._recv_fault(dest, source, tag, payload)
+        return ok, payload
+
+    def _recv_fault(self, dest: int, source: int, tag: Any, payload: Any) -> Any:
+        """Apply recv-point faults on a *successful* retrieval.
+
+        Counting only retrievals (never empty polls) keeps ``after``
+        deterministic even though ``try_collect`` may poll a
+        run-dependent number of times.
+        """
+        inj = self._injectors[dest] if 0 <= dest < self.size else None
+        if inj is not None:
+            _, payload = inj.on_transport(
+                "recv", source, tag, payload, lambda detail: None
+            )
+        return payload
 
     # -- collective rendezvous --------------------------------------------
     def group(self, key: Any, nmembers: int) -> _Rendezvous:
@@ -588,11 +782,12 @@ class World(BaseWorld):
         return self._stats_registry[world_rank]
 
     # -- failure handling ---------------------------------------------------
-    def abort(self) -> None:
+    def abort(self, reason: str | None = None) -> None:
         with self._abort_lock:
             if self._aborted:
                 return
             self._aborted = True
+            self._abort_reason = reason
         with self._groups_lock:
             for ctx in self._groups.values():
                 ctx.abort()
@@ -610,12 +805,12 @@ def _run_spmd_threads(
     fn: Callable[..., Any],
     args: tuple,
     kwargs: dict,
-    timeout: float,
+    config: JobConfig,
 ) -> list[Any]:
     """Thread-backend launcher (the historical in-process harness)."""
     from repro.comm.communicator import Communicator
 
-    world = World(size=nranks, timeout=timeout)
+    world = World(size=nranks, timeout=config.timeout, config=config)
     results: list[Any] = [None] * nranks
     errors: list[BaseException | None] = [None] * nranks
 
@@ -625,7 +820,12 @@ def _run_spmd_threads(
             results[rank] = fn(comm, *args, **kwargs)
         except BaseException as exc:  # noqa: BLE001 - must propagate anything
             errors[rank] = exc
-            world.abort()
+            if not isinstance(exc, CommAborted):
+                world.abort(
+                    f"world rank {rank} failed: {type(exc).__name__}: {exc}"
+                )
+            else:
+                world.abort()
 
     threads = [
         threading.Thread(target=runner, args=(rank,), name=f"spmd-rank-{rank}")
@@ -636,6 +836,11 @@ def _run_spmd_threads(
     for t in threads:
         t.join()
 
+    if config.allow_failures:
+        return [
+            errors[rank] if errors[rank] is not None else results[rank]
+            for rank in range(nranks)
+        ]
     first_real = next(
         (e for e in errors if e is not None and not isinstance(e, CommAborted)), None
     )

@@ -26,13 +26,23 @@ without pickling) and implements the same
   results are bitwise identical across backends.  Nonblocking collectives
   deposit eagerly and only the ``wait()`` side receives, preserving the
   "a fast rank never waits for readers" discipline.
-* **Failure handling** — a shared abort event plus a result queue.  A rank
-  that raises aborts the job; the parent re-raises the first real error by
-  rank (``CommAborted`` from surviving ranks is secondary, as in the
-  thread backend).  Hangs fail with a diagnostic naming the waiting world
-  rank, operation, and sequence number.  On teardown the parent closes and
-  **unlinks** every shared-memory segment and closes every queue, so a
-  completed job leaves nothing in ``/dev/shm`` (regression-tested by
+* **Failure handling** — a shared abort event plus a result queue, with a
+  structured abort *reason* (first failure wins) in a shared buffer so
+  every survivor's ``CommAborted`` names the failed rank and cause.  A
+  rank that raises aborts the job; the parent re-raises the first real
+  error by rank (``CommAborted`` from surviving ranks is secondary, as in
+  the thread backend).  A **child-exit watcher** in the parent (paced by
+  ``JobConfig.detect_interval``) spots a rank that died without reporting
+  — segfault, OOM kill, or an injected ``os._exit`` crash — and aborts
+  the job naming that rank within about one interval, so survivors fail
+  fast instead of waiting out their per-op timeouts; each child also
+  stamps a shared **heartbeat** slot from a daemon thread, which the
+  parent uses to flag stragglers.  Hangs fail with a diagnostic naming
+  the waiting world rank, operation, sequence number, and the pending
+  inbox.  On teardown the parent closes and **unlinks** every
+  shared-memory segment and closes every queue — with failures logged as
+  warnings, never swallowed — so a completed *or aborted* job leaves
+  nothing in ``/dev/shm`` (regression-tested by
   ``tests/test_proc_backend.py``).
 
 What this backend does *not* model: NUMA/core pinning, a real NIC, or
@@ -43,10 +53,13 @@ measurements reflect parallel compute rather than removed GIL contention.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import queue as queue_mod
 import secrets
+import threading
+import time
 import traceback
 from collections import deque
 from multiprocessing import shared_memory
@@ -59,8 +72,13 @@ from repro.comm.backend import (
     BaseWorld,
     CommAborted,
     GroupChannel,
+    _format_pending,
+    _retry_note,
     register_backend,
 )
+from repro.comm.faults import INJECTED_CRASH_EXIT, FaultInjector, JobConfig
+
+logger = logging.getLogger(__name__)
 
 #: Arrays at or above this many bytes are shipped through the shared-memory
 #: arena; smaller ones ride the queue pickle (latency-bound anyway).
@@ -163,31 +181,74 @@ class _Arena:
             self.shm.unlink()
 
 
+#: Capacity of the shared abort-reason buffer (UTF-8 bytes, NUL-padded).
+_REASON_BYTES = 1024
+
+
 class _SharedJobState:
     """Everything the forked ranks share, created pre-fork by the parent."""
 
-    def __init__(self, ctx, nranks: int, timeout: float) -> None:
+    def __init__(self, ctx, nranks: int, config: JobConfig) -> None:
         self.nranks = nranks
-        self.timeout = timeout
+        self.config = config
+        self.timeout = config.timeout
         self.shm_min = _env_int("REPRO_SHM_MIN_BYTES", DEFAULT_SHM_MIN_BYTES)
         self.queues = [ctx.Queue() for _ in range(nranks)]
         self.results = ctx.Queue()
         self.abort_event = ctx.Event()
+        # First failure wins: the reason is written exactly once, under
+        # abort_lock, before abort_event is set, so any rank observing the
+        # event also observes the reason.
+        self.abort_lock = ctx.Lock()
+        self.abort_reason_buf = ctx.Array("c", _REASON_BYTES, lock=False)
+        #: monotonic() stamp per rank, refreshed by a daemon thread in each
+        #: child; the parent flags ranks whose stamp goes stale.
+        self.heartbeats = ctx.RawArray("d", nranks)
         self.arena = _Arena(
             ctx,
             _env_int("REPRO_SHM_BYTES", DEFAULT_ARENA_BYTES),
             _env_int("REPRO_SHM_BLOCK", DEFAULT_ARENA_BLOCK),
         )
 
+    def set_abort(self, reason: str | None = None) -> None:
+        """Abort the job; the first caller's ``reason`` is the recorded one."""
+        with self.abort_lock:
+            if self.abort_event.is_set():
+                return
+            if reason:
+                data = reason.encode("utf-8", "replace")[: _REASON_BYTES - 1]
+                self.abort_reason_buf[: len(data)] = data
+            self.abort_event.set()
+
+    def get_abort_reason(self) -> str | None:
+        raw = bytes(self.abort_reason_buf)
+        text = raw.split(b"\x00", 1)[0].decode("utf-8", "replace")
+        return text or None
+
     def teardown(self) -> None:
-        """Parent-side cleanup: release queues, unlink the arena."""
-        for q in [*self.queues, self.results]:
+        """Parent-side cleanup: release queues, unlink the arena.
+
+        Failures are logged as warnings, never swallowed silently — a
+        cleanup error here is exactly the kind of leak (a stuck feeder
+        thread, an orphaned ``/dev/shm`` segment) an operator needs to see.
+        """
+        for i, q in enumerate([*self.queues, self.results]):
             try:
                 q.close()
                 q.cancel_join_thread()
-            except Exception:  # pragma: no cover - best-effort cleanup
-                pass
-        self.arena.destroy()
+            except Exception as exc:  # pragma: no cover - depends on host
+                logger.warning(
+                    "proc backend teardown: failed to close queue %d: %s: %s",
+                    i, type(exc).__name__, exc,
+                )
+        try:
+            self.arena.destroy()
+        except Exception as exc:  # pragma: no cover - depends on host
+            logger.warning(
+                "proc backend teardown: failed to unlink arena %s: %s: %s "
+                "(a stale /dev/shm/%s segment may remain)",
+                self.arena.name, type(exc).__name__, exc, self.arena.name,
+            )
 
 
 def _pack(
@@ -292,22 +353,44 @@ class _Inbox:
                 return
             self._store(msg)
 
-    def get(self, source: int, tag: Any, deadline: float, describe: str) -> Any:
+    def get(self, source: int, tag: Any, timeout: float, describe: str) -> Any:
+        world = self._world
+        retries = world.config.retries
+        attempt = 0
+        deadline = monotonic() + timeout
+        poll = min(0.25, max(0.01, world.config.detect_interval))
         while True:
             q = self._buffered.get((source, tag))
             if q:
                 return q.popleft()
-            if self._world.aborted:
-                raise CommAborted(f"{describe} interrupted: world aborted")
+            if world.aborted:
+                raise CommAborted(
+                    f"{describe} interrupted: world aborted"
+                    f"{world.abort_suffix()}"
+                )
             remaining = deadline - monotonic()
             if remaining <= 0:
+                self._drain_ready()
+                if attempt < retries:
+                    attempt += 1
+                    logger.warning(
+                        "%s still waiting after %.1fs; retry %d/%d "
+                        "(pending inbox: %s)",
+                        describe, timeout, attempt, retries,
+                        self.pending_keys(),
+                    )
+                    deadline = monotonic() + timeout
+                    continue
                 # Abort the whole job: a wedged collective should fail
                 # everywhere with this rank's diagnostic, not hang peers.
-                self._world.abort()
-                raise CommAborted(
-                    f"{describe} timed out after {self._world.timeout:.1f}s"
+                reason = (
+                    f"{describe} timed out after {timeout:.1f}s"
+                    f"{_retry_note(attempt)}; "
+                    f"pending inbox: {self.pending_keys()}"
                 )
-            self._drain_blocking(min(remaining, 0.25))
+                world.abort(reason)
+                raise CommAborted(reason)
+            self._drain_blocking(min(remaining, poll))
 
     def try_get(self, source: int, tag: Any) -> tuple[bool, Any]:
         self._drain_ready()
@@ -316,9 +399,15 @@ class _Inbox:
             return True, q.popleft()
         if self._world.aborted:
             raise CommAborted(
-                f"irecv(source={source}, tag={tag}) interrupted: world aborted"
+                f"irecv(source={source}, tag={tag}) interrupted: "
+                f"world aborted{self._world.abort_suffix()}"
             )
         return False, None
+
+    def pending_keys(self, limit: int = 8) -> str:
+        """Queued-but-unmatched ``(source, tag)`` pairs, for diagnostics."""
+        keys = [k for k, q in self._buffered.items() if q]
+        return _format_pending(keys, limit)
 
 
 class _ProcToken:
@@ -415,13 +504,13 @@ class ProcessChannel(GroupChannel):
                 world.deliver(me, peer, tag, contribution)
         slots: list[Any] = [None] * len(self._members)
         slots[rank] = contribution[rank] if parts else contribution
-        deadline = monotonic() + world.timeout
+        bound = world.timeout_for(opname)
         for j, peer in enumerate(self._members):
             if j == rank:
                 continue
             if parts or needed_of is None or j in needed_of[rank]:
                 slots[j] = world._inbox.get(
-                    peer, tag, deadline, self._diag(opname, seq, waiting_for=peer)
+                    peer, tag, bound, self._diag(opname, seq, waiting_for=peer)
                 )
         return combine(slots)
 
@@ -453,13 +542,13 @@ class ProcessChannel(GroupChannel):
 
     def nb_wait(self, token: _ProcToken) -> list[Any]:
         world = self._world
-        deadline = monotonic() + world.timeout
+        bound = world.timeout_for(token.opname)
         for j in sorted(token.outstanding):
             peer = token.outstanding[j]
             token.slots[j] = world._inbox.get(
                 peer,
                 token.tag,
-                deadline,
+                bound,
                 self._diag(token.opname, token.seq, waiting_for=peer),
             )
         token.outstanding.clear()
@@ -477,11 +566,16 @@ class ProcessWorld(BaseWorld):
     def __init__(self, shared: _SharedJobState, rank: int) -> None:
         self.size = shared.nranks
         self.timeout = shared.timeout
+        self.config = shared.config
         self.rank = rank
         self._shared = shared
         self._inbox = _Inbox(self)
         self._channels: dict[Any, ProcessChannel] = {}
         self._stats: dict[int, Any] = {}
+        faults = shared.config.faults
+        self._injector: FaultInjector | None = (
+            faults.injector(rank) if faults is not None else None
+        )
         #: Per-process transport counters (this rank's sends only).
         self.transport = {
             "shm_messages": 0,
@@ -494,9 +588,32 @@ class ProcessWorld(BaseWorld):
     def aborted(self) -> bool:
         return self._shared.abort_event.is_set()
 
+    @property
+    def abort_reason(self) -> str | None:
+        return self._shared.get_abort_reason()
+
+    def _fault(self, point: str, peer: int, tag: Any, payload: Any):
+        """Run this rank's armed faults at a transport point.
+
+        An injected crash hard-exits the child (``os._exit``) without
+        reporting a result — exercising the parent's child-exit watcher
+        exactly as a real segfault or OOM kill would.
+        """
+        inj = self._injector
+        if inj is None:
+            return "pass", payload
+        return inj.on_transport(
+            point, peer, tag, payload,
+            lambda detail: os._exit(INJECTED_CRASH_EXIT),
+        )
+
     # -- point-to-point ----------------------------------------------------
     def deliver(self, source: int, dest: int, tag: Any, payload: Any) -> None:
         self._check_rank(dest, "dest")
+        if source == self.rank:
+            action, payload = self._fault("send", dest, tag, payload)
+            if action == "drop":
+                return
         if dest == self.rank:
             # Self-delivery stays in-process (no copy), matching the thread
             # backend's zero-copy self-sends.
@@ -516,11 +633,18 @@ class ProcessWorld(BaseWorld):
                 f"({self.rank}), not {dest}"
             )
         describe = f"{opname}(world rank {dest} <- {source}, tag={tag!r})"
-        return self._inbox.get(source, tag, monotonic() + self.timeout, describe)
+        payload = self._inbox.get(source, tag, self.timeout_for(opname), describe)
+        # Recv-point faults count successful retrievals only, so ``after``
+        # stays deterministic regardless of how often empty polls ran.
+        _, payload = self._fault("recv", source, tag, payload)
+        return payload
 
     def try_collect(self, dest: int, source: int, tag: Any) -> tuple[bool, Any]:
         self._check_rank(source, "source")
-        return self._inbox.try_get(source, tag)
+        ok, payload = self._inbox.try_get(source, tag)
+        if ok:
+            _, payload = self._fault("recv", source, tag, payload)
+        return ok, payload
 
     # -- collectives --------------------------------------------------------
     def channel(self, key: Any, members: tuple[int, ...], rank: int) -> GroupChannel:
@@ -542,12 +666,20 @@ class ProcessWorld(BaseWorld):
         return stats
 
     # -- failure handling ---------------------------------------------------
-    def abort(self) -> None:
-        self._shared.abort_event.set()
+    def abort(self, reason: str | None = None) -> None:
+        self._shared.set_abort(reason)
 
     def _check_rank(self, rank: int, what: str) -> None:
         if not 0 <= rank < self.size:
             raise ValueError(f"{what}={rank} out of range for world of size {self.size}")
+
+
+def _heartbeat_loop(shared: _SharedJobState, rank: int) -> None:
+    """Daemon thread in each child: stamp this rank's liveness slot."""
+    interval = max(0.02, shared.config.detect_interval / 2.0)
+    while not shared.abort_event.is_set():
+        shared.heartbeats[rank] = monotonic()
+        time.sleep(interval)
 
 
 def _child_main(
@@ -561,6 +693,12 @@ def _child_main(
     from repro.comm.communicator import Communicator
 
     world = ProcessWorld(shared, rank)
+    threading.Thread(
+        target=_heartbeat_loop,
+        args=(shared, rank),
+        name=f"heartbeat-rank-{rank}",
+        daemon=True,
+    ).start()
     status = "ok"
     try:
         comm = Communicator._world_comm(world, rank)
@@ -572,7 +710,10 @@ def _child_main(
             # this rank still owed them fail promptly with CommAborted
             # instead of timing out (the error teardown below drops
             # undelivered messages).
-            world.abort()
+            world.abort(
+                f"world rank {rank} produced an unpicklable result "
+                f"({type(exc).__name__}: {exc})"
+            )
             status = "err"
             blob = pickle.dumps(
                 (
@@ -584,7 +725,12 @@ def _child_main(
                 )
             )
     except BaseException as exc:  # noqa: BLE001 - must propagate anything
-        world.abort()
+        if isinstance(exc, CommAborted):
+            world.abort()
+        else:
+            world.abort(
+                f"world rank {rank} failed: {type(exc).__name__}: {exc}"
+            )
         status = "err"
         tb = traceback.format_exc()
         try:
@@ -614,7 +760,7 @@ def _run_spmd_processes(
     fn: Callable[..., Any],
     args: tuple,
     kwargs: dict,
-    timeout: float,
+    config: JobConfig,
 ) -> list[Any]:
     """Process-backend launcher: fork one child per rank, gather results."""
     import multiprocessing as mp
@@ -627,9 +773,17 @@ def _run_spmd_processes(
             "use backend='thread' on this platform"
         ) from None
 
-    shared = _SharedJobState(ctx, nranks, timeout)
+    shared = _SharedJobState(ctx, nranks, config)
+    detect = max(0.02, config.detect_interval)
+    # A heartbeat is "stale" well past its refresh period; generous slack
+    # keeps a scheduler hiccup from flagging a healthy rank.
+    stale_after = max(10 * detect, 5.0)
+    now = monotonic()
+    for r in range(nranks):
+        shared.heartbeats[r] = now
     procs = []
     outcomes: dict[int, tuple[str, Any]] = {}
+    flagged_stale: set[int] = set()
     try:
         for rank in range(nranks):
             p = ctx.Process(
@@ -645,11 +799,14 @@ def _run_spmd_processes(
         # deadline, so a healthy long-computing job is never cut short.
         # The parent only starts a drain deadline once the job is known to
         # be dying: the abort event fired, a child crashed, or every child
-        # exited without reporting.
+        # exited without reporting.  The loop doubles as the failure
+        # detector, paced by ``config.detect_interval``: a child that died
+        # without reporting aborts the job (naming the dead rank) within
+        # about one interval, and stale heartbeats are flagged.
         drain_deadline: float | None = None
         while len(outcomes) < nranks:
             try:
-                rank, status, blob = shared.results.get(timeout=0.25)
+                rank, status, blob = shared.results.get(timeout=min(0.25, detect))
                 outcomes[rank] = (status, blob)
                 continue
             except queue_mod.Empty:
@@ -657,7 +814,27 @@ def _run_spmd_processes(
             for r, p in enumerate(procs):
                 if r not in outcomes and p.exitcode not in (None, 0):
                     outcomes[r] = ("crash", p.exitcode)
-                    shared.abort_event.set()
+                    injected = p.exitcode == INJECTED_CRASH_EXIT
+                    shared.set_abort(
+                        f"world rank {r} died (exit code {p.exitcode}"
+                        f"{', injected crash' if injected else ''}) "
+                        "before reporting a result"
+                    )
+            if not shared.abort_event.is_set():
+                now = monotonic()
+                for r, p in enumerate(procs):
+                    if (
+                        r not in outcomes
+                        and r not in flagged_stale
+                        and p.exitcode is None
+                        and now - shared.heartbeats[r] > stale_after
+                    ):
+                        flagged_stale.add(r)
+                        logger.warning(
+                            "world rank %d heartbeat stale for %.1fs "
+                            "(straggler or wedged rank)",
+                            r, now - shared.heartbeats[r],
+                        )
             dying = shared.abort_event.is_set() or all(
                 p.exitcode is not None for p in procs
             )
@@ -667,7 +844,7 @@ def _run_spmd_processes(
             if drain_deadline is None:
                 drain_deadline = monotonic() + _PARENT_GRACE
             elif monotonic() > drain_deadline:
-                shared.abort_event.set()
+                shared.set_abort("job torn down: unreported ranks presumed hung")
                 for r in range(nranks):
                     outcomes.setdefault(r, ("hang", None))
                 break
@@ -678,8 +855,10 @@ def _run_spmd_processes(
             if p.is_alive():  # pragma: no cover - wedged child
                 p.terminate()
                 p.join(timeout=5.0)
+        abort_reason = shared.get_abort_reason()
         shared.teardown()
 
+    suffix = f" — {abort_reason}" if abort_reason else ""
     results: list[Any] = [None] * nranks
     errors: list[BaseException | None] = [None] * nranks
     for rank in range(nranks):
@@ -692,17 +871,26 @@ def _run_spmd_processes(
                 exc.__cause__ = RuntimeError(f"rank {rank} traceback:\n{tb}")
             errors[rank] = exc
         elif status == "crash":
+            injected = blob == INJECTED_CRASH_EXIT
             errors[rank] = CommAborted(
-                f"world rank {rank} exited abnormally (exit code {blob}) "
-                "before reporting a result"
+                f"world rank {rank} exited abnormally (exit code {blob}"
+                f"{', injected crash' if injected else ''}) "
+                "before reporting a result",
+                failed_rank=rank,
             )
         else:  # hang
             errors[rank] = CommAborted(
                 f"world rank {rank} did not report a result within "
                 f"{_PARENT_GRACE:.0f}s of the job starting to die "
-                "(abort/crash/exit); job torn down"
+                f"(abort/crash/exit); job torn down{suffix}",
+                failed_rank=rank,
             )
 
+    if config.allow_failures:
+        return [
+            errors[rank] if errors[rank] is not None else results[rank]
+            for rank in range(nranks)
+        ]
     first_real = next(
         (e for e in errors if e is not None and not isinstance(e, CommAborted)), None
     )

@@ -13,7 +13,8 @@
 * :mod:`repro.core.dist_network` — end-to-end distributed execution of a
   :class:`~repro.nn.graph.NetworkSpec` under a strategy, including data
   redistribution between layers (§III-C) and gradient allreduce.
-* :mod:`repro.core.trainer` — the distributed training loop.
+* :mod:`repro.core.trainer` — the distributed training loop, with atomic
+  checkpoint/resume (:mod:`repro.core.checkpoint`).
 * :mod:`repro.core.strategy` — the performance-model-driven strategy
   optimizer (§V-C): candidate generation + shortest-path assignment.
 * :mod:`repro.core.channel_filter` — channel/filter-parallel convolution
@@ -21,7 +22,22 @@
 """
 
 from repro.core.parallelism import LayerParallelism, ParallelStrategy
+from repro.core.checkpoint import (
+    latest_common_step,
+    load_state,
+    local_steps,
+    save_state,
+)
 from repro.core.dist_network import DistNetwork
 from repro.core.trainer import DistTrainer
 
-__all__ = ["DistNetwork", "DistTrainer", "LayerParallelism", "ParallelStrategy"]
+__all__ = [
+    "DistNetwork",
+    "DistTrainer",
+    "LayerParallelism",
+    "ParallelStrategy",
+    "latest_common_step",
+    "load_state",
+    "local_steps",
+    "save_state",
+]

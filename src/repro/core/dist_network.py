@@ -484,6 +484,45 @@ class DistNetwork:
             for k, v in partials.items()
         }
 
+    # -- checkpointing ---------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """All persistent state of this replica, as fresh arrays.
+
+        Parameters plus batch-norm running statistics — everything a layer
+        reads across steps.  Activations, caches, and in-flight exchanges
+        are per-step and excluded.
+        """
+        params = {
+            lname: {pname: arr.copy() for pname, arr in lparams.items()}
+            for lname, lparams in self.params.items()
+        }
+        bn = {}
+        for name, impl in self._layers.items():
+            if isinstance(impl, DistBatchNorm):
+                bn[name] = {
+                    "running_mean": impl.running_mean.copy(),
+                    "running_var": impl.running_var.copy(),
+                }
+        return {"params": params, "bn": bn}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output bitwise.
+
+        Parameter data is copied *into* the existing arrays
+        (``np.copyto``), because the layer objects hold references to the
+        same buffers the optimizer updates in place — rebinding would
+        silently detach them.  BN running stats are rebound instead, since
+        ``DistBatchNorm.forward`` rebinds them every training step anyway.
+        """
+        for lname, lparams in state["params"].items():
+            mine = self.params[lname]
+            for pname, arr in lparams.items():
+                np.copyto(mine[pname], arr)
+        for name, stats in state["bn"].items():
+            impl = self._layers[name]
+            impl.running_mean = stats["running_mean"].copy()
+            impl.running_var = stats["running_var"].copy()
+
     # -- convenience -----------------------------------------------------------------
     def loss_and_grad(
         self, inputs, targets

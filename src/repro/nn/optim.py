@@ -50,3 +50,22 @@ class SGD:
     def state_size(self) -> int:
         """Number of velocity scalars held (for the memory model)."""
         return sum(v.size for v in self._velocity.values())
+
+    def state_dict(self) -> dict:
+        """Persistent optimizer state (momentum velocities), as copies."""
+        return {
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "velocity": {k: v.copy() for k, v in self._velocity.items()},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output bitwise (velocities rebound —
+        ``step`` rebinds them every update anyway)."""
+        self.lr = state["lr"]
+        self.momentum = state["momentum"]
+        self.weight_decay = state["weight_decay"]
+        self._velocity = {
+            tuple(k): v.copy() for k, v in state["velocity"].items()
+        }

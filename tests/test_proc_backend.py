@@ -331,3 +331,93 @@ class TestTeardown:
         # Everything consumed: at most a handful of in-flight blocks remain.
         for used in run_spmd(2, prog, backend="process"):
             assert used <= 8
+
+
+class TestFaultTeardown:
+    """PR 6 regressions: cleanup must survive hard deaths and never
+    swallow its own failures silently."""
+
+    def test_shm_reclaimed_after_injected_crash_mid_collective(self):
+        """A rank dying by ``os._exit`` mid-collective (no unwind, no
+        atexit) must not leak its /dev/shm arena segment."""
+        before = _shm_segments()
+
+        def prog(comm):
+            try:
+                return comm.allreduce(np.full(8192, 1.0), algorithm="ring")
+            except CommAborted as exc:
+                return str(exc)
+
+        out = run_spmd(
+            4,
+            prog,
+            backend="process",
+            faults="crash@rank2:tag=#alg",
+            allow_failures=True,
+            detect_interval=0.2,
+            timeout=20.0,
+        )
+        assert isinstance(out[2], CommAborted)
+        assert _shm_segments() == before
+
+    def test_timeout_message_dumps_pending_inbox(self):
+        """Satellite diagnostics: the timeout abort names what *was*
+        waiting in the inbox so mismatched tags are obvious."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.ones(4), dest=1, tag="unwanted")
+                comm.barrier()
+                return None
+            try:
+                comm.recv(source=0, tag="wanted")
+            except CommAborted as exc:
+                comm.barrier()
+                return str(exc)
+
+        out = run_spmd(
+            2,
+            prog,
+            backend="process",
+            op_timeouts={"recv": 1.0},
+            timeout=20.0,
+            allow_failures=True,
+        )
+        msg = out[1]
+        assert "pending inbox" in msg
+        assert "'unwanted'" in msg and "source=0" in msg
+
+    def test_teardown_logs_warnings_instead_of_swallowing(self, caplog):
+        """Unit test for the satellite: a queue close or arena unlink
+        failure produces a warning naming the resource, not silence."""
+        import logging
+
+        from repro.comm import proc_backend as pb
+
+        class BadQueue:
+            def close(self):
+                raise OSError("queue handle already torn down")
+
+            def cancel_join_thread(self):  # pragma: no cover - close raises
+                pass
+
+        class BadArena:
+            name = "repro_shm_testdead"
+
+            def destroy(self):
+                raise FileNotFoundError("segment vanished")
+
+        state = object.__new__(pb._SharedJobState)
+        state.queues = [BadQueue()]
+        state.results = BadQueue()
+        state.arena = BadArena()
+
+        with caplog.at_level(logging.WARNING, logger="repro.comm.proc_backend"):
+            state.teardown()  # must not raise
+
+        messages = [r.message for r in caplog.records]
+        assert sum("failed to close queue" in m for m in messages) == 2
+        assert any(
+            "failed to unlink arena" in m and "repro_shm_testdead" in m
+            for m in messages
+        )
