@@ -1,0 +1,218 @@
+"""Hierarchical allreduce on a two-tier topology: inter-node traffic and
+model agreement.
+
+A 2-logical-host × 2-rank layout (``REPRO_HOSTMAP``-style ``"0,1:A
+2,3:B"``) is imposed on one machine and a per-rank allreduce is measured
+three ways for each payload size:
+
+* **flat ring** — bandwidth-optimal, but topology-blind: every schedule
+  edge that crosses the host boundary pays inter-node cost (and the
+  traffic is *asymmetric*: the ranks adjacent to the boundary carry it
+  all);
+* **hierarchical** — intra-node ring reduce-scatter, inter-node exchange
+  of the owned ``n/k`` segment between node counterparts, intra-node ring
+  allgather.  Same total volume ``2n(p-1)/p``, but the inter-node wire
+  carries only ``allreduce_wire_bytes(m, n/k)`` per rank, uniformly;
+* **model** — :func:`hierarchical_inter_wire_bytes` must equal the
+  measured inter-node bytes *exactly* (payloads divisible by ``p`` keep
+  the chunk table uniform), on two independent counters: the schedule
+  runner's ``wire_sent_inter`` tally (thread backend) and the socket
+  backend's TCP payload-byte transport counter.
+
+Both agreements and the hierarchical < flat-ring reduction are asserted,
+not just reported — this benchmark doubles as the acceptance gate for the
+two-level schedules.  Emits ``benchmarks/results/BENCH_hierarchical.json``
+(smoke runs write ``BENCH_hierarchical_smoke.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from time import perf_counter
+
+import numpy as np
+
+from repro.comm import (
+    TwoTierTopology,
+    allreduce_wire_bytes,
+    hierarchical_inter_wire_bytes,
+    run_spmd,
+    select_inter_algorithm,
+)
+
+try:
+    from benchmarks.common import RESULTS_DIR, render_table
+except ImportError:
+    from common import RESULTS_DIR, render_table
+
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_hierarchical.json")
+
+HOSTMAP = "0,1:A 2,3:B"
+NRANKS = 4
+NNODES = 2
+RANKS_PER_NODE = 2
+
+FULL_SIZES = (64 << 10, 1 << 20)  # bytes; divisible by p
+SMOKE_SIZES = (64 << 10,)
+
+
+def _measure_prog(comm, algorithm: str, n_elems: int, iters: int):
+    """Per-rank (inter bytes, total bytes, seconds/op) for one algorithm."""
+    x = np.ones(n_elems, dtype=np.float32)
+    comm.allreduce(x, algorithm=algorithm)  # warm-up
+    comm.stats.reset()
+    comm.barrier()
+    t0 = perf_counter()
+    for _ in range(iters):
+        comm.allreduce(x, algorithm=algorithm)
+    elapsed = (perf_counter() - t0) / iters
+    return (
+        comm.stats.total_wire_sent_inter("allreduce") // iters,
+        comm.stats.total_wire_sent("allreduce") // iters,
+        elapsed,
+    )
+
+
+def _socket_prog(comm, n_elems: int):
+    """(tcp payload bytes, CommStats inter bytes) for one hierarchical op."""
+    x = np.ones(n_elems, dtype=np.float32)
+    before = comm._world.transport["tcp_payload_bytes"]
+    comm.stats.reset()
+    comm.allreduce(x, algorithm="hierarchical")
+    tcp = comm._world.transport["tcp_payload_bytes"] - before
+    return tcp, comm.stats.total_wire_sent_inter("allreduce")
+
+
+def measure_size(nbytes: int, iters: int, check_socket: bool = True) -> dict:
+    assert nbytes % (NRANKS * 4) == 0, "payload must be divisible by p"
+    n_elems = nbytes // 4
+    topo = TwoTierTopology(NNODES, RANKS_PER_NODE)
+    inter_alg = select_inter_algorithm(NNODES, nbytes / RANKS_PER_NODE)
+    model_inter = int(hierarchical_inter_wire_bytes(nbytes, topo, inter_alg))
+    model_total = int(allreduce_wire_bytes(NRANKS, nbytes, "ring"))
+
+    flat = run_spmd(
+        NRANKS, _measure_prog, "ring", n_elems, iters,
+        hostmap=HOSTMAP, timeout=120,
+    )
+    hier = run_spmd(
+        NRANKS, _measure_prog, "hierarchical", n_elems, iters,
+        hostmap=HOSTMAP, timeout=120,
+    )
+
+    flat_inter_max = max(r[0] for r in flat)
+    flat_inter_sum = sum(r[0] for r in flat)
+    hier_inter = [r[0] for r in hier]
+
+    # Acceptance: fewer inter-node bytes per rank than the flat ring, at
+    # identical total volume, and the model's prediction is exact.
+    assert max(hier_inter) < flat_inter_max, (
+        f"hierarchical moved {max(hier_inter)} inter bytes/rank, "
+        f"flat ring {flat_inter_max}"
+    )
+    assert hier_inter == [model_inter] * NRANKS, (
+        f"modeled inter bytes {model_inter} != measured {hier_inter}"
+    )
+    assert all(r[1] == model_total for r in hier), (
+        f"total volume {[r[1] for r in hier]} != ring-optimal {model_total}"
+    )
+
+    socket_ok = None
+    if check_socket:
+        out = run_spmd(
+            NRANKS, _socket_prog, n_elems,
+            backend="socket", hostmap=HOSTMAP, timeout=120,
+        )
+        for tcp, inter in out:
+            assert tcp == inter == model_inter, (
+                f"socket tcp_payload_bytes {tcp} != CommStats inter {inter} "
+                f"!= model {model_inter}"
+            )
+        socket_ok = True
+
+    return {
+        "nbytes": nbytes,
+        "inter_algorithm": inter_alg.value,
+        "model_inter_bytes_per_rank": model_inter,
+        "flat_ring_inter_bytes_max_rank": flat_inter_max,
+        "flat_ring_inter_bytes_total": flat_inter_sum,
+        "hier_inter_bytes_per_rank": model_inter,
+        "inter_reduction_vs_flat_max": flat_inter_max / max(model_inter, 1),
+        "total_bytes_per_rank": model_total,
+        "flat_ring_s": max(r[2] for r in flat),
+        "hier_s": max(r[2] for r in hier),
+        "modeled_equals_measured": True,
+        "socket_counter_agrees": socket_ok,
+    }
+
+
+def generate_hierarchical(
+    sizes=FULL_SIZES,
+    iters: int = 5,
+    check_socket: bool = True,
+    json_path: str = JSON_PATH,
+):
+    results = [measure_size(n, iters, check_socket) for n in sizes]
+
+    rows = [
+        (
+            f"{r['nbytes'] // 1024} KiB",
+            r["inter_algorithm"],
+            f"{r['flat_ring_inter_bytes_max_rank']}",
+            f"{r['hier_inter_bytes_per_rank']}",
+            f"{r['inter_reduction_vs_flat_max']:.1f}x",
+            "exact",
+            "yes" if r["socket_counter_agrees"] else "skipped",
+        )
+        for r in results
+    ]
+    table = render_table(
+        f"Hierarchical allreduce on {NNODES} logical hosts x "
+        f"{RANKS_PER_NODE} ranks (hostmap '{HOSTMAP}'): inter-node bytes "
+        "per rank, flat ring vs two-level schedule",
+        ("payload", "inter alg", "flat ring (max)", "hierarchical",
+         "reduction", "model", "socket agrees"),
+        rows,
+    )
+
+    data = {
+        "benchmark": "hierarchical",
+        "hostmap": HOSTMAP,
+        "nranks": NRANKS,
+        "nnodes": NNODES,
+        "ranks_per_node": RANKS_PER_NODE,
+        "sizes": results,
+    }
+    os.makedirs(os.path.dirname(json_path), exist_ok=True)
+    with open(json_path, "w") as f:
+        json.dump(data, f, indent=1)
+    table += f"\n[JSON written to {json_path}]"
+    return table, data
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="64 KiB only, 2 iterations; JSON to a scratch path",
+    )
+    args = parser.parse_args()
+    try:
+        from benchmarks.common import emit
+    except ImportError:
+        from common import emit
+    if args.smoke:
+        emit("bench_hierarchical", generate_hierarchical(
+            sizes=SMOKE_SIZES, iters=2,
+            json_path=os.path.join(
+                RESULTS_DIR, "BENCH_hierarchical_smoke.json"
+            ),
+        )[0])
+    else:
+        emit("bench_hierarchical", generate_hierarchical()[0])
+
+
+if __name__ == "__main__":
+    main()

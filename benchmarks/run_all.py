@@ -40,6 +40,7 @@ import bench_halo_overlap as bh  # noqa: E402
 import bench_shuffle_overlap as bs  # noqa: E402
 import bench_collectives as bc  # noqa: E402
 import bench_fault_recovery as bfr  # noqa: E402
+import bench_hierarchical as bhi  # noqa: E402
 
 
 def run_smoke(backends: tuple[str, ...] = ("thread",)) -> None:
@@ -70,6 +71,10 @@ def run_smoke(backends: tuple[str, ...] = ("thread",)) -> None:
         detect_intervals=bfr.SMOKE_INTERVALS, steps=2, repeats=1,
         json_path=os.path.join(
             results, "BENCH_fault_recovery_smoke.json"))[0])
+    emit("bench_hierarchical", bhi.generate_hierarchical(
+        sizes=bhi.SMOKE_SIZES, iters=2,
+        json_path=os.path.join(
+            results, "BENCH_hierarchical_smoke.json"))[0])
     print("\nSmoke subset regenerated under benchmarks/results/.")
 
 
@@ -93,6 +98,7 @@ def run_full() -> None:
     emit("bench_shuffle_overlap", bs.generate_shuffle_overlap()[0])
     emit("bench_collectives", bc.generate_collectives()[0])
     emit("bench_fault_recovery", bfr.generate_fault_recovery()[0])
+    emit("bench_hierarchical", bhi.generate_hierarchical()[0])
     print("\nAll tables and figures regenerated under benchmarks/results/.")
 
 

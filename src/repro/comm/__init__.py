@@ -11,6 +11,13 @@ LBANN implementation with a functionally equivalent runtime:
   process per rank with a shared-memory arena transport, so ranks execute
   in genuine parallel.  Select it with ``run_spmd(..., backend="process")``
   or globally via ``REPRO_BACKEND=process``.
+* :mod:`repro.comm.socket_backend` — the **socket** backend: forked ranks
+  grouped into logical nodes by a :class:`HostMap`
+  (``run_spmd(..., hostmap="0,1:A 2,3:B")`` or ``REPRO_HOSTMAP``);
+  same-node ranks use the shared-memory transport, cross-node ranks talk
+  TCP.  The node layout also drives the communicator's *hierarchical*
+  collectives (intra-node ring + inter-node exchange), selected by the
+  two-tier cost model (:class:`TwoTierTopology`).
 * :mod:`repro.comm.communicator` — the :class:`Communicator` API
   (``send``/``recv``/``sendrecv``/``allreduce``/``allgather``/``alltoall``/
   ``bcast``/``barrier``/``split``), mirroring mpi4py's lower-case object
@@ -50,7 +57,9 @@ from repro.comm.faults import (
     JobConfig,
 )
 from repro.comm import proc_backend as _proc_backend  # registers "process"
+from repro.comm import socket_backend as _socket_backend  # registers "socket"
 from repro.comm.buffers import BufferPool
+from repro.comm.hostmap import HOSTMAP_ENV, HostMap, resolve_hostmap
 from repro.comm.communicator import (
     COLLECTIVE_ALG_ENV,
     Communicator,
@@ -61,6 +70,8 @@ from repro.comm.stats import CommStats
 from repro.comm.collective_models import (
     AllreduceAlgorithm,
     DIRECT_ALGORITHM,
+    HIERARCHICAL_ALGORITHM,
+    TwoTierTopology,
     allgather_time,
     allreduce_time,
     allreduce_wire_bytes,
@@ -70,9 +81,12 @@ from repro.comm.collective_models import (
     bucketed_allreduce_time,
     pt2pt_time,
     reduce_scatter_time,
+    hierarchical_allreduce_time,
+    hierarchical_inter_wire_bytes,
     resolve_allreduce_algorithm,
     segmented_allreduce_time,
     select_allreduce_algorithm,
+    select_inter_algorithm,
 )
 
 __all__ = [
@@ -87,14 +101,22 @@ __all__ = [
     "FAULTS_ENV",
     "FaultPlan",
     "FaultSpec",
+    "HIERARCHICAL_ALGORITHM",
+    "HOSTMAP_ENV",
+    "HostMap",
     "INJECTED_CRASH_EXIT",
     "InjectedCrash",
     "InjectedFault",
     "JobConfig",
     "Request",
+    "TwoTierTopology",
     "allgather_time",
     "allreduce_wire_bytes",
+    "hierarchical_allreduce_time",
+    "hierarchical_inter_wire_bytes",
     "resolve_allreduce_algorithm",
+    "resolve_hostmap",
+    "select_inter_algorithm",
     "available_backends",
     "default_backend",
     "register_backend",

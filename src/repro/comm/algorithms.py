@@ -260,6 +260,103 @@ def _compile_recursive_doubling(p: int) -> tuple[tuple[Step, ...], ...]:
     return tuple(tuple(s) for s in scheds)
 
 
+@lru_cache(maxsize=None)
+def compile_hierarchical_allreduce(
+    nodes: tuple[tuple[int, ...], ...], inter_algorithm: str = "ring"
+) -> tuple[tuple[Step, ...], ...]:
+    """Two-level allreduce schedules for a node-grouped communicator.
+
+    ``nodes`` is the logical-node layout: a tuple of ``m`` node groups of
+    ``k`` comm ranks each (uniform; every comm rank ``0..p-1`` appears
+    exactly once).  The buffer is split into the usual ``p = k·m`` chunks;
+    chunk ``c`` belongs to *window* ``c // m`` — local rank ``i`` of every
+    node ends phase 1 owning window ``(i + 1) % k`` (``m`` consecutive
+    chunks).  Three phases compose the allreduce:
+
+    1. **intra-node ring reduce-scatter** over the ``k`` node-local ranks,
+       moving whole windows (``(k-1)/k · n`` bytes per rank, all intra);
+    2. **inter-node allreduce** among the ``m`` same-local-index
+       counterparts on the owned window, running the *flat*
+       ``inter_algorithm`` schedule (``compile_allreduce(m, ·)``) shifted
+       into the window — the only phase that crosses the node boundary,
+       ``2(n/k)(m-1)/m`` bytes per rank for the inter ring;
+    3. **intra-node ring allgather** of the finished windows.
+
+    The total per-rank volume equals the flat ring's bandwidth-optimal
+    ``2n(p-1)/p``; what changes is *where* the bytes flow — inter-node
+    traffic drops from the flat ring's ``2n(p-1)/p`` on every
+    node-boundary edge to ``2(n/k)(m-1)/m`` uniformly.  The reduction
+    order (intra ring fold per window, then the inter algorithm's
+    documented order over node partials) is a pure function of
+    ``(nodes, inter_algorithm)``, so results are deterministic across
+    runs and backends — matching ``"direct"`` to floating-point
+    *allclose*, like every other schedule.
+    """
+    if not nodes:
+        raise ValueError("hierarchical allreduce needs at least one node")
+    k = len(nodes[0])
+    m = len(nodes)
+    if any(len(g) != k for g in nodes):
+        raise ValueError(
+            f"hierarchical allreduce needs a uniform layout; got node sizes "
+            f"{[len(g) for g in nodes]}"
+        )
+    p = k * m
+    flat = sorted(r for g in nodes for r in g)
+    if flat != list(range(p)):
+        raise ValueError(
+            f"node groups must cover comm ranks 0..{p - 1} exactly once; "
+            f"got {flat}"
+        )
+    if inter_algorithm not in REDUCTION_ALGORITHMS:
+        raise ValueError(
+            f"unknown inter-node algorithm {inter_algorithm!r}; "
+            f"expected one of {REDUCTION_ALGORITHMS}"
+        )
+    inter = compile_allreduce(m, inter_algorithm)
+    scheds: list[list[Step]] = [[] for _ in range(p)]
+    for u, group in enumerate(nodes):
+        for i, r in enumerate(group):
+            steps = scheds[r]
+            right, left = group[(i + 1) % k], group[(i - 1) % k]
+            # Phase 1: intra-node ring reduce-scatter over whole windows
+            # (window c is folded in node-local ring order starting at
+            # local rank c, mirroring _compile_ring's chunk discipline).
+            for s in range(k - 1):
+                c_send = (i - s) % k
+                c_recv = (i - s - 1) % k
+                steps.append(Step("send", right, c_send * m, (c_send + 1) * m))
+                steps.append(
+                    Step(
+                        "recv_reduce", left, c_recv * m, (c_recv + 1) * m,
+                        acc_first=False,
+                    )
+                )
+            # Phase 2: the owned window's inter-node allreduce — the flat
+            # m-rank schedule with chunks shifted into the window and
+            # position peers mapped to the same-local-index counterparts.
+            w = (i + 1) % k if k > 1 else 0
+            base = w * m
+            counterparts = tuple(nodes[j][i] for j in range(m))
+            for st in inter[u]:
+                steps.append(
+                    Step(
+                        st.kind,
+                        counterparts[st.peer],
+                        st.lo + base,
+                        st.hi + base,
+                        st.acc_first,
+                    )
+                )
+            # Phase 3: intra-node ring allgather of the finished windows.
+            for s in range(k - 1):
+                c_send = (i + 1 - s) % k
+                c_recv = (i - s) % k
+                steps.append(Step("send", right, c_send * m, (c_send + 1) * m))
+                steps.append(Step("recv", left, c_recv * m, (c_recv + 1) * m))
+    return tuple(tuple(s) for s in scheds)
+
+
 # ---------------------------------------------------------------------------
 # Binomial trees for the rooted collectives
 # ---------------------------------------------------------------------------
@@ -356,6 +453,7 @@ class ScheduleRunner:
         seq: int,
         offsets: tuple[int, ...] | None = None,
         owns_buffer: bool = False,
+        inter_peers: tuple[bool, ...] | None = None,
     ) -> None:
         self._comm = comm
         self._opname = opname
@@ -379,8 +477,16 @@ class ScheduleRunner:
         self._tag = comm._tag_key(("#alg", seq))
         self._seq = seq
         self._pos = 0
+        # ``inter_peers[c]`` flags comm rank ``c`` as living on a different
+        # logical node (per the world's host map): bytes exchanged with such
+        # peers are additionally tallied in the ``*_inter`` counters, which
+        # the hierarchical benchmark checks against the two-tier cost
+        # model's predicted inter-node wire volume.
+        self._inter = inter_peers
         self.wire_sent = 0
         self.wire_recv = 0
+        self.wire_sent_inter = 0
+        self.wire_recv_inter = 0
 
     # -- step primitives ---------------------------------------------------
     def _range(self, step: Step) -> tuple[int, int]:
@@ -396,6 +502,8 @@ class ScheduleRunner:
             comm.world_rank, comm._members[step.peer], self._tag, view
         )
         self.wire_sent += view.nbytes
+        if self._inter is not None and self._inter[step.peer]:
+            self.wire_sent_inter += view.nbytes
 
     def _apply(self, step: Step, payload: np.ndarray) -> None:
         a, b = self._range(step)
@@ -407,6 +515,8 @@ class ScheduleRunner:
                 self._fn(seg, payload) if step.acc_first else self._fn(payload, seg)
             )
         self.wire_recv += payload.nbytes
+        if self._inter is not None and self._inter[step.peer]:
+            self.wire_recv_inter += payload.nbytes
 
     def _describe(self) -> str:
         # ``World.collect`` appends "(world rank dest <- source, tag=...)",

@@ -81,6 +81,7 @@ from repro.comm.faults import (
     FaultPlan,
     JobConfig,
 )
+from repro.comm.hostmap import HOSTMAP_ENV, HostMap, resolve_hostmap
 
 logger = logging.getLogger(__name__)
 
@@ -221,6 +222,21 @@ class BaseWorld(abc.ABC):
         """The timeout bound for one blocked operation named ``opname``."""
         return self.config.timeout_for(opname)
 
+    @property
+    def hostmap(self) -> "HostMap | None":
+        """The job's logical-node layout (``None`` = all one node)."""
+        return self.config.hostmap
+
+    def node_of(self, world_rank: int) -> int:
+        """Logical node index of a world rank (0 when no host map is set).
+
+        Drives hierarchical collective selection: two ranks with equal
+        ``node_of`` share the fast intra-node transport domain, differing
+        values mean traffic between them crosses the inter-node wire.
+        """
+        hm = self.config.hostmap
+        return 0 if hm is None else hm.node_of(world_rank)
+
     @abc.abstractmethod
     def deliver(self, source: int, dest: int, tag: Any, payload: Any) -> None: ...
 
@@ -309,6 +325,7 @@ def run_spmd(
     faults: "FaultPlan | str | None" = None,
     allow_failures: bool = False,
     detect_interval: float | None = None,
+    hostmap: "HostMap | str | None" = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` ranks; return results.
@@ -343,6 +360,13 @@ def run_spmd(
     * ``detect_interval`` paces the process backend's failure detector
       (child-exit watcher + heartbeats; env ``REPRO_DETECT_INTERVAL``);
       a dead rank aborts the job within about one interval.
+    * ``hostmap`` (a :class:`~repro.comm.hostmap.HostMap` or a spec string
+      like ``"0,1:A 2,3:B"``; env ``REPRO_HOSTMAP``) groups ranks into
+      logical nodes: the socket backend routes intra-node traffic over
+      shared memory and inter-node traffic over TCP, and the collective
+      layer selects hierarchical two-level schedules when the layout spans
+      nodes.  ``None`` leaves each backend's default layout (thread and
+      process: all one node; socket: one node per rank).
 
     For ``nranks == 1`` the function is invoked directly on the calling
     thread regardless of backend, which keeps single-rank tests cheap and
@@ -364,6 +388,7 @@ def run_spmd(
         faults=faults,
         allow_failures=allow_failures,
         detect_interval=detect_interval,
+        hostmap=resolve_hostmap(hostmap, os.environ.get(HOSTMAP_ENV)),
     )
     if nranks == 1:
         from repro.comm.communicator import Communicator

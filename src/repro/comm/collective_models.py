@@ -34,6 +34,11 @@ class AllreduceAlgorithm(str, Enum):
 #: measured traffic can be compared for the bitwise-reference mode too.
 DIRECT_ALGORITHM = "direct"
 
+#: The two-level (intra-node reduce-scatter → inter-node allreduce →
+#: intra-node allgather) composition: selected when a
+#: :class:`TwoTierTopology` says the inter-node wire is the bottleneck.
+HIERARCHICAL_ALGORITHM = "hierarchical"
+
 #: Message size (bytes) above which bandwidth-optimal algorithms win.
 #: Thakur et al. use 2 KiB as the small/large cutoff for allreduce.
 SMALL_MESSAGE_CUTOFF: int = 2048
@@ -49,6 +54,46 @@ class LinkParameters:
 
     def pt2pt(self, nbytes: float) -> float:
         return self.alpha + self.beta * nbytes
+
+
+#: Default intra-node link: NVLink2-class (~47 GB/s effective, CUDA-IPC
+#: launch latency).  Shared with :class:`repro.perfmodel.machine.MachineSpec`
+#: so the communicator's topology-aware selection and the performance model
+#: price the same wire.
+DEFAULT_INTRA_LINK = LinkParameters(
+    alpha=4.0e-6, beta=1.0 / 47.0e9, gamma=1.0 / 500.0e9
+)
+
+#: Default inter-node link: dual-rail IB EDR-class (~21 GB/s per node).
+DEFAULT_INTER_LINK = LinkParameters(
+    alpha=6.0e-6, beta=1.0 / 21.0e9, gamma=1.0 / 500.0e9
+)
+
+
+@dataclass(frozen=True)
+class TwoTierTopology:
+    """Two-level bandwidth-latency model: ``nnodes`` × ``ranks_per_node``.
+
+    The hierarchical composition only makes sense on a *uniform* layout
+    (the same rank count on every node), which is what
+    :meth:`Communicator.hierarchy` hands over; degenerate layouts (one
+    node, or one rank per node) are priced as flat collectives on the
+    corresponding link.
+    """
+
+    nnodes: int
+    ranks_per_node: int
+    intra: LinkParameters = DEFAULT_INTRA_LINK
+    inter: LinkParameters = DEFAULT_INTER_LINK
+
+    @property
+    def size(self) -> int:
+        return self.nnodes * self.ranks_per_node
+
+    @property
+    def hierarchical(self) -> bool:
+        """True when both tiers are non-trivial (m >= 2 nodes, k >= 2 ranks)."""
+        return self.nnodes >= 2 and self.ranks_per_node >= 2
 
 
 def pt2pt_time(nbytes: float, link: LinkParameters) -> float:
@@ -105,13 +150,31 @@ def allreduce_time(
     raise ValueError(f"unknown allreduce algorithm {algorithm!r}")
 
 
-def select_allreduce_algorithm(p: int, nbytes: float) -> AllreduceAlgorithm:
+def select_allreduce_algorithm(
+    p: int, nbytes: float, topology: "TwoTierTopology | None" = None
+) -> AllreduceAlgorithm | str:
     """Thakur-style selection: latency-optimal for small n, bandwidth for large.
 
     This is the single selection rule shared by the cost model, the
     simulator, and the engine's ``algorithm="auto"`` collectives, so the
     algorithm the model prices is the one the wire actually runs.
+
+    With a hierarchical ``topology`` (>= 2 nodes of >= 2 ranks) the
+    two-tier model is consulted first: when the composed two-level
+    schedule (:func:`hierarchical_allreduce_time`) beats every flat
+    algorithm priced on the bottleneck inter-node link, the string
+    :data:`HIERARCHICAL_ALGORITHM` is returned instead of a flat
+    :class:`AllreduceAlgorithm` member.  One-node (or one-rank-per-node)
+    topologies degenerate to the flat rule, so a host map never *changes*
+    single-node selection.
     """
+    if topology is not None and topology.hierarchical and p == topology.size:
+        flat = min(
+            allreduce_time(p, nbytes, topology.inter, alg)
+            for alg in AllreduceAlgorithm
+        )
+        if hierarchical_allreduce_time(nbytes, topology) < flat:
+            return HIERARCHICAL_ALGORITHM
     if nbytes < SMALL_MESSAGE_CUTOFF:
         return AllreduceAlgorithm.RECURSIVE_DOUBLING
     if p & (p - 1) == 0:  # power of two: halving/doubling applies directly
@@ -119,21 +182,95 @@ def select_allreduce_algorithm(p: int, nbytes: float) -> AllreduceAlgorithm:
     return AllreduceAlgorithm.RING
 
 
+def select_inter_algorithm(
+    nnodes: int, nbytes: float
+) -> AllreduceAlgorithm:
+    """Flat algorithm for the inter-node stage of a hierarchical allreduce.
+
+    The inter-node exchange is itself an allreduce over ``nnodes`` node
+    leaders on a segment of ``nbytes``, so the plain Thakur rule applies.
+    """
+    alg = select_allreduce_algorithm(nnodes, nbytes)
+    assert isinstance(alg, AllreduceAlgorithm)
+    return alg
+
+
+def hierarchical_allreduce_time(
+    nbytes: float,
+    topology: TwoTierTopology,
+    inter_algorithm: AllreduceAlgorithm | str | None = None,
+) -> float:
+    """AR time of the two-level composition on a two-tier topology.
+
+    Intra-node ring reduce-scatter over ``k`` ranks, inter-node allreduce
+    of the ``n/k`` segment over ``m`` node counterparts on the slow link,
+    intra-node ring allgather — the composition
+    :func:`repro.comm.algorithms.compile_hierarchical_allreduce` executes.
+    Degenerate topologies collapse to the flat model on the active link.
+    """
+    k, m = topology.ranks_per_node, topology.nnodes
+    if nbytes <= 0 or topology.size <= 1:
+        return 0.0
+    if m <= 1:
+        return allreduce_time(k, nbytes, topology.intra, inter_algorithm)
+    if k <= 1:
+        return allreduce_time(m, nbytes, topology.inter, inter_algorithm)
+    intra = topology.intra
+    frac = (k - 1) / k
+    rs = (k - 1) * intra.alpha + frac * nbytes * (intra.beta + intra.gamma)
+    ag = (k - 1) * intra.alpha + frac * nbytes * intra.beta
+    mid = allreduce_time(m, nbytes / k, topology.inter, inter_algorithm)
+    return rs + mid + ag
+
+
+def hierarchical_inter_wire_bytes(
+    nbytes: float,
+    topology: TwoTierTopology,
+    inter_algorithm: AllreduceAlgorithm | str | None = None,
+) -> float:
+    """Per-rank bytes sent on the *inter-node* wire by one hierarchical
+    allreduce of ``n`` bytes.
+
+    Every rank leads the inter-node exchange for its owned ``n/k``
+    segment, so inter traffic is uniform across ranks:
+    ``allreduce_wire_bytes(m, n/k)`` — e.g. ``2(n/k)(m-1)/m`` for the
+    inter ring, versus the flat ring's ``2n(p-1)/p`` crossing the node
+    boundary on every edge rank.  The measured counterpart is the
+    schedule runner's ``wire_sent_inter`` counter and the socket
+    backend's TCP payload-byte transport counter.
+    """
+    k, m = topology.ranks_per_node, topology.nnodes
+    if nbytes <= 0 or m <= 1:
+        return 0.0
+    if k <= 1:
+        return allreduce_wire_bytes(m, nbytes, inter_algorithm)
+    if inter_algorithm is None:
+        inter_algorithm = select_inter_algorithm(m, nbytes / k)
+    return allreduce_wire_bytes(m, nbytes / k, inter_algorithm)
+
+
 def resolve_allreduce_algorithm(
-    algorithm: AllreduceAlgorithm | str | None, p: int, nbytes: float
+    algorithm: AllreduceAlgorithm | str | None,
+    p: int,
+    nbytes: float,
+    topology: "TwoTierTopology | None" = None,
 ) -> str:
     """Normalize an ``algorithm=`` knob value to a concrete algorithm name.
 
-    ``None``/``"auto"`` apply :func:`select_allreduce_algorithm`;
-    ``"direct"`` passes through; anything else must name an
-    :class:`AllreduceAlgorithm` member (``ValueError`` otherwise).
+    ``None``/``"auto"`` apply :func:`select_allreduce_algorithm` (which may
+    pick ``"hierarchical"`` when a hierarchical ``topology`` is supplied);
+    ``"direct"``/``"hierarchical"`` pass through; anything else must name
+    an :class:`AllreduceAlgorithm` member (``ValueError`` otherwise).
     """
     if isinstance(algorithm, AllreduceAlgorithm):
         return algorithm.value
     if algorithm in (None, "auto"):
-        return select_allreduce_algorithm(p, nbytes).value
-    if algorithm == DIRECT_ALGORITHM:
-        return DIRECT_ALGORITHM
+        selected = select_allreduce_algorithm(p, nbytes, topology)
+        if isinstance(selected, AllreduceAlgorithm):
+            return selected.value
+        return selected
+    if algorithm in (DIRECT_ALGORITHM, HIERARCHICAL_ALGORITHM):
+        return algorithm
     return AllreduceAlgorithm(algorithm).value
 
 

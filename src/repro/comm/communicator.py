@@ -54,7 +54,12 @@ import numpy as np
 from repro.comm import algorithms as _alg
 from repro.comm.backend import BaseWorld, GroupChannel
 from repro.comm.buffers import BufferPool
-from repro.comm.collective_models import resolve_allreduce_algorithm
+from repro.comm.collective_models import (
+    HIERARCHICAL_ALGORITHM,
+    TwoTierTopology,
+    resolve_allreduce_algorithm,
+    select_inter_algorithm,
+)
 from repro.comm.stats import CommStats
 
 _REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
@@ -73,7 +78,9 @@ _REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
 #: for an allreduce) leave that op on its own default resolution.
 COLLECTIVE_ALG_ENV = "REPRO_COLLECTIVE_ALG"
 
-_REDUCTION_ALG_CHOICES = {"auto", "direct", *_alg.REDUCTION_ALGORITHMS}
+_REDUCTION_ALG_CHOICES = {
+    "auto", "direct", HIERARCHICAL_ALGORITHM, *_alg.REDUCTION_ALGORITHMS
+}
 _TREE_ALG_CHOICES = {"auto", "direct", "binomial"}
 _RS_ALG_CHOICES = {"auto", "direct", "ring"}
 #: Every name the env override may legally carry; anything else is a typo
@@ -337,7 +344,11 @@ class _ScheduleRequest(Request):
     def _complete(self, result: Any, waited: float) -> None:
         comm = self._comm
         runner = self._runner
-        comm.stats.record_wire(self._opname, runner.wire_sent, runner.wire_recv)
+        comm.stats.record_wire(
+            self._opname, runner.wire_sent, runner.wire_recv,
+            inter_sent=runner.wire_sent_inter,
+            inter_recv=runner.wire_recv_inter,
+        )
         overlapped = (perf_counter() - self._t_launch) - waited
         comm.stats.record_async(
             self._opname, payload_nbytes(result), waited, overlapped
@@ -401,6 +412,10 @@ class Communicator:
         self._alg_pool = BufferPool(max_buffers_per_key=4)
         #: In-flight algorithmic nonblocking collectives, in issue order.
         self._alg_inflight: list["_ScheduleRequest"] = []
+        #: Lazy caches for the node-hierarchy view of this communicator
+        #: (``False`` = not yet computed; the layout is immutable).
+        self._hierarchy_cache: Any = False
+        self._inter_flags_cache: tuple[bool, ...] | None = None
         self.stats: CommStats = world.rank_stats(members[rank])
 
     # -- construction -------------------------------------------------------
@@ -546,13 +561,83 @@ class Communicator:
                 name = env
         return name
 
+    # -- node hierarchy -------------------------------------------------------
+    def hierarchy(self) -> tuple[tuple[int, ...], ...] | None:
+        """This communicator's comm ranks grouped by logical node.
+
+        Groups follow the world's host map (:meth:`BaseWorld.node_of`),
+        ordered by node id with comm ranks ascending inside each group.
+        Returns ``None`` unless the layout is *usable* for a two-level
+        schedule: at least two nodes, at least two members per node, and
+        the same member count on every node.  Without a host map all
+        members share node 0, so flat single-machine runs see ``None``.
+        """
+        if self._hierarchy_cache is False:
+            groups: dict[int, list[int]] = {}
+            for comm_rank, member in enumerate(self._members):
+                groups.setdefault(self._world.node_of(member), []).append(comm_rank)
+            layout = tuple(tuple(groups[n]) for n in sorted(groups))
+            usable = (
+                len(layout) >= 2
+                and len(layout[0]) >= 2
+                and all(len(g) == len(layout[0]) for g in layout)
+            )
+            self._hierarchy_cache = layout if usable else None
+        return self._hierarchy_cache
+
+    def _two_tier(self) -> TwoTierTopology | None:
+        """Two-tier cost-model topology of this communicator, or ``None``."""
+        h = self.hierarchy()
+        if h is None:
+            return None
+        return TwoTierTopology(nnodes=len(h), ranks_per_node=len(h[0]))
+
+    def _inter_flags(self) -> tuple[bool, ...] | None:
+        """Per-comm-rank flag: does that member live on another node?
+
+        ``None`` when every member shares this rank's node (no inter-node
+        wire to meter) — the schedule runners then skip the inter tally.
+        """
+        if self._inter_flags_cache is None:
+            my_node = self._world.node_of(self.world_rank)
+            flags = tuple(
+                self._world.node_of(m) != my_node for m in self._members
+            )
+            self._inter_flags_cache = flags if any(flags) else ()
+        return self._inter_flags_cache or None
+
     def _resolve_reduction(self, algorithm: Any, payload: Any, opname: str) -> str:
         name = self._knob(algorithm, _REDUCTION_ALG_CHOICES, opname)
         if self.size == 1 or not _schedulable_array(payload):
             return "direct"
         if name == "auto":
+            return resolve_allreduce_algorithm(
+                "auto", self.size, payload.nbytes, self._two_tier()
+            )
+        if name == HIERARCHICAL_ALGORITHM and self.hierarchy() is None:
+            # Forced hierarchical without a usable node layout (no host
+            # map, non-uniform groups, or a single node): fall back to the
+            # flat model-driven choice rather than fail the collective.
             return resolve_allreduce_algorithm("auto", self.size, payload.nbytes)
         return name
+
+    def _reduction_runner(
+        self, opname: str, alg: str, value: Any, fn: Callable[[Any, Any], Any]
+    ) -> "_alg.ScheduleRunner":
+        """Build the schedule runner for one scheduled reduction."""
+        if alg == HIERARCHICAL_ALGORITHM:
+            h = self.hierarchy()
+            assert h is not None  # _resolve_reduction guarantees it
+            inter = select_inter_algorithm(
+                len(h), max(1.0, value.nbytes / len(h[0]))
+            )
+            steps = _alg.compile_hierarchical_allreduce(h, inter.value)[self.rank]
+        else:
+            steps = _alg.compile_allreduce(self.size, alg)[self.rank]
+        return _alg.ScheduleRunner(
+            self, opname, steps, value, fn, self._next_alg_seq(),
+            inter_peers=self._inter_flags(),
+        )
 
     def _resolve_tree(self, algorithm: Any, opname: str) -> str:
         name = self._knob(algorithm, _TREE_ALG_CHOICES, opname)
@@ -914,6 +999,14 @@ class Communicator:
           force one of the chunked point-to-point schedules
           (:mod:`repro.comm.algorithms`), ``2n(p-1)/p`` bytes per rank for
           the bandwidth-optimal pair;
+        * ``"hierarchical"`` — the two-level composition (intra-node ring
+          reduce-scatter → inter-node allreduce over same-local-index
+          counterparts → intra-node allgather), same ``2n(p-1)/p`` total
+          volume but only ``2(n/k)(m-1)/m`` of it on the inter-node wire.
+          Requires a usable node layout (:meth:`hierarchy`); without one
+          it falls back to the flat ``"auto"`` choice.  ``"auto"`` picks
+          it by itself when the world carries a host map and the two-tier
+          cost model favors the composition;
         * ``"direct"`` — the legacy deposit-combine exchange, folding in
           comm-rank order: the bitwise-reference mode (``n(p-1)`` per rank
           on a message-passing backend).
@@ -934,16 +1027,19 @@ class Communicator:
         if alg == "direct":
             result = self._collective(value, self._reduce_combine(fn), "allreduce")
             n = payload_nbytes(result)
+            inter_peers = sum(self._inter_flags() or ())
             self.stats.record_wire(
-                "allreduce", n * (self.size - 1), n * (self.size - 1)
+                "allreduce", n * (self.size - 1), n * (self.size - 1),
+                inter_sent=n * inter_peers, inter_recv=n * inter_peers,
             )
         else:
-            steps = _alg.compile_allreduce(self.size, alg)[self.rank]
-            runner = _alg.ScheduleRunner(
-                self, "allreduce", steps, value, fn, self._next_alg_seq()
-            )
+            runner = self._reduction_runner("allreduce", alg, value, fn)
             result = runner.finish()
-            self.stats.record_wire("allreduce", runner.wire_sent, runner.wire_recv)
+            self.stats.record_wire(
+                "allreduce", runner.wire_sent, runner.wire_recv,
+                inter_sent=runner.wire_sent_inter,
+                inter_recv=runner.wire_recv_inter,
+            )
         self.stats.record_collective("allreduce", payload_nbytes(result))
         return result
 
@@ -979,10 +1075,7 @@ class Communicator:
                 value, self._reduce_combine(fn), "iallreduce",
                 wire=(n * (self.size - 1), n * (self.size - 1)),
             )
-        steps = _alg.compile_allreduce(self.size, alg)[self.rank]
-        runner = _alg.ScheduleRunner(
-            self, "iallreduce", steps, value, fn, self._next_alg_seq()
-        )
+        runner = self._reduction_runner("iallreduce", alg, value, fn)
         return _ScheduleRequest(self, runner, "iallreduce")
 
     def reduce_scatter(
@@ -1030,13 +1123,16 @@ class Communicator:
                 self, "reduce_scatter", steps, flat, fn,
                 self._next_alg_seq(), offsets=tuple(offsets),
                 owns_buffer=True,  # the concatenation above is fresh
+                inter_peers=self._inter_flags(),
             )
             out = runner.finish()
             result = out[offsets[self.rank] : offsets[self.rank + 1]].reshape(
                 parts[self.rank].shape
             )
             self.stats.record_wire(
-                "reduce_scatter", runner.wire_sent, runner.wire_recv
+                "reduce_scatter", runner.wire_sent, runner.wire_recv,
+                inter_sent=runner.wire_sent_inter,
+                inter_recv=runner.wire_recv_inter,
             )
         else:
             # ``parts`` routing: each member receives only the pieces

@@ -318,6 +318,11 @@ class JobConfig:
     faults: FaultPlan | None = None
     allow_failures: bool = False
     detect_interval: float = 0.25
+    #: Optional :class:`~repro.comm.hostmap.HostMap` grouping ranks into
+    #: logical nodes: picks the socket backend's shared-memory-vs-TCP
+    #: routing and drives hierarchical collective selection on every
+    #: backend (``None`` = the backend's default layout).
+    hostmap: Any = None
 
     def timeout_for(self, opname: str) -> float:
         best: str | None = None

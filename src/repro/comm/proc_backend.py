@@ -225,6 +225,14 @@ class _SharedJobState:
         text = raw.split(b"\x00", 1)[0].decode("utf-8", "replace")
         return text or None
 
+    def post_fork_parent(self) -> None:
+        """Hook run in the parent once every child has been forked.
+
+        The base job state has nothing to release early; the socket
+        backend's subclass closes its copies of the pre-fork-bound
+        listening sockets here (the children own them from fork on).
+        """
+
     def teardown(self) -> None:
         """Parent-side cleanup: release queues, unlink the arena.
 
@@ -584,6 +592,18 @@ class ProcessWorld(BaseWorld):
             "arena_full_fallbacks": 0,
         }
 
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        """Post-fork setup inside the child, before the rank function runs.
+
+        The process backend's transport (queues + arena) is fully inherited
+        from the parent, so there is nothing to do; the socket backend
+        overrides this to establish its inter-node TCP mesh.
+        """
+
+    def shutdown(self, ok: bool) -> None:
+        """Pre-exit teardown inside the child (``ok`` = rank succeeded)."""
+
     @property
     def aborted(self) -> bool:
         return self._shared.abort_event.is_set()
@@ -688,11 +708,12 @@ def _child_main(
     fn: Callable[..., Any],
     args: tuple,
     kwargs: dict,
+    world_cls: type = None,  # type: ignore[assignment]
 ) -> None:
     """Rank entry point in the forked child."""
     from repro.comm.communicator import Communicator
 
-    world = ProcessWorld(shared, rank)
+    world = (world_cls or ProcessWorld)(shared, rank)
     threading.Thread(
         target=_heartbeat_loop,
         args=(shared, rank),
@@ -701,6 +722,7 @@ def _child_main(
     ).start()
     status = "ok"
     try:
+        world.start()
         comm = Communicator._world_comm(world, rank)
         result = fn(comm, *args, **kwargs)
         try:
@@ -739,6 +761,13 @@ def _child_main(
             blob = pickle.dumps(
                 (CommAborted(f"rank {rank}: {type(exc).__name__}: {exc}"), tb)
             )
+    try:
+        world.shutdown(status == "ok")
+    except Exception as exc:  # pragma: no cover - depends on host
+        logger.warning(
+            "world rank %d: transport shutdown failed: %s: %s",
+            rank, type(exc).__name__, exc,
+        )
     if status == "ok":
         # A fast rank may exit while its queue feeder threads still hold
         # undelivered messages (e.g. fire-and-forget nonblocking deposits a
@@ -755,14 +784,22 @@ def _child_main(
     shared.results.put((rank, status, blob))
 
 
-def _run_spmd_processes(
+def _launch_forked(
     nranks: int,
     fn: Callable[..., Any],
     args: tuple,
     kwargs: dict,
     config: JobConfig,
+    shared_factory: Callable[..., _SharedJobState] = _SharedJobState,
+    child_main: Callable[..., None] = _child_main,
 ) -> list[Any]:
-    """Process-backend launcher: fork one child per rank, gather results."""
+    """Generic forked-children launcher: spawn one child per rank, run the
+    failure detector, gather and decode results.
+
+    The process and socket backends share this parent loop; they differ
+    only in the shared state they build pre-fork (``shared_factory``) and
+    the world the children construct (``child_main``).
+    """
     import multiprocessing as mp
 
     try:
@@ -773,7 +810,7 @@ def _run_spmd_processes(
             "use backend='thread' on this platform"
         ) from None
 
-    shared = _SharedJobState(ctx, nranks, config)
+    shared = shared_factory(ctx, nranks, config)
     detect = max(0.02, config.detect_interval)
     # A heartbeat is "stale" well past its refresh period; generous slack
     # keeps a scheduler hiccup from flagging a healthy rank.
@@ -787,12 +824,13 @@ def _run_spmd_processes(
     try:
         for rank in range(nranks):
             p = ctx.Process(
-                target=_child_main,
+                target=child_main,
                 args=(shared, rank, fn, args, kwargs),
                 name=f"spmd-rank-{rank}",
             )
             p.start()
             procs.append(p)
+        shared.post_fork_parent()
 
         # `timeout` bounds individual blocked operations (enforced inside
         # the ranks, exactly as on the thread backend) — it is NOT a job
@@ -900,6 +938,17 @@ def _run_spmd_processes(
     if first_any is not None:
         raise first_any
     return results
+
+
+def _run_spmd_processes(
+    nranks: int,
+    fn: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+    config: JobConfig,
+) -> list[Any]:
+    """Process-backend launcher: fork one child per rank, gather results."""
+    return _launch_forked(nranks, fn, args, kwargs, config)
 
 
 register_backend("process", _run_spmd_processes)

@@ -25,7 +25,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.comm.collective_models import LinkParameters
+from repro.comm.collective_models import (
+    DEFAULT_INTER_LINK,
+    DEFAULT_INTRA_LINK,
+    LinkParameters,
+    TwoTierTopology,
+    hierarchical_allreduce_time,
+)
 from repro.comm.timemodel import ClusterTopology
 
 
@@ -94,13 +100,12 @@ class MachineSpec:
     gpu: GPUSpec = field(default_factory=GPUSpec)
     gpus_per_node: int = 4
     #: NVLink2: ~50 GB/s/direction, low launch latency via CUDA IPC.
-    intra_link: LinkParameters = LinkParameters(
-        alpha=4.0e-6, beta=1.0 / 47.0e9, gamma=1.0 / 500.0e9
-    )
+    #: (Shared with the communicator's topology-aware selection — see
+    #: :data:`repro.comm.collective_models.DEFAULT_INTRA_LINK` — so the
+    #: engine's ``algorithm="auto"`` prices the same wire this model does.)
+    intra_link: LinkParameters = DEFAULT_INTRA_LINK
     #: Dual-rail IB EDR with GPUDirect RDMA: ~21 GB/s per node effective.
-    inter_link: LinkParameters = LinkParameters(
-        alpha=6.0e-6, beta=1.0 / 21.0e9, gamma=1.0 / 500.0e9
-    )
+    inter_link: LinkParameters = DEFAULT_INTER_LINK
     #: Bytes per element on device (the paper trains in single precision).
     dtype_bytes: int = 4
     #: Fixed per-GPU runtime overhead (CUDA context, NCCL, framework).
@@ -135,6 +140,36 @@ class MachineSpec:
         if nranks <= (ranks_per_node or self.gpus_per_node):
             return self.intra_link
         return self.inter_link
+
+    def two_tier(
+        self, nnodes: int, ranks_per_node: int | None = None
+    ) -> TwoTierTopology:
+        """Two-tier (intra/inter) bandwidth-latency topology of this machine.
+
+        The object the communicator's topology-aware ``algorithm="auto"``
+        selection consumes (:func:`select_allreduce_algorithm`), built from
+        the same link constants this model prices halos and shuffles with.
+        """
+        return TwoTierTopology(
+            nnodes=nnodes,
+            ranks_per_node=ranks_per_node or self.gpus_per_node,
+            intra=self.intra_link,
+            inter=self.inter_link,
+        )
+
+    def hierarchical_allreduce_time(
+        self,
+        nnodes: int,
+        nbytes: float,
+        ranks_per_node: int | None = None,
+        inter_algorithm=None,
+    ) -> float:
+        """AR time of the two-level schedule on ``nnodes`` nodes of this
+        machine (intra ring reduce-scatter → inter allreduce → intra
+        allgather); see :func:`hierarchical_allreduce_time`."""
+        return hierarchical_allreduce_time(
+            nbytes, self.two_tier(nnodes, ranks_per_node), inter_algorithm
+        )
 
     def comm_buffer_bytes(self, total_ranks: int) -> float:
         """Scale-dependent GPU memory held by the communication runtime."""

@@ -1,17 +1,25 @@
 """Shared fixtures: SPMD backend parameterization.
 
 Suites that exercise communication semantics (nonblocking collectives, the
-overlapped halo exchange, the shuffle property sweep) run against both the
-thread backend and the process backend, so the two world implementations
-are held to the same contract.  The process backend forks one OS process
-per rank and is an order of magnitude slower to launch, so those suites
-run it on a reduced rank/size matrix — the helpers here make that
-reduction explicit at the test site.
+overlapped halo exchange, the shuffle property sweep) run against every
+SPMD backend — thread, process, and socket — so the world implementations
+are held to the same contract.  The forked backends (process, socket)
+launch one OS process per rank and are an order of magnitude slower to
+start, so those suites run them on a reduced rank/size matrix — the
+helpers here make that reduction explicit at the test site.
+
+The socket backend sweep runs under whatever ``REPRO_HOSTMAP`` is set
+(CI's multi-host job exports a 2-logical-host map), defaulting to
+one-rank-per-node — all traffic over TCP — when unset.
 """
 
 import pytest
 
-SPMD_BACKENDS = ("thread", "process")
+SPMD_BACKENDS = ("thread", "process", "socket")
+
+#: Backends that fork one OS process per rank (slow launch; parity suites
+#: run them on a reduced matrix).
+FORKED_BACKENDS = ("process", "socket")
 
 
 @pytest.fixture(params=SPMD_BACKENDS)
@@ -21,11 +29,11 @@ def backend(request):
 
 
 def reduce_for_process(backend: str, heavy: bool, reason: str) -> None:
-    """Skip a heavyweight parameterization on the process backend.
+    """Skip a heavyweight parameterization on the forked backends.
 
-    The process backend runs the same suites on a reduced matrix (fork +
-    queue transport make big rank counts slow in CI); the thread backend
-    keeps full coverage.
+    The process and socket backends run the same suites on a reduced
+    matrix (fork + queue/TCP transport make big rank counts slow in CI);
+    the thread backend keeps full coverage.
     """
-    if backend == "process" and heavy:
-        pytest.skip(f"process backend runs the reduced matrix: {reason}")
+    if backend in FORKED_BACKENDS and heavy:
+        pytest.skip(f"{backend} backend runs the reduced matrix: {reason}")

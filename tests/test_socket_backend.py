@@ -1,0 +1,328 @@
+"""Socket/TCP backend: host-map routing, parity, failure naming, no leaks.
+
+The socket backend must be a drop-in :class:`BaseWorld`: same (source,
+tag) matching, same collectives, same fault semantics — only the transport
+differs (shared memory within a logical node, TCP frames across nodes).
+These tests pin:
+
+* the :class:`HostMap` abstraction (parsing, modulo folding, grouping);
+* routing — a single-node map moves zero TCP bytes, the default map moves
+  everything over TCP, a two-node map splits exactly along the boundary;
+* cross-backend parity, **bitwise**, for the direct and scheduled
+  collectives;
+* cross-host failure detection — a killed rank's peers fail with
+  :class:`CommAborted` naming the dead world rank;
+* resource hygiene — a completed (or aborted) job leaks no sockets or
+  file descriptors in the parent, mirroring the ``/dev/shm`` arena check.
+"""
+
+import gc
+import os
+
+import numpy as np
+import pytest
+
+from repro.comm import CommAborted, HostMap, run_spmd
+from repro.comm.hostmap import resolve_hostmap
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+HOSTMAP_2X2 = "0,1:A 2,3:B"
+
+
+# ---------------------------------------------------------------------------
+# HostMap
+# ---------------------------------------------------------------------------
+
+
+class TestHostMap:
+    def test_parse_and_describe_roundtrip(self):
+        hm = HostMap.parse(HOSTMAP_2X2)
+        assert hm.size == 4
+        assert hm.nnodes == 2
+        assert hm.names == ("A", "B")
+        assert [hm.node_of(r) for r in range(4)] == [0, 0, 1, 1]
+        assert HostMap.parse(hm.describe()) == hm
+
+    def test_ranges_and_merged_hosts(self):
+        hm = HostMap.parse("0-2:n0 3,5:n1 4:n0")
+        assert hm.size == 6
+        assert hm.node_of(4) == 0
+        assert hm.groups_for(6) == ((0, 1, 2, 4), (3, 5))
+
+    def test_modulo_folding_reuses_one_map_for_any_job_size(self):
+        hm = HostMap.parse(HOSTMAP_2X2)
+        # 2 ranks: both fold onto node A -> effectively single-node.
+        assert hm.is_single_node(2)
+        # 8 ranks: 0,1,4,5 -> A and 2,3,6,7 -> B.
+        assert hm.groups_for(8) == ((0, 1, 4, 5), (2, 3, 6, 7))
+
+    def test_every_rank_exactly_once(self):
+        with pytest.raises(ValueError):
+            HostMap.parse("0,1:A 1,2:B")
+        with pytest.raises(ValueError):
+            HostMap.parse("0,2:A")  # rank 1 missing
+
+    def test_env_resolution(self):
+        assert resolve_hostmap(None, HOSTMAP_2X2) == HostMap.parse(HOSTMAP_2X2)
+        explicit = HostMap.one_per_rank(3)
+        assert resolve_hostmap(explicit, HOSTMAP_2X2) is explicit
+        assert resolve_hostmap(None, None) is None
+
+
+# ---------------------------------------------------------------------------
+# Routing
+# ---------------------------------------------------------------------------
+
+
+def _traffic(comm):
+    x = np.arange(512, dtype=np.float64) + comm.rank
+    comm.allreduce(x, algorithm="ring")
+    peer = (comm.rank + 1) % comm.size
+    comm.send(x, peer, tag=3)
+    comm.recv((comm.rank - 1) % comm.size, tag=3)
+    t = comm._world.transport
+    return t["tcp_messages"], t["shm_messages"] + t["inline_messages"]
+
+
+class TestRouting:
+    def test_single_node_map_moves_no_tcp(self):
+        for tcp, local in run_spmd(
+            3, _traffic, backend="socket", hostmap="0,1,2:only", timeout=60
+        ):
+            assert tcp == 0
+            assert local > 0
+
+    def test_default_map_moves_everything_over_tcp(self, monkeypatch):
+        # The *default* map is one rank per node; shed any ambient
+        # REPRO_HOSTMAP (CI's multi-host job exports one) first.
+        monkeypatch.delenv("REPRO_HOSTMAP", raising=False)
+        for tcp, local in run_spmd(3, _traffic, backend="socket", timeout=60):
+            assert tcp > 0
+            assert local == 0
+
+    def test_two_node_map_splits_on_the_boundary(self):
+        def prog(comm):
+            world = comm._world
+            me = comm.rank
+            for peer in range(comm.size):
+                if peer != me:
+                    comm.send(np.full(64, me, np.float32), peer, tag=9)
+            for peer in range(comm.size):
+                if peer != me:
+                    got = comm.recv(peer, tag=9)
+                    assert np.all(got == peer)
+            t = world.transport
+            # 2 inter-node peers x one 256 B array each.
+            return t["tcp_messages"], t["tcp_payload_bytes"]
+
+        for tcp_msgs, tcp_payload in run_spmd(
+            4, prog, backend="socket", hostmap=HOSTMAP_2X2, timeout=60
+        ):
+            assert tcp_msgs == 2
+            assert tcp_payload == 2 * 64 * 4
+
+    def test_hostmap_env_is_picked_up(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HOSTMAP", "0,1,2:lone")
+
+        def prog(comm):
+            return comm._world.hostmap.describe(), _traffic(comm)[0]
+
+        for desc, tcp in run_spmd(3, prog, backend="socket", timeout=60):
+            assert desc == "0,1,2:lone"
+            assert tcp == 0
+
+    def test_node_of_is_uniform_across_backends(self):
+        def prog(comm):
+            return tuple(comm._world.node_of(r) for r in range(comm.size))
+
+        for backend in ("thread", "process", "socket"):
+            out = run_spmd(
+                4, prog, backend=backend, hostmap=HOSTMAP_2X2, timeout=60
+            )
+            assert out == [(0, 0, 1, 1)] * 4
+
+
+# ---------------------------------------------------------------------------
+# Cross-backend parity (bitwise)
+# ---------------------------------------------------------------------------
+
+
+def _parity_prog(comm):
+    rng = np.random.default_rng(1234 + comm.rank)
+    x = rng.standard_normal(1536).astype(np.float32)
+    out = {
+        "direct": comm.allreduce(x, algorithm="direct"),
+        "ring": comm.allreduce(x, algorithm="ring"),
+        "hier": comm.allreduce(x, algorithm="hierarchical"),
+        "bcast": comm.bcast(x if comm.rank == 1 else None, root=1),
+        "gathered": comm.allgather(float(comm.rank)),
+        "rs": comm.reduce_scatter([x[i::comm.size] for i in range(comm.size)]),
+    }
+    req = comm.iallreduce(x, algorithm="rabenseifner")
+    out["nb"] = req.wait()
+    return out
+
+
+class TestCrossBackendParity:
+    def test_socket_matches_thread_bitwise(self):
+        kwargs = dict(hostmap=HOSTMAP_2X2, timeout=60)
+        ref = run_spmd(4, _parity_prog, backend="thread", **kwargs)
+        got = run_spmd(4, _parity_prog, backend="socket", **kwargs)
+        for r, g in zip(ref, got):
+            assert set(r) == set(g)
+            for key in r:
+                np.testing.assert_array_equal(
+                    np.asarray(r[key]), np.asarray(g[key]), err_msg=key
+                )
+
+
+# ---------------------------------------------------------------------------
+# Failure detection across logical hosts
+# ---------------------------------------------------------------------------
+
+
+class TestCrossHostFailure:
+    def test_crashed_rank_is_named_to_survivors(self):
+        def prog(comm):
+            x = np.ones(4096, dtype=np.float64)
+            for _ in range(10):
+                comm.allreduce(x, algorithm="ring")
+            return comm.rank
+
+        out = run_spmd(
+            4, prog,
+            backend="socket",
+            hostmap=HOSTMAP_2X2,
+            faults="crash@rank3:point=send:after=2:tag=#alg",
+            allow_failures=True,
+            detect_interval=0.1,
+            timeout=30,
+        )
+        assert all(isinstance(o, CommAborted) for o in out)
+        # Every survivor's failure (and the dead rank's synthesized one)
+        # names world rank 3 — the cross-host diagnostic contract.
+        for o in out:
+            assert "rank 3" in str(o)
+
+    def test_skewed_completion_is_not_a_false_positive(self):
+        # A fast rank exits (BYE + FIN) long before its peers; the EOF
+        # after BYE must not be mistaken for a crash.
+        def prog(comm):
+            import time as _t
+
+            x = np.arange(256, dtype=np.float64)
+            got = comm.allreduce(x)
+            if comm.rank:
+                _t.sleep(0.4 * comm.rank)
+            return float(got.sum())
+
+        out = run_spmd(
+            3, prog, backend="socket", timeout=30, detect_interval=0.1
+        )
+        assert out == [out[0]] * 3
+
+
+# ---------------------------------------------------------------------------
+# Resource hygiene
+# ---------------------------------------------------------------------------
+
+
+def _open_fds():
+    fds = {}
+    for name in os.listdir("/proc/self/fd"):
+        try:
+            fds[name] = os.readlink(f"/proc/self/fd/{name}")
+        except OSError:
+            continue
+    return fds
+
+
+class TestNoLeaks:
+    def test_no_sockets_or_fds_leak_in_the_parent(self):
+        def prog(comm):
+            comm.allreduce(np.ones(8192))
+            return comm.rank
+
+        # Warm any lazily created module state first.
+        run_spmd(4, prog, backend="socket", hostmap=HOSTMAP_2X2, timeout=60)
+        gc.collect()
+        before = _open_fds()
+        for _ in range(3):
+            run_spmd(4, prog, backend="socket", hostmap=HOSTMAP_2X2, timeout=60)
+        gc.collect()
+        after = _open_fds()
+        new_sockets = [
+            t for n, t in after.items()
+            if t.startswith("socket:") and before.get(n) != t
+        ]
+        assert not new_sockets, f"leaked sockets: {new_sockets}"
+        # fd *count* must not grow either (pipes, queues, shm handles).
+        assert len(after) <= len(before)
+
+    def test_no_leak_after_an_aborted_job(self):
+        def prog(comm):
+            comm.allreduce(np.ones(1024))
+            return comm.rank
+
+        run_spmd(2, prog, backend="socket", timeout=60)  # warm-up
+        gc.collect()
+        before = _open_fds()
+        with pytest.raises(CommAborted):
+            run_spmd(
+                2, prog,
+                backend="socket",
+                faults="crash@rank1:point=send:after=0",
+                detect_interval=0.1,
+                timeout=30,
+            )
+        gc.collect()
+        after = _open_fds()
+        new_sockets = [
+            t for n, t in after.items()
+            if t.startswith("socket:") and before.get(n) != t
+        ]
+        assert not new_sockets, f"leaked sockets: {new_sockets}"
+
+
+# ---------------------------------------------------------------------------
+# Contract plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestContract:
+    def test_backend_name_and_registration(self):
+        from repro.comm import available_backends
+
+        assert "socket" in available_backends()
+
+        def prog(comm):
+            return comm.backend
+
+        assert run_spmd(2, prog, backend="socket", timeout=60) == [
+            "socket", "socket",
+        ]
+
+    def test_tag_matching_across_the_wire(self):
+        # Out-of-order tags on one (source, dest) pair must match by tag,
+        # not arrival order — the same contract the thread mailbox has.
+        def prog(comm):
+            peer = 1 - comm.rank
+            comm.send(np.array([1.0]), peer, tag=10)
+            comm.send(np.array([2.0]), peer, tag=20)
+            second = comm.recv(peer, tag=20)
+            first = comm.recv(peer, tag=10)
+            return float(first[0]), float(second[0])
+
+        assert run_spmd(2, prog, backend="socket", timeout=60) == [
+            (1.0, 2.0), (1.0, 2.0),
+        ]
+
+    def test_received_arrays_are_frozen(self):
+        def prog(comm):
+            peer = 1 - comm.rank
+            comm.send(np.zeros(2048), peer)  # large enough for a DATA frame
+            got = comm.recv(peer)
+            return got.flags.writeable
+
+        assert run_spmd(2, prog, backend="socket", timeout=60) == [False, False]
