@@ -39,6 +39,7 @@ import bench_wallclock as bw  # noqa: E402
 import bench_halo_overlap as bh  # noqa: E402
 import bench_shuffle_overlap as bs  # noqa: E402
 import bench_collectives as bc  # noqa: E402
+import bench_segmented as bseg  # noqa: E402
 import bench_fault_recovery as bfr  # noqa: E402
 import bench_hierarchical as bhi  # noqa: E402
 
@@ -67,6 +68,10 @@ def run_smoke(backends: tuple[str, ...] = ("thread",)) -> None:
         ranks=(4,), sizes=bc.SMOKE_SIZES, backends=backends,
         iters=2, repeats=1,
         json_path=os.path.join(results, "BENCH_collectives_smoke.json"))[0])
+    emit("bench_segmented", bseg.generate_segmented(
+        ranks=bseg.SMOKE_RANKS, sizes=bseg.SMOKE_SIZES, backends=backends,
+        iters=2, repeats=1,
+        json_path=os.path.join(results, "BENCH_segmented_smoke.json"))[0])
     emit("bench_fault_recovery", bfr.generate_fault_recovery(
         detect_intervals=bfr.SMOKE_INTERVALS, steps=2, repeats=1,
         json_path=os.path.join(
@@ -97,6 +102,7 @@ def run_full() -> None:
     emit("bench_halo_overlap", bh.generate_halo_overlap()[0])
     emit("bench_shuffle_overlap", bs.generate_shuffle_overlap()[0])
     emit("bench_collectives", bc.generate_collectives()[0])
+    emit("bench_segmented", bseg.generate_segmented()[0])
     emit("bench_fault_recovery", bfr.generate_fault_recovery()[0])
     emit("bench_hierarchical", bhi.generate_hierarchical()[0])
     print("\nAll tables and figures regenerated under benchmarks/results/.")

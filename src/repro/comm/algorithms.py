@@ -127,6 +127,68 @@ def compile_allreduce(p: int, algorithm: str) -> tuple[tuple[Step, ...], ...]:
 
 
 @lru_cache(maxsize=None)
+def segmented_offsets(n: int, p: int, nseg: int) -> tuple[int, ...]:
+    """Offset table for a segmented schedule: ``nseg`` outer pipeline
+    segments, each split into the usual ``p`` near-equal chunks.
+
+    The outer split reuses :func:`chunk_offsets`, matching the near-equal
+    segments ``collective_models.segment_sizes`` prices; chunk ``c`` of
+    segment ``g`` lives at table index ``g·p + c`` (table length
+    ``nseg·p + 1``), which is exactly where :func:`segment_steps` points
+    the expanded schedule.  Every rank derives the identical table.
+    """
+    outer = chunk_offsets(n, nseg)
+    offs = [0]
+    for g in range(nseg):
+        inner = chunk_offsets(outer[g + 1] - outer[g], p)
+        base = outer[g]
+        offs.extend(base + o for o in inner[1:])
+    return tuple(offs)
+
+
+@lru_cache(maxsize=None)
+def segment_steps(
+    steps: tuple[Step, ...], p: int, nseg: int
+) -> tuple[Step, ...]:
+    """Expand a compiled schedule to move the buffer in ``nseg`` pipeline
+    segments (over the :func:`segmented_offsets` table).
+
+    Step-major expansion: each base step over chunks ``[lo, hi)`` of the
+    ``p``-chunk table becomes ``nseg`` consecutive per-segment steps over
+    the same chunk range of every segment, in ascending segment order.
+    Pipelining falls out of the runner's eager sends: all ``nseg``
+    per-segment sends of a base send step are staged before the following
+    receive blocks, so while this rank reduces segment ``k`` its
+    neighbour's segment ``k+1`` is already in flight — without reordering
+    any send relative to the base schedule (per-``(peer, tag)`` FIFO
+    matching is preserved because expansion keeps program order on both
+    sides).
+
+    Reduction order: the base algorithm's documented order is applied to
+    every segment independently (segments partition the buffer and steps
+    never cross a segment boundary), so the fold remains a pure function
+    of ``(algorithm, p, nseg)``.  ``nseg <= 1`` returns the base schedule
+    *unchanged* — the unsegmented path is bitwise-identical to the
+    pre-segmentation engine by construction.
+    """
+    if nseg <= 1:
+        return steps
+    out: list[Step] = []
+    for st in steps:
+        for g in range(nseg):
+            out.append(
+                Step(
+                    st.kind,
+                    st.peer,
+                    g * p + st.lo,
+                    g * p + st.hi,
+                    st.acc_first,
+                )
+            )
+    return tuple(out)
+
+
+@lru_cache(maxsize=None)
 def compile_reduce_scatter(p: int) -> tuple[tuple[Step, ...], ...]:
     """Ring reduce-scatter schedules: rank ``r`` ends owning chunk ``r``.
 
@@ -454,6 +516,7 @@ class ScheduleRunner:
         offsets: tuple[int, ...] | None = None,
         owns_buffer: bool = False,
         inter_peers: tuple[bool, ...] | None = None,
+        ufunc: Any = None,
     ) -> None:
         self._comm = comm
         self._opname = opname
@@ -474,6 +537,17 @@ class ScheduleRunner:
             else chunk_offsets(self._buf.size, comm.size)
         )
         self._fn = fn
+        # Known binary ufunc matching ``fn`` (e.g. ``np.add`` for "sum"):
+        # lets ``_apply`` accumulate in place instead of allocating a
+        # temporary and writing it back.  Operand order still follows
+        # ``acc_first``, so results stay bitwise identical to the
+        # ``fn``-based path.
+        self._ufunc = ufunc
+        # Backends whose ``deliver`` copies the payload out synchronously
+        # (process/socket: into the shm arena or a pickle frame) don't need
+        # the staging copy that protects zero-copy transports from seeing
+        # the working buffer mutate after a send.
+        self._stage = not getattr(comm._world, "copies_on_send", False)
         self._tag = comm._tag_key(("#alg", seq))
         self._seq = seq
         self._pos = 0
@@ -497,10 +571,12 @@ class ScheduleRunner:
         if b == a:
             return  # empty segment: skipped symmetrically on the recv side
         comm = self._comm
-        view = _stage_segment(comm, self._buf[a:b])
-        comm._world.deliver(
-            comm.world_rank, comm._members[step.peer], self._tag, view
-        )
+        dest = comm._members[step.peer]
+        if self._stage or dest == comm.world_rank:
+            view = _stage_segment(comm, self._buf[a:b])
+        else:
+            view = self._buf[a:b]
+        comm._world.deliver(comm.world_rank, dest, self._tag, view)
         self.wire_sent += view.nbytes
         if self._inter is not None and self._inter[step.peer]:
             self.wire_sent_inter += view.nbytes
@@ -509,6 +585,12 @@ class ScheduleRunner:
         a, b = self._range(step)
         if step.kind == "recv":
             self._buf[a:b] = payload
+        elif self._ufunc is not None:
+            seg = self._buf[a:b]
+            if step.acc_first:
+                self._ufunc(seg, payload, out=seg)
+            else:
+                self._ufunc(payload, seg, out=seg)
         else:
             seg = self._buf[a:b]
             self._buf[a:b] = (
@@ -650,6 +732,49 @@ def run_tree_gather(comm, node: TreeNode, payload: Any, opname: str, seq: int):
         t.send(node.parent, bundle)
         return None, t
     slots: list[Any] = [None] * comm.size
+    for rank, item in bundle:
+        slots[rank] = item
+    return slots, t
+
+
+def run_ring_allgather(comm, payload: Any, opname: str, seq: int):
+    """Ring allgather: ``(source comm rank, payload)`` items circulate the
+    ring for ``p - 1`` steps, each rank forwarding the item it just
+    received.  Neighbour-only communication; pure routing, so the result
+    slots are bitwise-identical to the ``"direct"`` deposit path (payloads
+    of any type and heterogeneous sizes route unchanged)."""
+    from repro.comm.communicator import _freeze
+
+    t = _TreeTransport(comm, opname, seq)
+    p = comm.size
+    right, left = (comm.rank + 1) % p, (comm.rank - 1) % p
+    slots: list[Any] = [None] * p
+    item: tuple[int, Any] = (comm.rank, _freeze(payload))
+    slots[comm.rank] = item[1]
+    for _ in range(p - 1):
+        t.send(right, item)
+        item = t.recv(left)
+        slots[item[0]] = item[1]
+    return slots, t
+
+
+def run_rd_allgather(comm, payload: Any, opname: str, seq: int):
+    """Recursive-doubling allgather: bundles of ``(source comm rank,
+    payload)`` pairs double each round, ``lg p`` rounds total.  Requires a
+    power-of-two group (the communicator falls back to the ring schedule
+    otherwise).  Pure routing — bitwise-identical to ``"direct"``."""
+    from repro.comm.communicator import _freeze
+
+    t = _TreeTransport(comm, opname, seq)
+    p = comm.size
+    bundle: list[tuple[int, Any]] = [(comm.rank, _freeze(payload))]
+    mask = 1
+    while mask < p:
+        peer = comm.rank ^ mask
+        t.send(peer, bundle)
+        bundle = bundle + t.recv(peer)
+        mask <<= 1
+    slots: list[Any] = [None] * p
     for rank, item in bundle:
         slots[rank] = item
     return slots, t

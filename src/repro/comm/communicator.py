@@ -58,7 +58,9 @@ from repro.comm.collective_models import (
     HIERARCHICAL_ALGORITHM,
     TwoTierTopology,
     resolve_allreduce_algorithm,
+    segment_sizes,
     select_inter_algorithm,
+    select_segment_bytes,
 )
 from repro.comm.stats import CommStats
 
@@ -67,6 +69,19 @@ _REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
     "prod": lambda a, b: a * b,
     "max": lambda a, b: np.maximum(a, b),
     "min": lambda a, b: np.minimum(a, b),
+}
+
+#: The binary ufunc behind each reduction op — handed to
+#: :class:`~repro.comm.algorithms.ScheduleRunner` so scheduled reductions
+#: accumulate in place (``ufunc(a, b, out=a)``) instead of allocating a
+#: temporary per receive.  Operand order still follows the compiled
+#: schedule's ``acc_first``, so results stay bitwise identical to the
+#: generic-callable path.
+_REDUCE_UFUNCS: dict[str, Any] = {
+    "sum": np.add,
+    "prod": np.multiply,
+    "max": np.maximum,
+    "min": np.minimum,
 }
 
 #: Environment override for every ``algorithm=`` collective knob: set to
@@ -78,14 +93,48 @@ _REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
 #: for an allreduce) leave that op on its own default resolution.
 COLLECTIVE_ALG_ENV = "REPRO_COLLECTIVE_ALG"
 
+#: Environment override for the reduction collectives' ``segment_bytes=``
+#: pipelining knob: ``auto`` applies the cost model's
+#: :func:`~repro.comm.collective_models.select_segment_bytes` minimization,
+#: ``none``/``off``/``0`` disables segmentation, and a positive integer
+#: forces that segment size in bytes.  Anything else fails loudly.
+SEGMENT_BYTES_ENV = "REPRO_SEGMENT_BYTES"
+
 _REDUCTION_ALG_CHOICES = {
     "auto", "direct", HIERARCHICAL_ALGORITHM, *_alg.REDUCTION_ALGORITHMS
 }
 _TREE_ALG_CHOICES = {"auto", "direct", "binomial"}
 _RS_ALG_CHOICES = {"auto", "direct", "ring"}
+_AG_ALG_CHOICES = {"auto", "direct", "ring", "recursive_doubling"}
 #: Every name the env override may legally carry; anything else is a typo
 #: and must fail loudly rather than silently disable the override.
-_ALL_ALG_CHOICES = _REDUCTION_ALG_CHOICES | _TREE_ALG_CHOICES | _RS_ALG_CHOICES
+_ALL_ALG_CHOICES = (
+    _REDUCTION_ALG_CHOICES
+    | _TREE_ALG_CHOICES
+    | _RS_ALG_CHOICES
+    | _AG_ALG_CHOICES
+)
+
+
+def _parse_segment_bytes(text: str) -> int | str | None:
+    """Parse a ``segment_bytes`` knob/env value; raise loudly on typos."""
+    t = text.strip().lower()
+    if t in ("none", "off", "0"):
+        return None
+    if t == "auto":
+        return "auto"
+    try:
+        value = int(t)
+    except ValueError:
+        raise ValueError(
+            f"{SEGMENT_BYTES_ENV}={text!r} is not a segment size; expected "
+            f"'auto', 'none', or a positive integer byte count"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"{SEGMENT_BYTES_ENV}={text!r} must be a positive byte count"
+        )
+    return value
 
 #: When True (default), C-contiguous arrays are shared across the boundary
 #: as read-only views instead of deep copies.
@@ -621,10 +670,54 @@ class Communicator:
             return resolve_allreduce_algorithm("auto", self.size, payload.nbytes)
         return name
 
+    def _resolve_segment_bytes(
+        self, segment_bytes: Any, value: np.ndarray, alg: str
+    ) -> int | None:
+        """Normalize a ``segment_bytes`` knob to a concrete byte count.
+
+        ``None`` → unsegmented (the pre-segmentation schedules, bitwise);
+        ``"auto"`` → the cost model's
+        :func:`~repro.comm.collective_models.select_segment_bytes`
+        minimization for this ``(p, nbytes, algorithm)``; an integer
+        forces that size.  :data:`SEGMENT_BYTES_ENV` overrides the call
+        site.  ``"direct"`` has no schedule to segment and always returns
+        ``None``.
+        """
+        env = os.environ.get(SEGMENT_BYTES_ENV)
+        if env is not None and env.strip() != "":
+            segment_bytes = _parse_segment_bytes(env)
+        elif isinstance(segment_bytes, str):
+            segment_bytes = _parse_segment_bytes(segment_bytes)
+        if segment_bytes is None or alg == "direct":
+            return None
+        if segment_bytes == "auto":
+            return select_segment_bytes(self.size, value.nbytes, algorithm=alg)
+        seg = int(segment_bytes)
+        if seg < 1:
+            raise ValueError(
+                f"segment_bytes must be a positive byte count, got {seg}"
+            )
+        return seg
+
     def _reduction_runner(
-        self, opname: str, alg: str, value: Any, fn: Callable[[Any, Any], Any]
+        self,
+        opname: str,
+        alg: str,
+        value: Any,
+        fn: Callable[[Any, Any], Any],
+        segment_bytes: Any = None,
+        ufunc: Any = None,
     ) -> "_alg.ScheduleRunner":
-        """Build the schedule runner for one scheduled reduction."""
+        """Build the schedule runner for one scheduled reduction.
+
+        With a resolved ``segment_bytes`` that splits the payload into
+        ``nseg >= 2`` segments, the compiled schedule is expanded
+        step-major over the :func:`~repro.comm.algorithms.segmented_offsets`
+        table (:func:`~repro.comm.algorithms.segment_steps`), so segment
+        ``k+1`` is on the wire while ``k`` reduces; ``nseg <= 1`` leaves
+        the base schedule untouched — bitwise-identical to the
+        unsegmented path.
+        """
         if alg == HIERARCHICAL_ALGORITHM:
             h = self.hierarchy()
             assert h is not None  # _resolve_reduction guarantees it
@@ -634,9 +727,17 @@ class Communicator:
             steps = _alg.compile_hierarchical_allreduce(h, inter.value)[self.rank]
         else:
             steps = _alg.compile_allreduce(self.size, alg)[self.rank]
+        offsets = None
+        seg = self._resolve_segment_bytes(segment_bytes, value, alg)
+        if seg:
+            nseg = len(segment_sizes(value.nbytes, seg))
+            if nseg > 1:
+                steps = _alg.segment_steps(steps, self.size, nseg)
+                offsets = _alg.segmented_offsets(value.size, self.size, nseg)
+                self.stats.record_segments(opname, nseg)
         return _alg.ScheduleRunner(
             self, opname, steps, value, fn, self._next_alg_seq(),
-            inter_peers=self._inter_flags(),
+            offsets=offsets, inter_peers=self._inter_flags(), ufunc=ufunc,
         )
 
     def _resolve_tree(self, algorithm: Any, opname: str) -> str:
@@ -817,21 +918,71 @@ class Communicator:
         )
         return result
 
-    def allgather(self, payload: Any) -> list[Any]:
-        def combine(slots: list[Any]) -> list[Any]:
-            return list(slots)
+    def allgather(
+        self, payload: Any, *, algorithm: str | None = None
+    ) -> list[Any]:
+        """Gather every member's payload at every member (comm-rank order).
 
-        result = self._collective(payload, combine, "allgather")
-        own = payload_nbytes(payload)
-        self.stats.record_wire(
-            "allgather",
-            sent=own * (self.size - 1),
-            recv=sum(
-                payload_nbytes(s) for i, s in enumerate(result) if i != self.rank
-            ),
-        )
+        ``algorithm``: ``"auto"`` (the default) stays on the ``"direct"``
+        deposit-combine exchange (one frozen payload fanned out to every
+        peer — the cheapest control-plane shape).  The compiled schedules
+        are opt-in: ``"recursive_doubling"`` doubles ``(source rank,
+        payload)`` bundles over ``lg p`` rounds (power-of-two groups;
+        other sizes fall back to ``"ring"``), ``"ring"`` circulates them
+        neighbour-to-neighbour in ``p - 1`` steps.  All modes are pure
+        routing — heterogeneous payloads of any type route unchanged and
+        results are bitwise identical; only the message structure (and
+        the wire counters) differ.
+
+        Unlike allreduce, ``"auto"`` must *not* pick a schedule from the
+        payload size: allgather payloads are per-rank (uneven shards,
+        even empty ones), so a size-based choice can diverge across ranks
+        and deadlock the collective.  Explicit knobs and the
+        ``REPRO_COLLECTIVE_ALG`` override are the same on every rank, so
+        those may name a schedule safely.
+        """
+        alg = self._resolve_allgather(algorithm, payload)
+        if alg == "direct":
+            def combine(slots: list[Any]) -> list[Any]:
+                return list(slots)
+
+            result = self._collective(payload, combine, "allgather")
+            own = payload_nbytes(payload)
+            self.stats.record_wire(
+                "allgather",
+                sent=own * (self.size - 1),
+                recv=sum(
+                    payload_nbytes(s)
+                    for i, s in enumerate(result)
+                    if i != self.rank
+                ),
+            )
+        else:
+            self._progress_inflight_schedules()
+            run = (
+                _alg.run_rd_allgather
+                if alg == "recursive_doubling"
+                else _alg.run_ring_allgather
+            )
+            result, t = run(self, payload, "allgather", self._next_alg_seq())
+            own = payload_nbytes(payload)
+            self.stats.record_wire("allgather", t.wire_sent, t.wire_recv)
         self.stats.record_collective("allgather", own)
         return result
+
+    def _resolve_allgather(self, algorithm: Any, payload: Any) -> str:
+        name = self._knob(algorithm, _AG_ALG_CHOICES, "allgather")
+        if self.size == 1:
+            return "direct"
+        if name == "auto":
+            # Never size-select here: allgather payload sizes are
+            # per-rank, and a choice that differs across ranks mixes the
+            # deposit path with a pt2pt schedule and deadlocks.  Knob and
+            # env override are rank-symmetric, so only they pick schedules.
+            return "direct"
+        if name == "recursive_doubling" and not _alg.is_power_of_two(self.size):
+            name = "ring"  # schedule-level fallback, like rabenseifner's
+        return name
 
     def alltoall(
         self,
@@ -985,9 +1136,28 @@ class Communicator:
         return combine
 
     def allreduce(
-        self, value: Any, op: str = "sum", *, algorithm: str | None = None
+        self,
+        value: Any,
+        op: str = "sum",
+        *,
+        algorithm: str | None = None,
+        segment_bytes: int | str | None = None,
     ) -> Any:
         """Element-wise reduction over every member.
+
+        ``segment_bytes`` pipelines a *scheduled* algorithm: the payload is
+        split into near-equal segments (the cost model's ``segment_sizes``)
+        and every schedule step runs per segment, so segment ``k+1`` is on
+        the wire while ``k`` reduces.  ``None`` (default) keeps the whole
+        schedule — bitwise-identical to the unsegmented path; ``"auto"``
+        applies the model's ``select_segment_bytes`` minimization; an
+        integer forces that segment size.  The ``REPRO_SEGMENT_BYTES``
+        environment variable overrides the knob globally.  Segmentation
+        never changes the per-segment reduction order (the base
+        algorithm's documented order applies to each segment
+        independently), so segmented results remain allclose to
+        ``"direct"`` and deterministic for a given
+        ``(algorithm, p, nseg)``; ``"direct"`` itself never segments.
 
         ``algorithm`` selects how the payload moves on the wire:
 
@@ -1033,7 +1203,10 @@ class Communicator:
                 inter_sent=n * inter_peers, inter_recv=n * inter_peers,
             )
         else:
-            runner = self._reduction_runner("allreduce", alg, value, fn)
+            runner = self._reduction_runner(
+                "allreduce", alg, value, fn, segment_bytes,
+                ufunc=_REDUCE_UFUNCS.get(op),
+            )
             result = runner.finish()
             self.stats.record_wire(
                 "allreduce", runner.wire_sent, runner.wire_recv,
@@ -1044,12 +1217,20 @@ class Communicator:
         return result
 
     def iallreduce(
-        self, value: Any, op: str = "sum", *, algorithm: str | None = None
+        self,
+        value: Any,
+        op: str = "sum",
+        *,
+        algorithm: str | None = None,
+        segment_bytes: int | str | None = None,
     ) -> Request:
         """Nonblocking allreduce: returns a handle immediately.
 
-        ``algorithm`` selects the wire path exactly as in
-        :meth:`allreduce`.  With ``"direct"``, the call deposits its
+        ``algorithm`` and ``segment_bytes`` select the wire path exactly
+        as in :meth:`allreduce` — a segmented schedule gives ``test()``
+        finer progress granularity on top of the in-schedule pipelining
+        (each probe can land one segment instead of one whole chunk).
+        With ``"direct"``, the call deposits its
         contribution and ``wait()`` blocks only until every member has
         deposited, then combines in comm-rank order — bitwise identical to
         the blocking ``"direct"`` allreduce.  With a scheduled algorithm,
@@ -1075,7 +1256,10 @@ class Communicator:
                 value, self._reduce_combine(fn), "iallreduce",
                 wire=(n * (self.size - 1), n * (self.size - 1)),
             )
-        runner = self._reduction_runner("iallreduce", alg, value, fn)
+        runner = self._reduction_runner(
+            "iallreduce", alg, value, fn, segment_bytes,
+            ufunc=_REDUCE_UFUNCS.get(op),
+        )
         return _ScheduleRequest(self, runner, "iallreduce")
 
     def reduce_scatter(
@@ -1124,6 +1308,7 @@ class Communicator:
                 self._next_alg_seq(), offsets=tuple(offsets),
                 owns_buffer=True,  # the concatenation above is fresh
                 inter_peers=self._inter_flags(),
+                ufunc=_REDUCE_UFUNCS.get(op),
             )
             out = runner.finish()
             result = out[offsets[self.rank] : offsets[self.rank + 1]].reshape(

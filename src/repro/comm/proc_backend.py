@@ -58,6 +58,7 @@ import os
 import pickle
 import queue as queue_mod
 import secrets
+import select
 import threading
 import time
 import traceback
@@ -90,6 +91,14 @@ DEFAULT_ARENA_BYTES = 64 << 20
 
 #: Arena allocation granularity.  Env override: ``REPRO_SHM_BLOCK``.
 DEFAULT_ARENA_BLOCK = 32 << 10
+
+#: Largest frame (length prefix + pickled message) eligible for the
+#: descriptor-pipe fast lane.  POSIX guarantees writes of at most
+#: ``PIPE_BUF`` (>= 4096) bytes to an ``O_NONBLOCK`` pipe are atomic —
+#: they either transfer completely or fail with ``EAGAIN`` — so framed
+#: messages never interleave or split and the reader needs no partial-
+#: frame recovery across sender crashes.
+_PIPE_FRAME_MAX = 4096
 
 
 def _env_int(name: str, default: int) -> int:
@@ -141,6 +150,22 @@ class _Arena:
         self._lock = ctx.Lock()
         # 0 = free, 1 = used; shared (inherited) and lock-protected.
         self._bitmap = ctx.RawArray("b", self.nblocks)
+        # Lazy per-process flat view of the segment (see ``flat``).
+        self._flat: np.ndarray | None = None
+
+    def flat(self) -> np.ndarray:
+        """Flat ``uint8`` view of the whole segment, cached per process.
+
+        Constructing ``np.ndarray(..., buffer=self.shm.buf, offset=...)``
+        per message re-exports and validates the buffer every time (~10us);
+        slicing one cached view is ~1us, and the send/receive paths do it
+        for every arena transfer.  Created lazily so the parent (which
+        never moves payloads) holds no export that would block ``destroy``.
+        """
+        view = self._flat
+        if view is None:
+            view = self._flat = np.frombuffer(self.shm.buf, dtype=np.uint8)
+        return view
 
     def alloc(self, nbytes: int) -> int | None:
         """Byte offset of a free run covering ``nbytes``, or ``None``.
@@ -175,6 +200,7 @@ class _Arena:
 
     def destroy(self) -> None:
         """Parent-side teardown: unmap and unlink the segment."""
+        self._flat = None  # release the buffer export before close()
         try:
             self.shm.close()
         finally:
@@ -209,6 +235,41 @@ class _SharedJobState:
             _env_int("REPRO_SHM_BYTES", DEFAULT_ARENA_BYTES),
             _env_int("REPRO_SHM_BLOCK", DEFAULT_ARENA_BLOCK),
         )
+        # Descriptor-pipe fast lane: one raw ``os.pipe`` per ordered rank
+        # pair, created pre-fork so both ends are inherited.  Small framed
+        # messages (arena descriptors, mostly) are written *synchronously*
+        # by the sender — no ``mp.Queue`` feeder-thread handoff, which on a
+        # contended host costs a GIL handoff plus a scheduler round trip
+        # per message.  Oversized frames and full pipes fall back to the
+        # queue; per-(sender, dest) sequence numbers let the receiver
+        # restore exact send order across the two lanes.
+        self.pipes: list[list[tuple[int, int] | None]] = [
+            [None] * nranks for _ in range(nranks)
+        ]
+        for s in range(nranks):
+            for d in range(nranks):
+                if s != d:
+                    r, w = os.pipe()
+                    os.set_blocking(r, False)
+                    os.set_blocking(w, False)
+                    self.pipes[s][d] = (r, w)
+
+    def _close_pipes(self) -> None:
+        """Close this process's copies of the fast-lane pipe fds (idempotent).
+
+        Run by the *parent* (post-fork and again at teardown): the children
+        inherited their own descriptors at fork, so the parent's copies are
+        only an fd-hygiene liability.
+        """
+        for row in getattr(self, "pipes", []):
+            for i, pair in enumerate(row):
+                if pair is not None:
+                    for fd in pair:
+                        try:
+                            os.close(fd)
+                        except OSError:  # pragma: no cover - already closed
+                            pass
+                    row[i] = None
 
     def set_abort(self, reason: str | None = None) -> None:
         """Abort the job; the first caller's ``reason`` is the recorded one."""
@@ -228,10 +289,11 @@ class _SharedJobState:
     def post_fork_parent(self) -> None:
         """Hook run in the parent once every child has been forked.
 
-        The base job state has nothing to release early; the socket
-        backend's subclass closes its copies of the pre-fork-bound
-        listening sockets here (the children own them from fork on).
+        Releases the parent's copies of the fast-lane pipe fds (the
+        children own theirs from fork on); the socket backend's subclass
+        additionally closes its pre-fork-bound listening sockets.
         """
+        self._close_pipes()
 
     def teardown(self) -> None:
         """Parent-side cleanup: release queues, unlink the arena.
@@ -240,6 +302,7 @@ class _SharedJobState:
         cleanup error here is exactly the kind of leak (a stuck feeder
         thread, an orphaned ``/dev/shm`` segment) an operator needs to see.
         """
+        self._close_pipes()
         for i, q in enumerate([*self.queues, self.results]):
             try:
                 q.close()
@@ -273,8 +336,10 @@ def _pack(
             arr = np.ascontiguousarray(payload)
             offset = arena.alloc(arr.nbytes)
             if offset is not None:
-                dst = np.ndarray(
-                    arr.shape, dtype=arr.dtype, buffer=arena.shm.buf, offset=offset
+                dst = (
+                    arena.flat()[offset : offset + arr.nbytes]
+                    .view(arr.dtype)
+                    .reshape(arr.shape)
                 )
                 np.copyto(dst, arr)
                 descs.append((offset, arr.nbytes, arr.shape, arr.dtype.str))
@@ -283,6 +348,14 @@ def _pack(
                 return _ShmRef(len(descs) - 1)
             counters["arena_full_fallbacks"] += 1
         counters["inline_messages"] += 1
+        if payload.flags.writeable:
+            # ``mp.Queue.put`` pickles in the feeder thread *after*
+            # returning, so a still-writable array (e.g. a schedule's
+            # working buffer, delivered unstaged because this backend
+            # advertises ``copies_on_send``) could mutate before it is
+            # serialized.  Snapshot it now so the inline path gives the
+            # same synchronous-copy guarantee as the arena path.
+            return payload.copy()
         return payload
     if isinstance(payload, tuple):
         return tuple(_pack(p, arena, descs, counters, shm_min) for p in payload)
@@ -329,39 +402,146 @@ class _Inbox:
         self._world = world
         self._queue = world._shared.queues[world.rank]
         self._buffered: dict[tuple[int, Any], deque[Any]] = {}
+        # Cross-lane ordering: next expected per-sender sequence number,
+        # plus a parking lot for messages that overtook a predecessor
+        # still in the other lane (always *future* seqs — each lane is
+        # itself FIFO, so a message can only arrive early, never late).
+        self._expected = [0] * world.size
+        self._parked: dict[tuple[int, int], tuple] = {}
+        # Fast-lane read ends: source rank -> fd, with a per-source
+        # accumulator for frames split across reads (atomic writes mean a
+        # frame is either fully in the pipe or absent, but one ``os.read``
+        # may still return several frames plus the head of another).
+        self._rpipes: dict[int, int] = {}
+        self._rbufs: dict[int, bytearray] = {}
+        pipes = getattr(world._shared, "pipes", None)
+        if pipes is not None:
+            for s in range(world.size):
+                pair = pipes[s][world.rank] if s != world.rank else None
+                if pair is not None:
+                    self._rpipes[s] = pair[0]
+                    self._rbufs[s] = bytearray()
+        reader = getattr(self._queue, "_reader", None)
+        self._qfd = reader.fileno() if reader is not None else None
 
-    def _store(self, msg: tuple) -> None:
-        source, tag, skeleton, descs = msg
+    def _admit(self, source: int, tag: Any, skeleton: Any, descs: list) -> None:
         arena = self._world._shared.arena
         arrays = []
         for offset, nbytes, shape, dtype in descs:
-            src = np.ndarray(
-                shape, dtype=np.dtype(dtype), buffer=arena.shm.buf, offset=offset
+            src = (
+                arena.flat()[offset : offset + nbytes].view(dtype).reshape(shape)
             )
             out = src.copy()
             out.flags.writeable = False
             arrays.append(out)
             arena.free(offset, nbytes)
-        payload = _unpack(skeleton, arrays)
+        self._deposit(source, tag, _unpack(skeleton, arrays))
+
+    def _deposit(self, source: int, tag: Any, payload: Any) -> None:
+        # Single-consumer buffer: no locking.  The socket backend's inbox
+        # overrides this with its condition-variable ``put`` (its buffer
+        # is fed from multiple threads).
         self._buffered.setdefault((source, tag), deque()).append(payload)
 
-    def _drain_blocking(self, timeout: float) -> bool:
-        try:
-            msg = self._queue.get(timeout=max(0.0, timeout))
-        except queue_mod.Empty:
-            return False
-        self._store(msg)
-        return True
+    def _store(self, msg: tuple) -> None:
+        seq, source, tag, skeleton, descs = msg
+        if seq != self._expected[source]:
+            self._parked[(source, seq)] = msg
+            return
+        while True:
+            self._admit(source, tag, skeleton, descs)
+            self._expected[source] += 1
+            nxt = self._parked.pop((source, self._expected[source]), None)
+            if nxt is None:
+                return
+            _, source, tag, skeleton, descs = nxt
 
-    def _drain_ready(self) -> None:
+    def _drain_pipe(self, source: int) -> bool:
+        """Read and store every complete fast-lane frame from ``source``."""
+        fd = self._rpipes[source]
+        buf = self._rbufs[source]
+        while True:
+            try:
+                chunk = os.read(fd, 1 << 16)
+            except BlockingIOError:
+                break
+            except OSError:  # pragma: no cover - fd torn down mid-drain
+                chunk = b""
+            if not chunk:
+                # EOF: the sender exited and the pipe is drained.  Stop
+                # watching the fd (a persistent-EOF fd would spin the
+                # select loop); crash detection is the parent watcher's
+                # job, not ours.
+                del self._rpipes[source]
+                break
+            buf += chunk
+        got = False
+        while len(buf) >= 4:
+            ln = int.from_bytes(buf[:4], "little")
+            if len(buf) < 4 + ln:
+                break
+            msg = pickle.loads(bytes(buf[4 : 4 + ln]))
+            del buf[: 4 + ln]
+            self._store(msg)
+            got = True
+        return got
+
+    def _drain_queue_ready(self) -> bool:
+        got = False
         while True:
             try:
                 msg = self._queue.get_nowait()
             except queue_mod.Empty:
-                return
+                return got
             self._store(msg)
+            got = True
 
-    def get(self, source: int, tag: Any, timeout: float, describe: str) -> Any:
+    def _drain_blocking(self, timeout: float) -> bool:
+        if self._qfd is None:  # pragma: no cover - mp.Queue internals changed
+            if self._drain_ready():
+                return True
+            try:
+                msg = self._queue.get(timeout=max(0.0, timeout))
+            except queue_mod.Empty:
+                return False
+            self._store(msg)
+            return True
+        fds = [*self._rpipes.values(), self._qfd]
+        ready, _, _ = select.select(fds, [], [], max(0.0, timeout))
+        if not ready:
+            return False
+        return self._drain_ready()
+
+    def _drain_ready(self) -> bool:
+        # One zero-timeout ``select`` replaces p-1 EAGAIN reads plus a
+        # queue probe (and its ``Empty`` exception) — this runs on every
+        # nonblocking ``try_get``, so the constant matters.
+        if self._qfd is None:  # pragma: no cover - mp.Queue internals changed
+            got = False
+            for source in list(self._rpipes):
+                got |= self._drain_pipe(source)
+            return got | self._drain_queue_ready()
+        fds = [*self._rpipes.values(), self._qfd]
+        ready, _, _ = select.select(fds, [], [], 0)
+        if not ready:
+            return False
+        got = False
+        if self._rpipes:
+            rset = set(ready)
+            for source, fd in list(self._rpipes.items()):
+                if fd in rset:
+                    got |= self._drain_pipe(source)
+        if self._qfd in ready:
+            got |= self._drain_queue_ready()
+        return got
+
+    def get(
+        self, source: int, tag: Any, timeout: float, describe: Any
+    ) -> Any:
+        # ``describe`` may be a zero-arg callable: diagnostics are only
+        # formatted on the abort/timeout slow paths, so the hot receive
+        # loop never pays for an f-string (tag reprs are not free at
+        # tens of thousands of messages per second).
         world = self._world
         retries = world.config.retries
         attempt = 0
@@ -373,8 +553,8 @@ class _Inbox:
                 return q.popleft()
             if world.aborted:
                 raise CommAborted(
-                    f"{describe} interrupted: world aborted"
-                    f"{world.abort_suffix()}"
+                    f"{describe() if callable(describe) else describe} "
+                    f"interrupted: world aborted{world.abort_suffix()}"
                 )
             remaining = deadline - monotonic()
             if remaining <= 0:
@@ -384,7 +564,8 @@ class _Inbox:
                     logger.warning(
                         "%s still waiting after %.1fs; retry %d/%d "
                         "(pending inbox: %s)",
-                        describe, timeout, attempt, retries,
+                        describe() if callable(describe) else describe,
+                        timeout, attempt, retries,
                         self.pending_keys(),
                     )
                     deadline = monotonic() + timeout
@@ -392,7 +573,8 @@ class _Inbox:
                 # Abort the whole job: a wedged collective should fail
                 # everywhere with this rank's diagnostic, not hang peers.
                 reason = (
-                    f"{describe} timed out after {timeout:.1f}s"
+                    f"{describe() if callable(describe) else describe} "
+                    f"timed out after {timeout:.1f}s"
                     f"{_retry_note(attempt)}; "
                     f"pending inbox: {self.pending_keys()}"
                 )
@@ -518,7 +700,10 @@ class ProcessChannel(GroupChannel):
                 continue
             if parts or needed_of is None or j in needed_of[rank]:
                 slots[j] = world._inbox.get(
-                    peer, tag, bound, self._diag(opname, seq, waiting_for=peer)
+                    peer,
+                    tag,
+                    bound,
+                    lambda peer=peer: self._diag(opname, seq, waiting_for=peer),
                 )
         return combine(slots)
 
@@ -557,7 +742,9 @@ class ProcessChannel(GroupChannel):
                 peer,
                 token.tag,
                 bound,
-                self._diag(token.opname, token.seq, waiting_for=peer),
+                lambda peer=peer: self._diag(
+                    token.opname, token.seq, waiting_for=peer
+                ),
             )
         token.outstanding.clear()
         return token.slots
@@ -570,6 +757,13 @@ class ProcessWorld(BaseWorld):
     """One rank's view of a process-per-rank SPMD job."""
 
     backend_name = "process"
+    #: ``deliver`` copies every cross-process payload out synchronously
+    #: before returning (arena ``np.copyto``, inline snapshot, or TCP
+    #: pickle in the socket subclass), so senders — in particular
+    #: :class:`~repro.comm.algorithms.ScheduleRunner` — may pass live
+    #: views of buffers they keep mutating, skipping the staging copy the
+    #: thread backend's zero-copy transport requires.
+    copies_on_send = True
 
     def __init__(self, shared: _SharedJobState, rank: int) -> None:
         self.size = shared.nranks
@@ -590,7 +784,19 @@ class ProcessWorld(BaseWorld):
             "shm_bytes": 0,
             "inline_messages": 0,
             "arena_full_fallbacks": 0,
+            "pipe_messages": 0,
+            "queue_messages": 0,
         }
+        # Fast-lane write ends (dest rank -> fd) and per-dest sequence
+        # numbers spanning both lanes (see ``_send_local``).
+        self._wpipes: dict[int, int] = {}
+        pipes = getattr(shared, "pipes", None)
+        if pipes is not None:
+            for d in range(self.size):
+                pair = pipes[rank][d] if d != rank else None
+                if pair is not None:
+                    self._wpipes[d] = pair[1]
+        self._send_seq = [0] * self.size
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> None:
@@ -639,11 +845,37 @@ class ProcessWorld(BaseWorld):
             # backend's zero-copy self-sends.
             self._inbox._buffered.setdefault((source, tag), deque()).append(payload)
             return
+        self._send_local(source, dest, tag, payload)
+
+    def _send_local(self, source: int, dest: int, tag: Any, payload: Any) -> None:
+        """Ship one message to a same-host peer: arena + fast lane / queue.
+
+        Small framed messages go down the raw descriptor pipe with one
+        synchronous atomic write; anything oversized — or a momentarily
+        full pipe — falls back to the ``mp.Queue``.  Both lanes carry a
+        per-(sender, dest) sequence number so the receiver restores exact
+        send order, preserving per-(source, tag) FIFO across lanes.
+        """
         descs: list = []
         skeleton = _pack(
             payload, self._shared.arena, descs, self.transport, self._shared.shm_min
         )
-        self._shared.queues[dest].put((source, tag, skeleton, descs))
+        seq = self._send_seq[dest]
+        self._send_seq[dest] = seq + 1
+        msg = (seq, source, tag, skeleton, descs)
+        w = self._wpipes.get(dest)
+        if w is not None:
+            blob = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+            if len(blob) + 4 <= _PIPE_FRAME_MAX:
+                try:
+                    os.write(w, len(blob).to_bytes(4, "little") + blob)
+                except OSError:
+                    pass  # pipe full or torn down: take the queue lane
+                else:
+                    self.transport["pipe_messages"] += 1
+                    return
+        self.transport["queue_messages"] += 1
+        self._shared.queues[dest].put(msg)
 
     def collect(self, dest: int, source: int, tag: Any, opname: str = "recv") -> Any:
         self._check_rank(source, "source")
@@ -652,8 +884,12 @@ class ProcessWorld(BaseWorld):
                 f"process backend can only collect for its own rank "
                 f"({self.rank}), not {dest}"
             )
-        describe = f"{opname}(world rank {dest} <- {source}, tag={tag!r})"
-        payload = self._inbox.get(source, tag, self.timeout_for(opname), describe)
+        payload = self._inbox.get(
+            source,
+            tag,
+            self.timeout_for(opname),
+            lambda: f"{opname}(world rank {dest} <- {source}, tag={tag!r})",
+        )
         # Recv-point faults count successful retrievals only, so ``after``
         # stays deterministic regardless of how often empty polls ran.
         _, payload = self._fault("recv", source, tag, payload)

@@ -52,7 +52,6 @@ from __future__ import annotations
 
 import logging
 import pickle
-import queue as queue_mod
 import socket
 import struct
 import threading
@@ -69,8 +68,8 @@ from repro.comm.hostmap import HostMap
 from repro.comm.proc_backend import (
     ProcessWorld,
     _child_main,
+    _Inbox,
     _launch_forked,
-    _pack,
     _SharedJobState,
     _unpack,
 )
@@ -136,7 +135,9 @@ class _SocketShared(_SharedJobState):
             raise
 
     def post_fork_parent(self) -> None:
-        """Close the parent's copies of the listeners (children own them)."""
+        """Close the parent's copies of the listeners and fast-lane pipes
+        (the children own theirs from fork on)."""
+        super().post_fork_parent()
         for i, s in enumerate(self.listeners):
             if s is not None:
                 try:
@@ -150,20 +151,22 @@ class _SocketShared(_SharedJobState):
         super().teardown()
 
 
-class _SocketInbox:
-    """(source, tag)-matched mailbox fed by TCP readers and the queue feeder.
+class _SocketInbox(_Inbox):
+    """(source, tag)-matched mailbox fed by TCP readers and the lane feeder.
 
     Unlike the process backend's single-consumer `_Inbox`, messages arrive
     from multiple threads (one reader per TCP connection plus the
-    shared-memory queue feeder), so the buffer is guarded by a condition
+    shared-memory lane feeder), so the buffer is guarded by a condition
     variable; the owning rank's ``get`` blocks on it, waking immediately
-    on TCP arrivals and within one feeder poll for queue arrivals.
+    on TCP arrivals and — via the feeder's ``select`` over the descriptor
+    pipes and the queue fd — promptly for intra-node arrivals.  The
+    drain/reorder machinery (descriptor-pipe fast lane, cross-lane
+    sequence numbers) is inherited; only admission (``_deposit``) is
+    rerouted through the condition variable.
     """
 
     def __init__(self, world: "SocketWorld") -> None:
-        self._world = world
-        self._queue = world._shared.queues[world.rank]
-        self._buffered: dict[tuple[int, Any], deque[Any]] = {}
+        super().__init__(world)
         self._cv = threading.Condition()
         threading.Thread(
             target=self._feeder_loop,
@@ -177,33 +180,24 @@ class _SocketInbox:
             self._buffered.setdefault((source, tag), deque()).append(payload)
             self._cv.notify_all()
 
-    def _store_shm(self, msg: tuple) -> None:
-        source, tag, skeleton, descs = msg
-        arena = self._world._shared.arena
-        arrays = []
-        for offset, nbytes, shape, dtype in descs:
-            src = np.ndarray(
-                shape, dtype=np.dtype(dtype), buffer=arena.shm.buf, offset=offset
-            )
-            out = src.copy()
-            out.flags.writeable = False
-            arrays.append(out)
-            arena.free(offset, nbytes)
-        self.put(source, tag, _unpack(skeleton, arrays))
+    def _deposit(self, source: int, tag: Any, payload: Any) -> None:
+        # Intra-node (arena/pipe/queue) admission from the feeder thread.
+        self.put(source, tag, payload)
 
     def _feeder_loop(self) -> None:
-        """Drain this rank's shared-memory queue into the buffer."""
+        """Drain this rank's intra-node lanes into the buffer."""
         while True:
             try:
-                msg = self._queue.get(timeout=0.25)
-            except queue_mod.Empty:
-                continue
+                self._drain_blocking(0.25)
             except (OSError, ValueError):  # queue closed: rank is exiting
                 return
-            self._store_shm(msg)
 
     # -- consumer (the rank's own threads) ---------------------------------
-    def get(self, source: int, tag: Any, timeout: float, describe: str) -> Any:
+    def get(
+        self, source: int, tag: Any, timeout: float, describe: Any
+    ) -> Any:
+        # ``describe`` may be a zero-arg callable, formatted only on the
+        # abort/timeout slow paths (see ``_Inbox.get``).
         world = self._world
         retries = world.config.retries
         attempt = 0
@@ -217,8 +211,8 @@ class _SocketInbox:
                     return q.popleft()
                 if world.aborted:
                     raise CommAborted(
-                        f"{describe} interrupted: world aborted"
-                        f"{world.abort_suffix()}"
+                        f"{describe() if callable(describe) else describe} "
+                        f"interrupted: world aborted{world.abort_suffix()}"
                     )
                 remaining = deadline - monotonic()
                 if remaining <= 0:
@@ -227,13 +221,15 @@ class _SocketInbox:
                         logger.warning(
                             "%s still waiting after %.1fs; retry %d/%d "
                             "(pending inbox: %s)",
-                            describe, timeout, attempt, retries,
+                            describe() if callable(describe) else describe,
+                            timeout, attempt, retries,
                             self.pending_keys(),
                         )
                         deadline = monotonic() + timeout
                         continue
                     reason = (
-                        f"{describe} timed out after {timeout:.1f}s"
+                        f"{describe() if callable(describe) else describe} "
+                        f"timed out after {timeout:.1f}s"
                         f"{_retry_note(attempt)}; "
                         f"pending inbox: {self.pending_keys()}"
                     )
@@ -557,13 +553,8 @@ class SocketWorld(ProcessWorld):
             self._inbox.put(source, tag, payload)
             return
         if self._node[dest] == self._node[self.rank]:
-            # Intra-node: the process backend's queue + arena path.
-            descs: list = []
-            skeleton = _pack(
-                payload, self._shared.arena, descs, self.transport,
-                self._shared.shm_min,
-            )
-            self._shared.queues[dest].put((source, tag, skeleton, descs))
+            # Intra-node: the process backend's arena + fast-lane path.
+            self._send_local(source, dest, tag, payload)
             return
         # Inter-node: one DATA frame on the pair's TCP connection.
         blob = pickle.dumps(

@@ -109,6 +109,18 @@ class ChannelParallelConv2d:
     across the channel group (completed by the allreduce).  Weight
     gradients cover only the local channel slice; their reduction group is
     the sample x spatial axes (each channel shard is unique).
+
+    With ``overlap_allreduce`` (the default) the partial-sum completion is
+    pipelined: the local convolution runs piecewise over up to
+    ``allreduce_blocks`` filter blocks, launching each block's channel
+    ``iallreduce`` as soon as its partial sums exist — so block ``k``'s
+    reduction travels while block ``k+1``'s convolution computes (filter
+    outputs are independent, so the piecewise kernels are bitwise
+    identical to the fused one).  Each block's allreduce still combines
+    contributions exactly like the blocking call on the same payload;
+    only algorithms that chunk by payload size may pick different
+    schedule boundaries for the smaller blocks, where results match to
+    floating-point allclose instead of bitwise.
     """
 
     def __init__(
@@ -118,6 +130,8 @@ class ChannelParallelConv2d:
         stride=1,
         pad=0,
         overlap_halo: bool = True,
+        overlap_allreduce: bool = True,
+        allreduce_blocks: int = 4,
     ) -> None:
         if grid.ndim != 4 or grid.shape[1] < 2:
             raise ValueError("ChannelParallelConv2d needs a 4D grid with axis 1 > 1")
@@ -130,6 +144,12 @@ class ChannelParallelConv2d:
         self.w_full_shape = weights.shape
         self.w_local = np.ascontiguousarray(weights[:, self.c_lo : self.c_hi])
         self.overlap_halo = bool(overlap_halo)
+        self.overlap_allreduce = bool(overlap_allreduce)
+        if allreduce_blocks < 1:
+            raise ValueError(
+                f"allreduce_blocks must be >= 1, got {allreduce_blocks}"
+            )
+        self.allreduce_blocks = int(allreduce_blocks)
         self._x_ext: np.ndarray | None = None
         self._x_meta: tuple | None = None
         # Recycles the gathered input / error-signal regions and the
@@ -157,9 +177,36 @@ class ChannelParallelConv2d:
         self._x_ext = x_ext
         self._x_meta = (x.dist, x.global_shape)
 
-        partial = F.conv2d_forward(x_ext, self.w_local, stride=self.stride, pad=0)
         # Complete the channel summation of Eq. 1 over the channel group.
-        y_local = self.grid.axis_comm(1).allreduce(partial)
+        group = self.grid.axis_comm(1)
+        nblk = min(self.allreduce_blocks, f)
+        if not self.overlap_allreduce or group.size == 1 or nblk < 2:
+            partial = F.conv2d_forward(
+                x_ext, self.w_local, stride=self.stride, pad=0
+            )
+            y_local = group.allreduce(partial)
+            return DistTensor(self.grid, y_dist, y_shape, y_local)
+        # Piecewise partial sums, pipelined into the channel allreduce:
+        # block k's reduction is in flight while block k+1's convolution
+        # computes (filter outputs are independent, so the piecewise
+        # kernels are bitwise identical to the fused one).  Every group
+        # member sees the same f/nblk, so the iallreduce order lines up.
+        pending = []
+        for b in range(nblk):
+            f0, f1 = block_bounds(f, nblk, b)
+            partial = F.conv2d_forward(
+                x_ext, self.w_local[f0:f1], stride=self.stride, pad=0
+            )
+            pending.append((f0, f1, group.iallreduce(partial)))
+        y_local: np.ndarray | None = None
+        for f0, f1, req in pending:
+            reduced = req.wait()
+            if y_local is None:
+                y_local = np.empty(
+                    (reduced.shape[0], f) + reduced.shape[2:],
+                    dtype=reduced.dtype,
+                )
+            y_local[:, f0:f1] = reduced
         return DistTensor(self.grid, y_dist, y_shape, y_local)
 
     def backward(self, dy: DistTensor) -> tuple[DistTensor, np.ndarray]:

@@ -162,18 +162,23 @@ def latest_common_step(directory: str, comm) -> int | None:
 def prune(directory: str, rank: int, keep: int) -> list[int]:
     """Drop this rank's oldest checkpoints, keeping the newest ``keep``.
 
-    Returns the steps removed.  Stale temp files from interrupted saves are
-    swept too.
+    ``keep=0`` means "keep none": every checkpoint of this rank is
+    removed.  (Historically ``keep=0`` silently kept everything — the
+    ``steps[:-0]`` empty-slice trap — and a negative ``keep`` deleted the
+    *newest* files; both now behave as documented.)  Negative ``keep``
+    raises ``ValueError``.  Returns the steps removed.  Stale temp files
+    from interrupted saves are swept too.
     """
+    if keep < 0:
+        raise ValueError(f"keep must be >= 0, got {keep}")
     steps = local_steps(directory, rank)
     removed: list[int] = []
-    if keep >= 1:
-        for step in steps[:-keep]:
-            try:
-                os.unlink(checkpoint_path(directory, step, rank))
-                removed.append(step)
-            except OSError:
-                pass
+    for step in (steps if keep == 0 else steps[:-keep]):
+        try:
+            os.unlink(checkpoint_path(directory, step, rank))
+            removed.append(step)
+        except OSError:
+            pass
     for name in os.listdir(directory):
         if name.startswith(".tmp-") and f".rank{rank}-" in name:
             try:

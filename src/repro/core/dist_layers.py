@@ -70,9 +70,15 @@ class DistPool2d:
     the halo strips travel, plus boundary strips completed after assembly.
     Pooling windows are reduced per output element, so the piecewise
     kernels are bitwise identical to the fused synchronous kernel; only the
-    communication discipline differs.  The backward scatter-add remains a
-    blocking collective (error contributions must be *accumulated* at their
-    owners, which the one-way exchange does not express).
+    communication discipline differs.  The backward scatter-add is
+    nonblocking too (:meth:`~repro.tensor.dist_tensor.DistTensor.
+    start_scatter_region_add`, routing plan cached per layer like the
+    forward exchange plan): the contribution all-to-all is launched first
+    and the rank's own contribution — the bulk of the error signal —
+    accumulates while the boundary strips travel; remote contributions
+    fold in on finish.  Both scatter paths share one documented
+    accumulation order (own first, then ascending comm rank), so
+    ``overlap_halo`` on/off stays bitwise identical here as well.
     """
 
     def __init__(
@@ -97,6 +103,10 @@ class DistPool2d:
         # (gather replies, scatter-add contributions) across steps.
         self._pool = BufferPool()
         self._geom: dict = {}
+        # Backward scatter-add routing plans, cached per input layout (the
+        # gradient DistTensor is rebuilt every backward, so the plan lives
+        # on the layer, keyed like the forward geometry).
+        self._scatter_plans: dict = {}
 
     def output_global_shape(self, x_shape: tuple[int, ...]) -> tuple[int, ...]:
         n, c, h, w = x_shape
@@ -255,7 +265,23 @@ class DistPool2d:
             )
         x: DistTensor = cache["x"]
         dx = DistTensor.zeros(x.grid, x.dist, x.global_shape, dtype=dy.dtype)
-        dx.scatter_region_add(dx_ext, cache["region_lo"], pool=self._pool)
+        key = (x.global_shape, x.dist)
+        plan = self._scatter_plans.get(key)
+        if plan is None:
+            plan = dx.scatter_add_plan(cache["region_lo"], dx_ext.shape)
+            self._scatter_plans[key] = plan
+        if self.overlap_halo:
+            # Launch the contribution all-to-all, accumulate our own
+            # contribution while the boundary strips travel, fold in the
+            # remote ones on finish — same documented order as blocking.
+            ex = dx.start_scatter_region_add(
+                dx_ext, cache["region_lo"], pool=self._pool, plan=plan
+            )
+            ex.finish()
+        else:
+            dx.scatter_region_add(
+                dx_ext, cache["region_lo"], pool=self._pool, plan=plan
+            )
         # Replicated output dims mean every replica scattered identical
         # contributions into disjoint replica groups — already consistent.
         return dx

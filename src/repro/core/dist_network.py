@@ -97,6 +97,7 @@ class DistNetwork:
         overlap_halo: bool = True,
         overlap_shuffle: bool = True,
         collective_algorithm: str | None = None,
+        grad_segment_bytes: int | str | None = None,
     ) -> None:
         if isinstance(strategy, LayerParallelism):
             strategy = ParallelStrategy.uniform(strategy)
@@ -121,6 +122,13 @@ class DistNetwork:
         #: the bitwise-reference deposit-combine path, making the
         #: overlapped and blocking reducers bitwise-identical.
         self.collective_algorithm = collective_algorithm
+        #: Segment size for the bucketed gradient allreduces (the
+        #: ``segment_bytes`` knob of
+        #: :meth:`~repro.comm.communicator.Communicator.iallreduce`):
+        #: segmented buckets complete one pipeline segment per reducer
+        #: poll, so a ``backward(grad_hook=...)`` caller sees early
+        #: buckets while later segments are still on the wire.
+        self.grad_segment_bytes = grad_segment_bytes
         self.shapes = spec.infer_shapes()
         # Recycles the staged shuffle send payloads across steps (deferred
         # reclamation once the receivers drop their zero-copy views).
@@ -330,13 +338,24 @@ class DistNetwork:
                 self._start_child_shuffles(name)
         return self.loss
 
-    def backward(self) -> dict[str, dict[str, np.ndarray]]:
+    def backward(self, grad_hook=None) -> dict[str, dict[str, np.ndarray]]:
         """Backpropagate and complete weight gradients with allreduces.
 
         With ``overlap_grad_reduce`` (the default), each layer's partials
         are queued on a bucketed nonblocking reducer as soon as its filter
         gradients are computed, so the allreduces run concurrently with the
         rest of backpropagation and are drained just before returning.
+
+        ``grad_hook(layer, grads)``, if given, is invoked once per layer
+        as soon as that layer's *reduced* gradients are complete — for the
+        overlapped reducer this happens mid-backpropagation as buckets
+        finish (each layer's enqueue polls the in-flight requests, landing
+        one more pipeline segment of each segmented allreduce), so an
+        optimizer can apply early layers' updates while later gradients
+        are still on the wire.  Every layer is hooked exactly once; layers
+        still pending at the end are hooked after the final drain.  The
+        returned dict is unchanged — hooking is observation, not
+        consumption.
 
         With ``overlap_shuffle`` (the default), the error-signal shuffle
         toward a parent with a different distribution is *started* as soon
@@ -353,17 +372,35 @@ class DistNetwork:
         pending: dict[str, list] = {}
         reducer = (
             BucketedGradReducer(
-                self.grad_bucket_bytes, algorithm=self.collective_algorithm
+                self.grad_bucket_bytes,
+                algorithm=self.collective_algorithm,
+                segment_bytes=self.grad_segment_bytes,
             )
             if self.overlap_grad_reduce
             else None
         )
+        hooked: set[str] = set()
+
+        def hook(name: str, g: dict[str, np.ndarray]) -> None:
+            if grad_hook is not None and name not in hooked:
+                hooked.add(name)
+                grad_hook(name, g)
 
         def complete_grads(name: str, g: dict[str, np.ndarray]) -> None:
             if reducer is not None:
                 reducer.add(name, g, self._grad_comm(self._acts[name]))
+                done = reducer._done.get(name)
+                if done is not None:
+                    # Singleton gradient group: add() passed the partials
+                    # straight through — complete now.
+                    hook(name, done)
+                elif grad_hook is not None:
+                    for lname, lg in reducer.poll().items():
+                        hook(lname, lg)
             else:
-                grads[name] = self._reduce_grads(g, self._acts[name])
+                g = self._reduce_grads(g, self._acts[name])
+                grads[name] = g
+                hook(name, g)
 
         def route_back(name: str, idx: int, dx: DistTensor) -> None:
             """Undo the forward shuffle for parent #idx of layer `name`."""
@@ -457,6 +494,9 @@ class DistNetwork:
 
         if reducer is not None:
             grads.update(reducer.drain())
+            if grad_hook is not None:
+                for name, g in grads.items():
+                    hook(name, g)
         self.grads = grads
         return grads
 
@@ -525,12 +565,12 @@ class DistNetwork:
 
     # -- convenience -----------------------------------------------------------------
     def loss_and_grad(
-        self, inputs, targets
+        self, inputs, targets, grad_hook=None
     ) -> tuple[float, dict[str, dict[str, np.ndarray]]]:
         loss = self.forward(inputs, targets=targets, training=True)
         if loss is None:
             raise RuntimeError("network has no loss layer or targets missing")
-        return loss, self.backward()
+        return loss, self.backward(grad_hook=grad_hook)
 
     def local_activation(self, name: str) -> DistTensor:
         return self._acts[name]

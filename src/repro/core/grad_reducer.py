@@ -71,12 +71,20 @@ class BucketedGradReducer:
         self,
         bucket_bytes: int = DEFAULT_BUCKET_BYTES,
         algorithm: str | None = None,
+        segment_bytes: int | str | None = None,
     ) -> None:
         if bucket_bytes < 1:
             raise ValueError(f"bucket_bytes must be >= 1, got {bucket_bytes}")
         self.bucket_bytes = bucket_bytes
         #: Collective algorithm for the bucket allreduces (None == "auto").
         self.algorithm = algorithm
+        #: Segment size for the bucket allreduces (the
+        #: :meth:`~repro.comm.communicator.Communicator.iallreduce` knob):
+        #: segmented buckets progress one pipeline segment per ``poll``
+        #: probe instead of one whole schedule chunk, so the optimizer can
+        #: start on early-finishing buckets while later segments are still
+        #: on the wire.
+        self.segment_bytes = segment_bytes
         self._buckets: dict[Any, _Bucket] = {}
         self._inflight: list[tuple[Request, _Bucket]] = []
         self._done: dict[str, dict[str, np.ndarray]] = {}
@@ -117,7 +125,14 @@ class BucketedGradReducer:
             flat = np.concatenate([a.ravel() for a in bucket.arrays])
         bucket.arrays = []
         self._inflight.append(
-            (bucket.comm.iallreduce(flat, algorithm=self.algorithm), bucket)
+            (
+                bucket.comm.iallreduce(
+                    flat,
+                    algorithm=self.algorithm,
+                    segment_bytes=self.segment_bytes,
+                ),
+                bucket,
+            )
         )
 
     # -- draining side -------------------------------------------------------
@@ -126,18 +141,59 @@ class BucketedGradReducer:
         """Number of launched, not-yet-drained allreduces."""
         return len(self._inflight)
 
+    def _scatter(self, bucket: _Bucket, flat: np.ndarray) -> list[str]:
+        """Split a reduced bucket back into per-layer grads in ``_done``.
+
+        Returns the layers the bucket contributed to, in deposit order.
+        """
+        layers: list[str] = []
+        offset = 0
+        for layer, pname, shape, size in bucket.entries:
+            self._done.setdefault(layer, {})[pname] = flat[
+                offset : offset + size
+            ].reshape(shape)
+            offset += size
+            if not layers or layers[-1] != layer:
+                layers.append(layer)
+        return layers
+
+    def poll(self) -> dict[str, dict[str, np.ndarray]]:
+        """Probe in-flight buckets; return the layers that just completed.
+
+        Each call ``test()``s every outstanding request (driving one more
+        pipeline segment of each segmented schedule), scatters any bucket
+        that finished, and returns ``{layer: {param: grad}}`` for the
+        layers whose gradients became complete on *this* probe — the hook
+        the trainer uses to hand the optimizer partially-drained buckets
+        while later segments are still on the wire.  Completed grads also
+        stay in :attr:`_done` for the final :meth:`drain`, so a caller may
+        ignore ``poll`` results entirely: ``drain`` still returns every
+        layer, and applying updates per ``poll`` batch or all at once is
+        numerically identical (each layer's gradient is complete when
+        returned).  Pending (unflushed) buckets are not launched — only
+        already-launched requests make progress.
+        """
+        fresh: dict[str, dict[str, np.ndarray]] = {}
+        still: list[tuple[Request, _Bucket]] = []
+        for request, bucket in self._inflight:
+            if request.test():
+                for layer in self._scatter(bucket, request.wait()):
+                    fresh[layer] = self._done[layer]
+            else:
+                still.append((request, bucket))
+        self._inflight = still
+        return fresh
+
     def drain(self) -> dict[str, dict[str, np.ndarray]]:
-        """Flush pending buckets, wait for all requests, return the grads."""
+        """Flush pending buckets, wait for all requests, return the grads.
+
+        Includes every layer already completed by earlier :meth:`poll`
+        calls — ``drain`` is always the complete picture.
+        """
         for key in list(self._buckets):
             self._flush(key)
         for request, bucket in self._inflight:
-            flat = request.wait()
-            offset = 0
-            for layer, pname, shape, size in bucket.entries:
-                self._done.setdefault(layer, {})[pname] = flat[
-                    offset : offset + size
-                ].reshape(shape)
-                offset += size
+            self._scatter(bucket, request.wait())
         self._inflight.clear()
         out = self._done
         self._done = {}

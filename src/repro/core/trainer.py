@@ -67,6 +67,7 @@ class DistTrainer:
         checkpoint_every: int = 0,
         checkpoint_keep: int = 2,
         rng: np.random.Generator | None = None,
+        incremental_update: bool = False,
     ) -> None:
         self.network = network
         self.optimizer = optimizer or SGD(lr=0.1)
@@ -75,14 +76,41 @@ class DistTrainer:
         self.checkpoint_every = checkpoint_every
         self.checkpoint_keep = checkpoint_keep
         self.rng = rng
+        #: Apply each layer's optimizer update as soon as its reduced
+        #: gradient completes (mid-backpropagation, via the network's
+        #: ``grad_hook``) instead of once after the full drain.  With the
+        #: segmented bucketed reducer this starts updating early layers
+        #: while later gradients' segments are still on the wire.  SGD
+        #: updates are independent per (layer, param), so the resulting
+        #: parameters are bitwise identical to the all-at-once step.
+        self.incremental_update = incremental_update
         #: Completed optimizer steps (the unit checkpoints are keyed by).
         self.step_index = 0
 
     def step(self, inputs, targets) -> float:
         """One training step: forward, backward+overlapped allreduce, update."""
         t0 = perf_counter()
-        loss, grads = self.network.loss_and_grad(inputs, targets)
-        self.optimizer.step(self.network.params, grads)
+        if self.incremental_update:
+            applied: set[str] = set()
+
+            def hook(name: str, g) -> None:
+                applied.add(name)
+                self.optimizer.step(self.network.params, {name: g})
+
+            loss, grads = self.network.loss_and_grad(
+                inputs, targets, grad_hook=hook
+            )
+            # Defensive: the hook covers every layer the backward pass
+            # reduced; anything else in grads would be applied twice, so
+            # only the never-hooked remainder is applied here.
+            leftover = {
+                k: v for k, v in grads.items() if k not in applied
+            }
+            if leftover:
+                self.optimizer.step(self.network.params, leftover)
+        else:
+            loss, grads = self.network.loss_and_grad(inputs, targets)
+            self.optimizer.step(self.network.params, grads)
         self.stats.record(loss, perf_counter() - t0)
         self.step_index += 1
         if (

@@ -22,9 +22,12 @@ runs concurrently with the exchange:
                    (the error-signal halo hides inside the filter
                    convolution *and* the interior data convolution, §IV-A)
 
-Pooling layers decompose (and overlap) the *forward* gather exactly like
-convolution but keep the backward scatter-add synchronous, so they carry a
-real forward ``boundary_fraction`` and pin ``bp_boundary_fraction=1``.
+Pooling layers decompose (and overlap) the forward gather exactly like
+convolution, and the backward scatter-add now overlaps too (the own
+contribution accumulates while boundary strips travel), so they carry a
+real forward ``boundary_fraction`` *and* a real backward
+``bp_boundary_fraction`` — the latter measured on the input grid, where
+the scatter-add's remote strips live.
 Layers the engine does not decompose at all (batch-norm statistics
 allreduces) carry ``boundary_fraction=1``, which degenerates both formulas
 to the synchronous cost — the model matches what the engine actually
@@ -64,9 +67,11 @@ class ConvLayerCost:
     #: 1 = nothing does (the engine's synchronous layers).
     boundary_fraction: float = 1.0
     #: Backward-specific boundary fraction; ``None`` means "same as
-    #: forward".  Pooling layers overlap only the forward gather (the
-    #: backward scatter-add stays a blocking collective), so they carry a
-    #: real forward fraction and pin the backward one at 1.
+    #: forward".  Pooling layers carry an explicit value: their backward
+    #: decomposition lives on the *input* grid (the scatter-add's remote
+    #: contribution strips), a different geometry than the forward
+    #: output-window split.  A value of 1 means the backward pass is not
+    #: decomposed and degenerates exactly to the synchronous cost.
     bp_boundary_fraction: float | None = None
 
     @property
@@ -80,12 +85,12 @@ class ConvLayerCost:
     def bpx_boundary_launch(self) -> float:
         """Extra kernel launches of the *backward* decomposition.
 
-        A pinned ``bp_boundary_fraction`` means the engine does not
-        decompose the backward pass at all (pooling's scatter-add), so no
-        extra launches are charged — the overlap formula then degenerates
-        exactly to the synchronous cost.
+        Charged only when the backward pass is actually decomposed
+        (fraction < 1); an undecomposed backward (fraction pinned at 1)
+        pays none, so the overlap formula degenerates exactly to the
+        synchronous cost.
         """
-        return 0.0 if self.bp_boundary_fraction is not None else self.boundary_launch
+        return 0.0 if self.bpx_boundary_fraction >= 1.0 else self.boundary_launch
 
     def fp_time(self, overlap: bool = True) -> float:
         if overlap and self.fp_halo > 0:
@@ -279,11 +284,9 @@ def pool_layer_cost(
     if split_w:
         halo += 2 * pt2pt_time(o_w * i_n * c * i_h_in * db, link)
 
-    # The engine now overlaps the *forward* pooling gather (interior
-    # windows compute while halo strips travel) with the same
-    # interior/boundary split as convolution; the backward scatter-add is
-    # still a blocking collective, so the backward fraction stays pinned
-    # at 1 (synchronous semantics).
+    # The engine overlaps the *forward* pooling gather (interior windows
+    # compute while halo strips travel) with the same interior/boundary
+    # split as convolution.
     n_boundary = 2 * (int(split_h) + int(split_w))
     boundary_launch = n_boundary * machine.gpu.kernel_latency
     t_h = ceil_div(o_h, sh) if split_h else 0
@@ -295,6 +298,22 @@ def pool_layer_cost(
     else:
         boundary_fraction = 1.0  # no decomposition: synchronous semantics
 
+    # The *backward* scatter-add overlaps too — the own contribution (the
+    # interior of the local input shard) accumulates while the remote
+    # strips travel — but its decomposition lives on the input grid: the
+    # boundary is the band of input cells that receive contributions from
+    # (or send them to) a neighbor, ``o = K - S`` rows/cols per split
+    # edge.  No split (or non-overlapping windows) pins it at 1: the
+    # backward degenerates exactly to the synchronous cost.
+    in_elems = i_h_in * i_w_in
+    if (split_h or split_w) and in_elems > 0:
+        interior_in = max(0, i_h_in - 2 * (o_h if split_h else 0)) * max(
+            0, i_w_in - 2 * (o_w if split_w else 0)
+        )
+        bp_boundary_fraction = 1.0 - interior_in / float(in_elems)
+    else:
+        bp_boundary_fraction = 1.0
+
     return ConvLayerCost(
         fp_compute=fp_c,
         fp_halo=halo,
@@ -304,7 +323,7 @@ def pool_layer_cost(
         allreduce=0.0,
         boundary_launch=boundary_launch,
         boundary_fraction=boundary_fraction,
-        bp_boundary_fraction=1.0,
+        bp_boundary_fraction=bp_boundary_fraction,
     )
 
 

@@ -240,10 +240,11 @@ class TrainingStepSimulator:
             base_deps = base_deps + tuple(carry_b) + tuple(incoming.pop(name, ()))
             carry_b = []
             if c.bpx_halo > 0 and self.overlap_halo:
-                # Pooling pins the backward fraction at 1 (its scatter-add
-                # is synchronous even when the forward gather overlaps) and
-                # charges no backward boundary launches — the timeline then
-                # degenerates exactly to the synchronous cost.
+                # An undecomposed backward (fraction pinned at 1, no
+                # boundary launches) makes this timeline degenerate
+                # exactly to the synchronous cost; pooling now carries a
+                # real backward fraction (its scatter-add overlaps the own
+                # contribution with the in-flight boundary strips).
                 interior = c.bpx_compute * (1 - c.bpx_boundary_fraction)
                 boundary = (
                     c.bpx_compute * c.bpx_boundary_fraction + c.bpx_boundary_launch

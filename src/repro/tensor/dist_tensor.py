@@ -262,11 +262,91 @@ class DistTensor:
                 place_region(out, data, offset)
         return out
 
+    def scatter_add_plan(
+        self, lo: Sequence[int], shape: Sequence[int]
+    ) -> list[tuple[int, tuple[tuple[int, int], ...], tuple[slice, ...]]]:
+        """Precompute the scatter-add routing for region ``[lo, lo+shape)``.
+
+        Returns ``[(comm_rank, owned overlap, slice into the region), ...]``
+        — pure layout algebra, no communication.  The plan depends only on
+        the grid, distribution, and global shape, so it is reusable across
+        steps *and* across :class:`DistTensor` instances with identical
+        layout (a layer's freshly-zeroed gradient tensor every backward),
+        which is why :class:`~repro.core.dist_layers.DistPool2d` caches it
+        alongside its forward geometry.
+        """
+        lo = tuple(int(v) for v in lo)
+        hi = tuple(b + int(s) for b, s in zip(lo, shape))
+        plan = []
+        for rank, overlap in self._owners_of_region(lo, hi):
+            sl = tuple(
+                slice(iv[0] - b, iv[1] - b) for iv, b in zip(overlap, lo)
+            )
+            plan.append((rank, overlap, sl))
+        return plan
+
+    def _accumulate_contributions(self, contributions) -> None:
+        my = self.bounds
+        for overlap, data in contributions:
+            offset = tuple(iv[0] - b[0] for iv, b in zip(overlap, my))
+            place_region(self.local, data, offset, accumulate=True)
+
+    def start_scatter_region_add(
+        self,
+        region: np.ndarray,
+        lo: Sequence[int],
+        pool=None,
+        plan=None,
+    ) -> "ScatterAddExchange":
+        """Nonblocking :meth:`scatter_region_add`: launch the contribution
+        all-to-all and accumulate the *own* contribution immediately.
+
+        The returned handle's :meth:`~ScatterAddExchange.finish` waits for
+        the peers' deposits and folds in the remote contributions.  The
+        accumulation order is fixed and documented — own contribution
+        first (it overlaps the in-flight transfer), then remote
+        contributions in ascending comm rank — and the blocking
+        :meth:`scatter_region_add` applies the identical order, so the two
+        paths are bitwise interchangeable.  ``plan`` is an optional
+        precomputed :meth:`scatter_add_plan` (it must match ``lo`` and
+        ``region.shape``); layers cache it across steps.
+        """
+        lo = tuple(int(v) for v in lo)
+        if plan is None:
+            plan = self.scatter_add_plan(lo, region.shape)
+        comm = self.comm
+
+        sends: list[list[tuple[tuple[tuple[int, int], ...], np.ndarray]]] = [
+            [] for _ in range(comm.size)
+        ]
+        own: list[tuple[tuple[tuple[int, int], ...], np.ndarray]] = []
+        for rank, overlap, sl in plan:
+            piece = region[sl]
+            if rank != comm.rank:
+                sends[rank].append((overlap, self._stage_payload(piece, pool)))
+            else:
+                own.append((overlap, piece))
+
+        comm.stats.record_collective(
+            "region_data",
+            sum(
+                arr.nbytes
+                for j, pieces in enumerate(sends)
+                for _, arr in pieces
+                if j != comm.rank
+            ),
+        )
+        request = comm.ialltoall(sends)
+        # Own contribution accumulates while peers are still depositing.
+        self._accumulate_contributions(own)
+        return ScatterAddExchange(self, request)
+
     def scatter_region_add(
         self,
         region: np.ndarray,
         lo: Sequence[int],
         pool=None,
+        plan=None,
     ) -> None:
         """Collectively scatter ``region`` (anchored at global ``lo``) to its
         owners, *adding* into their local shards.
@@ -274,24 +354,28 @@ class DistTensor:
         Parts of the region outside the global tensor are dropped (they
         correspond to virtual padding).  All grid ranks must call together.
         ``pool`` stages the off-rank contribution payloads (same deferred
-        recycling as :meth:`gather_region`'s replies).
+        recycling as :meth:`gather_region`'s replies); ``plan`` is an
+        optional cached :meth:`scatter_add_plan`.  Contributions accumulate
+        in a fixed documented order — own first, then remote in ascending
+        comm rank — identical to the nonblocking
+        :meth:`start_scatter_region_add`, so the two are bitwise
+        interchangeable.
         """
         lo = tuple(int(v) for v in lo)
-        hi = tuple(b + s for b, s in zip(lo, region.shape))
-        owners = self._owners_of_region(lo, hi)
+        if plan is None:
+            plan = self.scatter_add_plan(lo, region.shape)
         comm = self.comm
 
         sends: list[list[tuple[tuple[tuple[int, int], ...], np.ndarray]]] = [
             [] for _ in range(comm.size)
         ]
-        for rank, overlap in owners:
-            sl = tuple(
-                slice(iv[0] - b, iv[1] - b) for iv, b in zip(overlap, lo)
-            )
+        own: list[tuple[tuple[tuple[int, int], ...], np.ndarray]] = []
+        for rank, overlap, sl in plan:
             piece = region[sl]
             if rank != comm.rank:
-                piece = self._stage_payload(piece, pool)
-            sends[rank].append((overlap, piece))
+                sends[rank].append((overlap, self._stage_payload(piece, pool)))
+            else:
+                own.append((overlap, piece))
 
         comm.stats.record_collective(
             "region_data",
@@ -303,11 +387,10 @@ class DistTensor:
             ),
         )
         received = comm.alltoall(sends)
-        my = self.bounds
-        for contributions in received:
-            for overlap, data in contributions:
-                offset = tuple(iv[0] - b[0] for iv, b in zip(overlap, my))
-                place_region(self.local, data, offset, accumulate=True)
+        self._accumulate_contributions(own)
+        for j, contributions in enumerate(received):
+            if j != comm.rank:
+                self._accumulate_contributions(contributions)
 
     # -- whole-tensor collectives (test/debug helpers) -----------------------------
     def to_global(self) -> np.ndarray:
@@ -336,3 +419,26 @@ class DistTensor:
             return
         sub = self.grid.axes_comm(axes)
         self.local = sub.allreduce(self.local)
+
+
+class ScatterAddExchange:
+    """In-flight nonblocking scatter-add (:meth:`DistTensor.start_scatter_region_add`).
+
+    The owner's own contribution is already accumulated by the time the
+    handle exists; :meth:`finish` waits for the peers' deposits and folds
+    in the remote contributions in ascending comm rank — completing the
+    documented accumulation order the blocking path shares.
+    """
+
+    __slots__ = ("_tensor", "_request")
+
+    def __init__(self, tensor: DistTensor, request) -> None:
+        self._tensor = tensor
+        self._request = request
+
+    def finish(self) -> None:
+        received = self._request.wait()
+        tensor = self._tensor
+        for j, contributions in enumerate(received):
+            if j != tensor.comm.rank:
+                tensor._accumulate_contributions(contributions)

@@ -319,3 +319,39 @@ class TestNonblockingGatherEquivalence:
             assert a2a_b > 0       # the historical path is collective-bound
             assert a2a_o == 0      # the nonblocking path is pure pt2pt
             assert bytes_o == bytes_b  # ...but ships exactly the same bytes
+
+    def test_overlap_allreduce_pipelines_filter_blocks(self):
+        """The piecewise forward launches one channel iallreduce per filter
+        block (block k's reduction travels while block k+1's convolution
+        computes) and matches the fused blocking path."""
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((2, 4, 8, 8))
+        w = rng.standard_normal((8, 4, 3, 3))
+
+        def prog(comm, overlap_ar, nblk):
+            grid = ProcessGrid(comm, (1, 2, 1, 1))
+            xd = DistTensor.from_global(grid, Distribution.make(grid.shape), x)
+            conv = ChannelParallelConv2d(
+                grid, w, pad=1,
+                overlap_allreduce=overlap_ar, allreduce_blocks=nblk,
+            )
+            comm.stats.reset()
+            y = conv.forward(xd)
+            s = comm.stats
+            return (
+                y.to_global(),
+                s.collectives.get("iallreduce", 0),
+                s.collectives.get("allreduce", 0),
+            )
+
+        blocking = run_spmd(2, prog, False, 4)
+        pipelined = run_spmd(2, prog, True, 4)
+        single = run_spmd(2, prog, True, 1)  # degenerate: falls back to fused
+        for (y_b, nb_b, ar_b), (y_p, nb_p, ar_p), (y_1, nb_1, ar_1) in zip(
+            blocking, pipelined, single
+        ):
+            np.testing.assert_allclose(y_p, y_b, rtol=RTOL, atol=1e-12)
+            np.testing.assert_array_equal(y_1, y_b)  # same fused path
+            assert (nb_b, ar_b) == (0, 1)
+            assert (nb_p, ar_p) == (4, 0)  # one iallreduce per filter block
+            assert (nb_1, ar_1) == (0, 1)

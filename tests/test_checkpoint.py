@@ -111,6 +111,25 @@ class TestPrimitives:
         assert removed == [1, 2]
         assert ckpt.local_steps(str(tmp_path), 0) == [3, 4]
 
+    def test_prune_keep_zero_removes_all(self, tmp_path):
+        """keep=0 means "keep none" — historically the ``steps[:-0]``
+        empty-slice trap made it silently keep everything."""
+        for step in (1, 2, 3):
+            ckpt.save_state(str(tmp_path), step, 0, {"s": np.array([step])})
+        removed = ckpt.prune(str(tmp_path), 0, keep=0)
+        assert removed == [1, 2, 3]
+        assert ckpt.local_steps(str(tmp_path), 0) == []
+
+    def test_prune_negative_keep_rejected(self, tmp_path):
+        """Negative keep used to delete the *newest* checkpoints
+        (``steps[:-(-2)]`` drops from the front of the sorted list)."""
+        for step in (1, 2, 3):
+            ckpt.save_state(str(tmp_path), step, 0, {"s": np.array([step])})
+        with pytest.raises(ValueError, match="keep"):
+            ckpt.prune(str(tmp_path), 0, keep=-2)
+        # Nothing was touched.
+        assert ckpt.local_steps(str(tmp_path), 0) == [1, 2, 3]
+
     def test_latest_common_step_intersects_ranks(self, tmp_path):
         """A crash mid-cadence leaves the newest step on a subset of ranks;
         every rank must agree on the newest *common* step."""

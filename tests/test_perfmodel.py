@@ -352,9 +352,9 @@ class TestMemoryModel:
 
 
 class TestPoolBoundaryFraction:
-    """Pooling now overlaps its forward gather (PR 4): the cost model gives
-    pool layers a real forward boundary fraction while pinning the backward
-    one at 1 (the scatter-add stays synchronous)."""
+    """Pooling overlaps its forward gather (PR 4) *and* its backward
+    scatter-add (PR 8): the cost model gives pool layers a real forward
+    boundary fraction and a real — input-grid — backward one."""
 
     def _cost(self, k, s, par, h=256, w=256, c=64):
         from repro.perfmodel.layer_cost import pool_layer_cost
@@ -368,30 +368,45 @@ class TestPoolBoundaryFraction:
         c = self._cost(3, 2, LP(height=2, width=2))
         assert c.fp_halo > 0
         assert 0.0 < c.boundary_fraction < 1.0
-        assert c.bp_boundary_fraction == 1.0
-        assert c.bpx_boundary_fraction == 1.0
-        # The overlap formula actually uses the decomposition.
+        # Backward decomposes on the input grid: a real fraction, distinct
+        # from the forward output-window split (o=K-S strips are thin
+        # relative to the input extent, so it is the smaller of the two).
+        assert 0.0 < c.bp_boundary_fraction < 1.0
+        assert c.bpx_boundary_fraction == c.bp_boundary_fraction
+        assert c.bp_boundary_fraction < c.boundary_fraction
+        # The overlap formulas actually use the decompositions.
         interior = c.fp_compute * (1 - c.boundary_fraction)
         expected = max(interior, c.fp_halo) + (
             c.fp_compute - interior
         ) + c.boundary_launch
         assert c.fp_time(overlap=True) == pytest.approx(expected)
+        bp_interior = c.bpx_compute * (1 - c.bpx_boundary_fraction)
+        bp_expected = max(c.bpw_compute + bp_interior, c.bpx_halo) + (
+            c.bpx_compute - bp_interior
+        ) + c.bpx_boundary_launch
+        assert c.bp_time(overlap=True) == pytest.approx(bp_expected)
 
     def test_overlap_wins_once_halo_exceeds_launch_overhead(self):
         """For memory-bound pooling the boundary kernel launches are not
         free; the modeled overlap pays off once the hidden halo time
-        exceeds them (large spatial extents), exactly as measured."""
+        exceeds them (large spatial extents), exactly as measured — now in
+        both directions."""
         c = self._cost(3, 2, LP(height=2, width=2), h=1024, w=1024)
         assert c.fp_halo > c.boundary_launch
         assert c.fp_time(overlap=True) < c.fp_time(overlap=False)
-        # Backward is not decomposed (pinned fraction, no launches), so the
-        # overlap formula degenerates exactly to the synchronous cost.
-        assert c.bp_time(overlap=True) == pytest.approx(c.bp_time(overlap=False))
+        # Backward is decomposed too (own scatter-add contribution hides
+        # the strips in flight), so overlap now wins there as well.
+        assert c.bpx_boundary_launch == c.boundary_launch
+        assert c.bp_time(overlap=True) < c.bp_time(overlap=False)
 
     def test_non_overlapping_windows_have_no_halo(self):
         c = self._cost(2, 2, LP(height=2, width=2))
         assert c.fp_halo == 0.0
         assert c.fp_time(overlap=True) == c.fp_time(overlap=False)
+        # No neighbor contributions: backward stays pinned synchronous.
+        assert c.bp_boundary_fraction == 1.0
+        assert c.bpx_boundary_launch == 0.0
+        assert c.bp_time(overlap=True) == c.bp_time(overlap=False)
 
     def test_conv_backward_fraction_unchanged(self):
         """Conv layers still use one fraction for both directions."""
