@@ -1,0 +1,274 @@
+"""Tracing overhead: the observability layer must cost ~nothing when off.
+
+The span tracer (:mod:`repro.obs.tracer`) is compiled into every hot path
+of the engine — collectives, point-to-point, layer forward/backward, the
+training step.  The design contract is that a *disabled* tracer is a
+module-global integer check plus a cached null context manager, so leaving
+the instrumentation in shipping code is free; an *enabled* tracer appends
+one tuple per event to a rank-local list, with all JSON/formatting work
+deferred to the post-run flush.
+
+Both sides are measured and **gated** as a fraction of the untraced
+training step of the smoke net:
+
+* per-primitive costs — ``span()`` enter/exit, ``flow_out``/``flow_in``,
+  ``wait_span`` — are timed directly (a million calls disabled, 200k
+  enabled into a scratch context);
+* the primitives' per-step call counts are read off a real traced run of
+  the smoke net (they are deterministic: the span set per step is fixed
+  by the network and the collective schedule);
+* **disabled** overhead = count x disabled-call cost, gated **< 1%**;
+* **enabled** overhead = sum(count_k x enabled-cost_k), gated **< 5%**.
+
+The projection is the *honest* metric on shared/oversubscribed hosts: CI
+containers typically expose a single core, where a naive traced-vs-
+untraced wall-clock A/B measures scheduler interleaving of the spinning
+rank processes, not instrumentation — it swings several percent between
+identical runs.  The A/B wall times are still measured and recorded in
+the JSON (``ab_*``) for inspection, but the gates ride on the projection.
+
+Run:  PYTHONPATH=src python benchmarks/bench_trace_overhead.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+from time import perf_counter
+
+import numpy as np
+
+from repro.comm import run_spmd
+from repro.core import DistNetwork, DistTrainer, LayerParallelism
+from repro.nn import NetworkSpec, SGD
+from repro.obs import tracer
+
+try:
+    from benchmarks.common import RESULTS_DIR, emit, render_table
+except ImportError:
+    from common import RESULTS_DIR, emit, render_table
+
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_trace_overhead.json")
+
+#: Acceptance gates (fractions of the untraced step time).
+DISABLED_GATE = 0.01
+ENABLED_GATE = 0.05
+
+N_RANKS = 4
+N_GLOBAL = 8
+
+
+def smoke_net() -> NetworkSpec:
+    net = NetworkSpec("trace-overhead")
+    net.add("input", "input", channels=3, height=16, width=16)
+    net.add("c1", "conv", ["input"], filters=4, kernel=3, stride=1, pad=1, bias=True)
+    net.add("b1", "bn", ["c1"])
+    net.add("r1", "relu", ["b1"])
+    net.add("p1", "pool", ["r1"], mode="max", kernel=2, stride=2)
+    net.add("c2", "conv", ["p1"], filters=8, kernel=3, stride=1, pad=1)
+    net.add("r2", "relu", ["c2"])
+    net.add("gap", "gap", ["r2"])
+    net.add("fc", "fc", ["gap"], units=5, bias=True)
+    net.add("loss", "softmax_ce", ["fc"])
+    return net
+
+
+def micro_costs(scratch: str, calls: int = 200_000) -> dict:
+    """Per-call seconds of each tracer primitive, disabled and enabled."""
+    assert not tracer.is_on(), "micro-benchmark requires tracing disabled"
+    span = tracer.span
+
+    n_off = max(calls, 1_000_000)
+    t0 = perf_counter()
+    for _ in range(n_off):
+        with span("bench", cat="bench", bytes=0):
+            pass
+    off_s = (perf_counter() - t0) / n_off
+
+    cfg = tracer.TraceConfig(path=os.path.join(scratch, "micro.trace"), epoch=0.0)
+    tracer.enter_rank(0, "bench", trace=cfg, thread_scope=True)
+    try:
+        ctx = tracer._current()
+        t0 = perf_counter()
+        for _ in range(calls):
+            with span("bench", cat="bench", bytes=0):
+                pass
+        span_s = (perf_counter() - t0) / calls
+        ctx.events.clear()
+        t0 = perf_counter()
+        for _ in range(calls):
+            tracer.flow_out(1, 17)
+        flow_s = (perf_counter() - t0) / calls
+        ctx.events.clear()
+        t0 = perf_counter()
+        for _ in range(calls):
+            tracer.wait_span("bench", 0.001, 0.0, 0)
+        wait_s = (perf_counter() - t0) / calls
+        ctx.events.clear()
+    finally:
+        tracer.exit_rank(thread_scope=True)
+    return {
+        "disabled_s": off_s,
+        "span_s": span_s,
+        "flow_s": flow_s,
+        "wait_s": wait_s,
+    }
+
+
+def _train_prog(comm, steps: int):
+    """The measured section: ``steps`` training steps after one warm-up."""
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((N_GLOBAL, 3, 16, 16))
+    t = rng.integers(0, 5, size=N_GLOBAL)
+    net = DistNetwork(smoke_net(), comm, LayerParallelism(sample=N_RANKS), seed=0)
+    trainer = DistTrainer(net, SGD(lr=0.1, momentum=0.9))
+    trainer.step(x, t)  # warm pools/plans outside the timed window
+    comm.barrier()
+    t0 = perf_counter()
+    for _ in range(steps):
+        trainer.step(x, t)
+    return perf_counter() - t0
+
+
+def _timed_run(steps: int, trace: str | None) -> float:
+    return max(run_spmd(N_RANKS, _train_prog, steps, trace=trace))
+
+
+def event_counts(trace_path: str, steps: int) -> dict:
+    """Per-rank-step primitive call counts from a merged trace.
+
+    The warm-up step is traced too; fold it into the divisor.
+    """
+    with open(trace_path) as fh:
+        doc = json.load(fh)
+    per = N_RANKS * (steps + 1)
+    spans = flows = waits = 0
+    for ev in doc["traceEvents"]:
+        if ev["ph"] == "X":
+            if ev.get("cat") == "wait":
+                waits += 1
+            else:
+                spans += 1
+        elif ev["ph"] in ("s", "f"):
+            flows += 1
+    return {
+        "spans_per_step": spans / per,
+        "flows_per_step": flows / per,
+        "waits_per_step": waits / per,
+    }
+
+
+def generate_trace_overhead(
+    steps: int = 10, repeats: int = 3, json_path: str = JSON_PATH
+):
+    with tempfile.TemporaryDirectory(prefix="repro-bench-trace-") as scratch:
+        micro = micro_costs(scratch)
+
+        count_trace = os.path.join(scratch, "count.trace")
+        first_traced = _timed_run(steps, count_trace)
+        counts = event_counts(count_trace, steps)
+
+        untraced, traced = [], [first_traced]
+        for r in range(repeats):  # interleaved A/B; min-of-repeats
+            untraced.append(_timed_run(steps, None))
+            if len(traced) < repeats:
+                traced.append(
+                    _timed_run(steps, os.path.join(scratch, f"run{r}.trace"))
+                )
+
+    base_s = min(untraced) / steps
+    ab_traced_s = min(traced) / steps
+    calls_per_step = (
+        counts["spans_per_step"]
+        + counts["flows_per_step"]
+        + counts["waits_per_step"]
+    )
+    disabled_frac = calls_per_step * micro["disabled_s"] / base_s
+    enabled_cost_s = (
+        counts["spans_per_step"] * micro["span_s"]
+        + counts["flows_per_step"] * micro["flow_s"]
+        + counts["waits_per_step"] * micro["wait_s"]
+    )
+    enabled_frac = enabled_cost_s / base_s
+    ab_enabled_frac = max(0.0, (ab_traced_s - base_s) / base_s)
+
+    rows = [
+        ["disabled call", f"{micro['disabled_s'] * 1e9:8.1f} ns", "", ""],
+        ["enabled span", f"{micro['span_s'] * 1e9:8.1f} ns", "", ""],
+        ["enabled flow", f"{micro['flow_s'] * 1e9:8.1f} ns", "", ""],
+        ["tracer calls / step", f"{calls_per_step:8.1f}", "", ""],
+        ["untraced step", f"{base_s * 1e3:8.3f} ms", "", ""],
+        ["traced step (A/B)", f"{ab_traced_s * 1e3:8.3f} ms", "", ""],
+        [
+            "disabled overhead",
+            f"{disabled_frac * 100:8.4f} %",
+            f"< {DISABLED_GATE * 100:.0f}%",
+            "PASS" if disabled_frac < DISABLED_GATE else "FAIL",
+        ],
+        [
+            "enabled overhead",
+            f"{enabled_frac * 100:8.4f} %",
+            f"< {ENABLED_GATE * 100:.0f}%",
+            "PASS" if enabled_frac < ENABLED_GATE else "FAIL",
+        ],
+    ]
+    table = render_table(
+        "Tracing overhead on the smoke net "
+        f"({N_RANKS} ranks, {steps} steps, min of {repeats})",
+        ["metric", "value", "gate", ""],
+        rows,
+    )
+
+    payload = {
+        "benchmark": "trace_overhead",
+        "ranks": N_RANKS,
+        "steps": steps,
+        "repeats": repeats,
+        "micro_ns": {k: v * 1e9 for k, v in micro.items()},
+        "counts_per_rank_step": counts,
+        "untraced_step_s": base_s,
+        "disabled_overhead_frac": disabled_frac,
+        "enabled_overhead_frac": enabled_frac,
+        "ab_traced_step_s": ab_traced_s,
+        "ab_enabled_overhead_frac": ab_enabled_frac,
+        "host_cpu_count": os.cpu_count(),
+        "gates": {"disabled": DISABLED_GATE, "enabled": ENABLED_GATE},
+        "pass": disabled_frac < DISABLED_GATE and enabled_frac < ENABLED_GATE,
+    }
+    os.makedirs(os.path.dirname(json_path), exist_ok=True)
+    with open(json_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+
+    assert disabled_frac < DISABLED_GATE, (
+        f"disabled-tracer overhead {disabled_frac:.2%} exceeds "
+        f"{DISABLED_GATE:.0%} of the untraced step"
+    )
+    assert enabled_frac < ENABLED_GATE, (
+        f"enabled-tracer overhead {enabled_frac:.2%} exceeds "
+        f"{ENABLED_GATE:.0%} of the untraced step"
+    )
+    return table, payload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fewer steps/repeats; JSON to a scratch path",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        emit("bench_trace_overhead", generate_trace_overhead(
+            steps=4, repeats=2,
+            json_path=os.path.join(
+                RESULTS_DIR, "BENCH_trace_overhead_smoke.json"
+            ),
+        )[0])
+    else:
+        emit("bench_trace_overhead", generate_trace_overhead()[0])
+
+
+if __name__ == "__main__":
+    main()

@@ -42,6 +42,7 @@ import bench_collectives as bc  # noqa: E402
 import bench_segmented as bseg  # noqa: E402
 import bench_fault_recovery as bfr  # noqa: E402
 import bench_hierarchical as bhi  # noqa: E402
+import bench_trace_overhead as bto  # noqa: E402
 
 
 def run_smoke(backends: tuple[str, ...] = ("thread",)) -> None:
@@ -80,6 +81,10 @@ def run_smoke(backends: tuple[str, ...] = ("thread",)) -> None:
         sizes=bhi.SMOKE_SIZES, iters=2,
         json_path=os.path.join(
             results, "BENCH_hierarchical_smoke.json"))[0])
+    emit("bench_trace_overhead", bto.generate_trace_overhead(
+        steps=4, repeats=2,
+        json_path=os.path.join(
+            results, "BENCH_trace_overhead_smoke.json"))[0])
     print("\nSmoke subset regenerated under benchmarks/results/.")
 
 
@@ -105,6 +110,7 @@ def run_full() -> None:
     emit("bench_segmented", bseg.generate_segmented()[0])
     emit("bench_fault_recovery", bfr.generate_fault_recovery()[0])
     emit("bench_hierarchical", bhi.generate_hierarchical()[0])
+    emit("bench_trace_overhead", bto.generate_trace_overhead()[0])
     print("\nAll tables and figures regenerated under benchmarks/results/.")
 
 

@@ -57,6 +57,8 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.obs import tracer as _trace
+
 #: Allreduce-family schedule names (`"direct"` is the legacy non-schedule
 #: path and deliberately absent).
 REDUCTION_ALGORITHMS = ("ring", "rabenseifner", "recursive_doubling")
@@ -577,6 +579,7 @@ class ScheduleRunner:
         else:
             view = self._buf[a:b]
         comm._world.deliver(comm.world_rank, dest, self._tag, view)
+        _trace.flow_out(dest, self._tag)
         self.wire_sent += view.nbytes
         if self._inter is not None and self._inter[step.peer]:
             self.wire_sent_inter += view.nbytes
@@ -596,6 +599,7 @@ class ScheduleRunner:
             self._buf[a:b] = (
                 self._fn(seg, payload) if step.acc_first else self._fn(payload, seg)
             )
+        _trace.flow_in(self._comm._members[step.peer], self._tag)
         self.wire_recv += payload.nbytes
         if self._inter is not None and self._inter[step.peer]:
             self.wire_recv_inter += payload.nbytes
@@ -674,6 +678,7 @@ class _TreeTransport:
         comm._world.deliver(
             comm.world_rank, comm._members[peer], self._tag, frozen
         )
+        _trace.flow_out(comm._members[peer], self._tag)
         self.wire_sent += payload_nbytes(frozen)
 
     def recv(self, peer: int) -> Any:
@@ -686,6 +691,7 @@ class _TreeTransport:
             self._tag,
             opname=f"{self._opname}[tree] <- comm rank {peer}",
         )
+        _trace.flow_in(comm._members[peer], self._tag)
         self.wire_recv += payload_nbytes(payload)
         return payload
 

@@ -72,8 +72,10 @@ import os
 import threading
 from collections import deque
 from dataclasses import dataclass, field
-from time import monotonic
+from time import monotonic, time as _wall_time
 from typing import Any, Callable
+
+from repro.obs import tracer
 
 from repro.comm.faults import (
     FAULTS_ENV,
@@ -326,6 +328,7 @@ def run_spmd(
     allow_failures: bool = False,
     detect_interval: float | None = None,
     hostmap: "HostMap | str | None" = None,
+    trace: str | None = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` ranks; return results.
@@ -367,6 +370,11 @@ def run_spmd(
       layer selects hierarchical two-level schedules when the layout spans
       nodes.  ``None`` leaves each backend's default layout (thread and
       process: all one node; socket: one node per rank).
+    * ``trace`` (env ``REPRO_TRACE``) enables per-rank span tracing: every
+      rank records structured spans/flows (see :mod:`repro.obs.tracer`)
+      and, after the job completes, the per-rank files are merged into one
+      Chrome trace-event JSON at the given path, clock-aligned via the
+      shared job epoch captured here before launch.
 
     For ``nranks == 1`` the function is invoked directly on the calling
     thread regardless of backend, which keeps single-rank tests cheap and
@@ -390,17 +398,43 @@ def run_spmd(
         detect_interval=detect_interval,
         hostmap=resolve_hostmap(hostmap, os.environ.get(HOSTMAP_ENV)),
     )
+    trace_path = trace if trace is not None else os.environ.get(tracer.TRACE_ENV)
+    if trace_path:
+        config.trace = tracer.TraceConfig(path=str(trace_path), epoch=_wall_time())
     if nranks == 1:
         from repro.comm.communicator import Communicator
 
         world = World(size=nranks, timeout=timeout, config=config)
+        tracer.enter_rank(0, _host_of(config, 0), trace=config.trace, thread_scope=True)
         try:
-            return [fn(Communicator._world_comm(world, 0), *args, **kwargs)]
+            results = [fn(Communicator._world_comm(world, 0), *args, **kwargs)]
         except Exception as exc:
             if allow_failures:
-                return [exc]
-            raise
-    return _BACKENDS[name](nranks, fn, args, kwargs, config)
+                results = [exc]
+            else:
+                raise
+        finally:
+            tracer.exit_rank(thread_scope=True)
+        _merge_trace(config, nranks)
+        return results
+    results = _BACKENDS[name](nranks, fn, args, kwargs, config)
+    _merge_trace(config, nranks)
+    return results
+
+
+def _host_of(config: JobConfig, rank: int) -> str:
+    return config.hostmap.host_of(rank) if config.hostmap is not None else "node0"
+
+
+def _merge_trace(config: JobConfig, nranks: int) -> None:
+    """Fold the per-rank trace files into one Chrome-trace JSON; called
+    after the launcher returns (ranks have flushed by join time).  Skipped
+    when the job raised, leaving the rank files behind for debugging."""
+    if config.trace is None:
+        return
+    from repro.obs.export import merge_traces
+
+    merge_traces(config.trace.path, nranks)
 
 
 # ---------------------------------------------------------------------------
@@ -840,6 +874,9 @@ def _run_spmd_threads(
     errors: list[BaseException | None] = [None] * nranks
 
     def runner(rank: int) -> None:
+        tracer.enter_rank(
+            rank, _host_of(config, rank), trace=config.trace, thread_scope=True
+        )
         try:
             comm = Communicator._world_comm(world, rank)
             results[rank] = fn(comm, *args, **kwargs)
@@ -851,6 +888,8 @@ def _run_spmd_threads(
                 )
             else:
                 world.abort()
+        finally:
+            tracer.exit_rank(thread_scope=True)
 
     threads = [
         threading.Thread(target=runner, args=(rank,), name=f"spmd-rank-{rank}")

@@ -63,6 +63,7 @@ from repro.comm.collective_models import (
     select_segment_bytes,
 )
 from repro.comm.stats import CommStats
+from repro.obs import tracer as _trace
 
 _REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
     "sum": lambda a, b: a + b,
@@ -263,6 +264,9 @@ class _RecvRequest(Request):
         comm.stats.record_recv(nbytes)
         overlapped = (perf_counter() - self._t_launch) - waited
         comm.stats.record_async(self._opname, nbytes, waited, overlapped, collective=False)
+        if _trace.is_on():
+            _trace.flow_in(comm._members[self._source], comm._tag_key(self._tag))
+            _trace.wait_span(self._opname, waited, overlapped, nbytes)
         self._result = payload
         self._done = True
 
@@ -345,6 +349,8 @@ class _CollectiveRequest(Request):
             comm.stats.record_wire(
                 self._opname, sent, recv(result) if callable(recv) else recv
             )
+        if _trace.is_on():
+            _trace.wait_span(self._opname, waited, overlapped, payload_nbytes(result))
         self._result = result
         self._done = True
 
@@ -402,6 +408,8 @@ class _ScheduleRequest(Request):
         comm.stats.record_async(
             self._opname, payload_nbytes(result), waited, overlapped
         )
+        if _trace.is_on():
+            _trace.wait_span(self._opname, waited, overlapped, payload_nbytes(result))
         try:
             comm._alg_inflight.remove(self)
         except ValueError:  # pragma: no cover - defensive
@@ -509,16 +517,23 @@ class Communicator:
         """
         self._check_peer(dest, "dest")
         frozen = _freeze(payload)
-        self.stats.record_send(payload_nbytes(frozen))
-        self._world.deliver(self.world_rank, self._members[dest], self._tag_key(tag), frozen)
+        nbytes = payload_nbytes(frozen)
+        self.stats.record_send(nbytes)
+        tag_key = self._tag_key(tag)
+        with _trace.span("send", cat="pt2pt", dest=dest, bytes=nbytes):
+            _trace.flow_out(self._members[dest], tag_key)
+            self._world.deliver(self.world_rank, self._members[dest], tag_key, frozen)
 
     def recv(self, source: int, tag: int = 0) -> Any:
         """Block until a message from comm-rank ``source`` with ``tag`` arrives."""
         self._check_peer(source, "source")
-        payload = self._world.collect(
-            self.world_rank, self._members[source], self._tag_key(tag)
-        )
-        self.stats.record_recv(payload_nbytes(payload))
+        tag_key = self._tag_key(tag)
+        with _trace.span("recv", cat="pt2pt", source=source) as sp:
+            payload = self._world.collect(self.world_rank, self._members[source], tag_key)
+            _trace.flow_in(self._members[source], tag_key)
+            nbytes = payload_nbytes(payload)
+            sp.set(bytes=nbytes)
+        self.stats.record_recv(nbytes)
         return payload
 
     def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
@@ -761,9 +776,10 @@ class Communicator:
 
     # -- collectives ------------------------------------------------------------
     def barrier(self) -> None:
-        self._progress_inflight_schedules()
-        self._op_seq += 1
-        self._channel.barrier()
+        with _trace.span("barrier", cat="coll"):
+            self._progress_inflight_schedules()
+            self._op_seq += 1
+            self._channel.barrier()
 
     def bcast(
         self, payload: Any, root: int = 0, *, algorithm: str | None = None
@@ -780,13 +796,14 @@ class Communicator:
         alg = self._resolve_tree(algorithm, "bcast")
         if alg == "binomial":
             node = _alg.compile_tree(self.size, root)[self.rank]
-            got, t = _alg.run_tree_bcast(
-                self,
-                node,
-                _freeze(payload) if self.rank == root else None,
-                "bcast",
-                self._next_alg_seq(),
-            )
+            with _trace.span("bcast", cat="coll", alg="binomial"):
+                got, t = _alg.run_tree_bcast(
+                    self,
+                    node,
+                    _freeze(payload) if self.rank == root else None,
+                    "bcast",
+                    self._next_alg_seq(),
+                )
             result = _private(got)
             self.stats.record_wire("bcast", t.wire_sent, t.wire_recv)
         else:
@@ -824,9 +841,10 @@ class Communicator:
         own = payload_nbytes(payload)
         if alg == "binomial":
             node = _alg.compile_tree(self.size, root)[self.rank]
-            gathered, t = _alg.run_tree_gather(
-                self, node, _freeze(payload), "gather", self._next_alg_seq()
-            )
+            with _trace.span("gather", cat="coll", alg="binomial"):
+                gathered, t = _alg.run_tree_gather(
+                    self, node, _freeze(payload), "gather", self._next_alg_seq()
+                )
             self.stats.record_wire("gather", t.wire_sent, t.wire_recv)
         else:
             all_ranks = tuple(range(self.size))
@@ -881,14 +899,15 @@ class Communicator:
         alg = self._resolve_tree(algorithm, "scatter")
         if alg == "binomial":
             node = _alg.compile_tree(self.size, root)[self.rank]
-            own, t = _alg.run_tree_scatter(
-                self,
-                node,
-                _freeze(list(payloads)) if self.rank == root else None,
-                root,
-                "scatter",
-                self._next_alg_seq(),
-            )
+            with _trace.span("scatter", cat="coll", alg="binomial"):
+                own, t = _alg.run_tree_scatter(
+                    self,
+                    node,
+                    _freeze(list(payloads)) if self.rank == root else None,
+                    root,
+                    "scatter",
+                    self._next_alg_seq(),
+                )
             result = _private(own)
             self.stats.record_wire("scatter", t.wire_sent, t.wire_recv)
         else:
@@ -964,7 +983,8 @@ class Communicator:
                 if alg == "recursive_doubling"
                 else _alg.run_ring_allgather
             )
-            result, t = run(self, payload, "allgather", self._next_alg_seq())
+            with _trace.span("allgather", cat="coll", alg=alg):
+                result, t = run(self, payload, "allgather", self._next_alg_seq())
             own = payload_nbytes(payload)
             self.stats.record_wire("allgather", t.wire_sent, t.wire_recv)
         self.stats.record_collective("allgather", own)
@@ -1098,9 +1118,10 @@ class Communicator:
         n = payload_nbytes(value)
         if alg == "binomial":
             node = _alg.compile_tree(self.size, root)[self.rank]
-            result, t = _alg.run_tree_reduce(
-                self, node, value, fn, "reduce", self._next_alg_seq()
-            )
+            with _trace.span("reduce", cat="coll", alg="binomial", bytes=n):
+                result, t = _alg.run_tree_reduce(
+                    self, node, value, fn, "reduce", self._next_alg_seq()
+                )
             self.stats.record_wire("reduce", t.wire_sent, t.wire_recv)
         else:
             all_ranks = tuple(range(self.size))
@@ -1207,7 +1228,8 @@ class Communicator:
                 "allreduce", alg, value, fn, segment_bytes,
                 ufunc=_REDUCE_UFUNCS.get(op),
             )
-            result = runner.finish()
+            with _trace.span("allreduce", cat="coll", alg=alg, bytes=value.nbytes):
+                result = runner.finish()
             self.stats.record_wire(
                 "allreduce", runner.wire_sent, runner.wire_recv,
                 inter_sent=runner.wire_sent_inter,
@@ -1310,7 +1332,8 @@ class Communicator:
                 inter_peers=self._inter_flags(),
                 ufunc=_REDUCE_UFUNCS.get(op),
             )
-            out = runner.finish()
+            with _trace.span("reduce_scatter", cat="coll", alg="ring", bytes=flat.nbytes):
+                out = runner.finish()
             result = out[offsets[self.rank] : offsets[self.rank + 1]].reshape(
                 parts[self.rank].shape
             )
@@ -1389,11 +1412,15 @@ class Communicator:
         needs: Callable[[int], Any] | None = None,
         parts: bool = False,
     ) -> Any:
-        self._progress_inflight_schedules()
-        self._op_seq += 1
-        return self._channel.collective(
-            _freeze(contribution), combine, opname, needs=needs, parts=parts
-        )
+        sp = _trace.span(opname, cat="coll", alg="direct")
+        with sp:
+            if _trace.is_on():
+                sp.set(bytes=payload_nbytes(contribution))
+            self._progress_inflight_schedules()
+            self._op_seq += 1
+            return self._channel.collective(
+                _freeze(contribution), combine, opname, needs=needs, parts=parts
+            )
 
     def _icollective(
         self,

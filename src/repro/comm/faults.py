@@ -323,6 +323,11 @@ class JobConfig:
     #: routing and drives hierarchical collective selection on every
     #: backend (``None`` = the backend's default layout).
     hostmap: Any = None
+    #: Optional :class:`~repro.obs.tracer.TraceConfig` enabling per-rank
+    #: span tracing (``run_spmd(trace=...)`` / ``REPRO_TRACE``); carries
+    #: the merged-output path and the shared job epoch used to align every
+    #: rank's clock.  ``None`` = tracing disabled.
+    trace: Any = None
 
     def timeout_for(self, opname: str) -> float:
         best: str | None = None

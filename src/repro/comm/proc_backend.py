@@ -78,6 +78,7 @@ from repro.comm.backend import (
     register_backend,
 )
 from repro.comm.faults import INJECTED_CRASH_EXIT, FaultInjector, JobConfig
+from repro.obs import tracer
 
 logger = logging.getLogger(__name__)
 
@@ -856,26 +857,29 @@ class ProcessWorld(BaseWorld):
         per-(sender, dest) sequence number so the receiver restores exact
         send order, preserving per-(source, tag) FIFO across lanes.
         """
-        descs: list = []
-        skeleton = _pack(
-            payload, self._shared.arena, descs, self.transport, self._shared.shm_min
-        )
-        seq = self._send_seq[dest]
-        self._send_seq[dest] = seq + 1
-        msg = (seq, source, tag, skeleton, descs)
-        w = self._wpipes.get(dest)
-        if w is not None:
-            blob = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
-            if len(blob) + 4 <= _PIPE_FRAME_MAX:
-                try:
-                    os.write(w, len(blob).to_bytes(4, "little") + blob)
-                except OSError:
-                    pass  # pipe full or torn down: take the queue lane
-                else:
-                    self.transport["pipe_messages"] += 1
-                    return
-        self.transport["queue_messages"] += 1
-        self._shared.queues[dest].put(msg)
+        with tracer.span("xport:send", cat="transport", dest=dest) as sp:
+            descs: list = []
+            skeleton = _pack(
+                payload, self._shared.arena, descs, self.transport, self._shared.shm_min
+            )
+            seq = self._send_seq[dest]
+            self._send_seq[dest] = seq + 1
+            msg = (seq, source, tag, skeleton, descs)
+            w = self._wpipes.get(dest)
+            if w is not None:
+                blob = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+                if len(blob) + 4 <= _PIPE_FRAME_MAX:
+                    try:
+                        os.write(w, len(blob).to_bytes(4, "little") + blob)
+                    except OSError:
+                        pass  # pipe full or torn down: take the queue lane
+                    else:
+                        self.transport["pipe_messages"] += 1
+                        sp.set(lane="pipe", bytes=len(blob))
+                        return
+            self.transport["queue_messages"] += 1
+            sp.set(lane="queue")
+            self._shared.queues[dest].put(msg)
 
     def collect(self, dest: int, source: int, tag: Any, opname: str = "recv") -> Any:
         self._check_rank(source, "source")
@@ -950,6 +954,11 @@ def _child_main(
     from repro.comm.communicator import Communicator
 
     world = (world_cls or ProcessWorld)(shared, rank)
+    # Rank identity (and tracing, when enabled) for every thread of this
+    # child — heartbeat and transport helpers attribute to the rank too.
+    hm = getattr(world, "_hostmap", None) or shared.config.hostmap
+    host = hm.host_of(rank) if hm is not None else "node0"
+    tracer.enter_rank(rank, host, trace=shared.config.trace)
     threading.Thread(
         target=_heartbeat_loop,
         args=(shared, rank),
@@ -1002,6 +1011,13 @@ def _child_main(
     except Exception as exc:  # pragma: no cover - depends on host
         logger.warning(
             "world rank %d: transport shutdown failed: %s: %s",
+            rank, type(exc).__name__, exc,
+        )
+    try:
+        tracer.exit_rank()  # flush this rank's trace file before reporting
+    except Exception as exc:  # pragma: no cover - disk-full etc.
+        logger.warning(
+            "world rank %d: trace flush failed: %s: %s",
             rank, type(exc).__name__, exc,
         )
     if status == "ok":

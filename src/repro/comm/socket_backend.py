@@ -65,6 +65,7 @@ import numpy as np
 from repro.comm.backend import CommAborted, _format_pending, _retry_note, register_backend
 from repro.comm.faults import JobConfig
 from repro.comm.hostmap import HostMap
+from repro.obs import tracer
 from repro.comm.proc_backend import (
     ProcessWorld,
     _child_main,
@@ -569,7 +570,8 @@ class SocketWorld(ProcessWorld):
                 f"world rank {self.rank} has no connection to world rank "
                 f"{dest} (host {self._hostmap.host_of(dest)})"
             )
-        conn.send_frame(_FRAME_DATA, blob)
+        with tracer.span("xport:tcp", cat="transport", dest=dest, bytes=len(blob)):
+            conn.send_frame(_FRAME_DATA, blob)
 
 
 def _socket_child_main(

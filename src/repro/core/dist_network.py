@@ -63,6 +63,7 @@ from repro.comm.buffers import BufferPool
 from repro.comm.communicator import Communicator
 from repro.nn import init as I
 from repro.nn.graph import NetworkSpec
+from repro.obs import tracer as _trace
 from repro.tensor.dist_tensor import DistTensor
 from repro.tensor.grid import ProcessGrid
 from repro.tensor.shuffle import ShuffleExchange, shuffle, start_shuffle
@@ -296,46 +297,47 @@ class DistNetwork:
                     self._start_child_shuffles(name)
                 continue
 
-            parents = [self._acts[p] for p in layer.parents]
-            # Record the parent's original placement so backward can route
-            # the error signal back through the same shuffle.
-            self._fwd_dist[name] = [(p.grid, p.dist) for p in parents]
-            resolved = []
-            for idx, p in enumerate(parents):
-                ex = self._pending_fwd.pop((name, idx), None)
-                if ex is not None:
-                    self.shuffle_count += 1
-                    resolved.append(ex.finish())
-                else:
-                    resolved.append(self._to_layer_dist(p, grid))
-            parents = resolved
-            impl = self._layers[name]
+            with _trace.span(f"fwd:{name}", cat="layer", kind=layer.kind):
+                parents = [self._acts[p] for p in layer.parents]
+                # Record the parent's original placement so backward can route
+                # the error signal back through the same shuffle.
+                self._fwd_dist[name] = [(p.grid, p.dist) for p in parents]
+                resolved = []
+                for idx, p in enumerate(parents):
+                    ex = self._pending_fwd.pop((name, idx), None)
+                    if ex is not None:
+                        self.shuffle_count += 1
+                        resolved.append(ex.finish())
+                    else:
+                        resolved.append(self._to_layer_dist(p, grid))
+                parents = resolved
+                impl = self._layers[name]
 
-            if layer.kind == "conv":
-                y = impl.forward(parents[0])
-            elif layer.kind == "pool":
-                y = impl.forward(parents[0])
-            elif layer.kind == "bn":
-                y = impl.forward(parents[0], training=training)
-            elif layer.kind in ("relu", "gap", "fc"):
-                y = impl.forward(parents[0])
-            elif layer.kind == "add":
-                y = impl.forward(*parents)
-            elif layer.kind == "softmax_ce":
-                if targets is not None:
-                    self.loss = impl.forward_loss(parents[0], targets)
-                y = parents[0]
-            elif layer.kind == "bce":
-                if targets is not None:
-                    self.loss = impl.forward_loss(
-                        parents[0], np.asarray(targets, dtype=self.dtype)
-                    )
-                y = parents[0]
-            else:  # pragma: no cover
-                raise AssertionError(layer.kind)
-            self._acts[name] = y
-            if self.overlap_shuffle:
-                self._start_child_shuffles(name)
+                if layer.kind == "conv":
+                    y = impl.forward(parents[0])
+                elif layer.kind == "pool":
+                    y = impl.forward(parents[0])
+                elif layer.kind == "bn":
+                    y = impl.forward(parents[0], training=training)
+                elif layer.kind in ("relu", "gap", "fc"):
+                    y = impl.forward(parents[0])
+                elif layer.kind == "add":
+                    y = impl.forward(*parents)
+                elif layer.kind == "softmax_ce":
+                    if targets is not None:
+                        self.loss = impl.forward_loss(parents[0], targets)
+                    y = parents[0]
+                elif layer.kind == "bce":
+                    if targets is not None:
+                        self.loss = impl.forward_loss(
+                            parents[0], np.asarray(targets, dtype=self.dtype)
+                        )
+                    y = parents[0]
+                else:  # pragma: no cover
+                    raise AssertionError(layer.kind)
+                self._acts[name] = y
+                if self.overlap_shuffle:
+                    self._start_child_shuffles(name)
         return self.loss
 
     def backward(self, grad_hook=None) -> dict[str, dict[str, np.ndarray]]:
@@ -446,44 +448,45 @@ class DistNetwork:
             impl = self._layers[name]
             if layer.kind == "input":
                 continue
-            if layer.kind in ("softmax_ce", "bce"):
-                route_back(name, 0, impl.backward())
-                continue
-            dy = consume_dy(name)
-            if dy is None:
-                continue  # no path to the loss
+            with _trace.span(f"bwd:{name}", cat="layer", kind=layer.kind):
+                if layer.kind in ("softmax_ce", "bce"):
+                    route_back(name, 0, impl.backward())
+                    continue
+                dy = consume_dy(name)
+                if dy is None:
+                    continue  # no path to the loss
 
-            if layer.kind == "conv":
-                dx, dw, db = impl.backward(dy)
-                g = {"w": dw}
-                if db is not None:
-                    g["b"] = db
-                # The dx shuffle first: it is in flight while the reducer
-                # coalesces and launches this layer's gradient allreduce.
-                route_back(name, 0, dx)
-                complete_grads(name, g)
-            elif layer.kind == "pool":
-                route_back(name, 0, impl.backward(dy))
-            elif layer.kind == "bn":
-                dx, dgamma, dbeta = impl.backward(dy)
-                route_back(name, 0, dx)
-                complete_grads(name, {"gamma": dgamma, "beta": dbeta})
-            elif layer.kind == "relu":
-                route_back(name, 0, impl.backward(dy))
-            elif layer.kind == "gap":
-                route_back(name, 0, impl.backward(dy))
-            elif layer.kind == "fc":
-                dx, dw, db = impl.backward(dy)
-                g = {"w": dw}
-                if db is not None:
-                    g["b"] = db
-                route_back(name, 0, dx)
-                complete_grads(name, g)
-            elif layer.kind == "add":
-                for idx in range(len(layer.parents)):
-                    route_back(name, idx, dy)
-            else:  # pragma: no cover
-                raise AssertionError(layer.kind)
+                if layer.kind == "conv":
+                    dx, dw, db = impl.backward(dy)
+                    g = {"w": dw}
+                    if db is not None:
+                        g["b"] = db
+                    # The dx shuffle first: it is in flight while the reducer
+                    # coalesces and launches this layer's gradient allreduce.
+                    route_back(name, 0, dx)
+                    complete_grads(name, g)
+                elif layer.kind == "pool":
+                    route_back(name, 0, impl.backward(dy))
+                elif layer.kind == "bn":
+                    dx, dgamma, dbeta = impl.backward(dy)
+                    route_back(name, 0, dx)
+                    complete_grads(name, {"gamma": dgamma, "beta": dbeta})
+                elif layer.kind == "relu":
+                    route_back(name, 0, impl.backward(dy))
+                elif layer.kind == "gap":
+                    route_back(name, 0, impl.backward(dy))
+                elif layer.kind == "fc":
+                    dx, dw, db = impl.backward(dy)
+                    g = {"w": dw}
+                    if db is not None:
+                        g["b"] = db
+                    route_back(name, 0, dx)
+                    complete_grads(name, g)
+                elif layer.kind == "add":
+                    for idx in range(len(layer.parents)):
+                        route_back(name, idx, dy)
+                else:  # pragma: no cover
+                    raise AssertionError(layer.kind)
 
         # Error signals routed to input layers are never consumed; drain
         # their in-flight exchanges so no irecv outlives the step.

@@ -47,6 +47,7 @@ from typing import Any
 import numpy as np
 
 from repro.comm.communicator import Communicator, Request
+from repro.obs import tracer as _trace
 
 #: Default bucket size.  Gradients smaller than this are coalesced; a single
 #: tensor larger than this still goes out as one (unsplit) allreduce.
@@ -190,10 +191,14 @@ class BucketedGradReducer:
         Includes every layer already completed by earlier :meth:`poll`
         calls — ``drain`` is always the complete picture.
         """
-        for key in list(self._buckets):
-            self._flush(key)
-        for request, bucket in self._inflight:
-            self._scatter(bucket, request.wait())
+        with _trace.span(
+            "grad.drain", cat="train",
+            pending=len(self._buckets), inflight=len(self._inflight),
+        ):
+            for key in list(self._buckets):
+                self._flush(key)
+            for request, bucket in self._inflight:
+                self._scatter(bucket, request.wait())
         self._inflight.clear()
         out = self._done
         self._done = {}

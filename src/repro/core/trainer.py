@@ -21,6 +21,9 @@ import numpy as np
 from repro.nn.optim import SGD
 from repro.core import checkpoint as ckpt
 from repro.core.dist_network import DistNetwork
+from repro.obs import tracer as _trace
+from repro.obs.logging import get_logger
+from repro.obs.metrics import comm_stats_snapshot
 
 
 @dataclass
@@ -89,6 +92,10 @@ class DistTrainer:
 
     def step(self, inputs, targets) -> float:
         """One training step: forward, backward+overlapped allreduce, update."""
+        with _trace.span("step", cat="train", index=self.step_index):
+            return self._step(inputs, targets)
+
+    def _step(self, inputs, targets) -> float:
         t0 = perf_counter()
         if self.incremental_update:
             applied: set[str] = set()
@@ -110,7 +117,8 @@ class DistTrainer:
                 self.optimizer.step(self.network.params, leftover)
         else:
             loss, grads = self.network.loss_and_grad(inputs, targets)
-            self.optimizer.step(self.network.params, grads)
+            with _trace.span("optimizer", cat="train", params=len(grads)):
+                self.optimizer.step(self.network.params, grads)
         self.stats.record(loss, perf_counter() - t0)
         self.step_index += 1
         if (
@@ -131,6 +139,10 @@ class DistTrainer:
         """
         if self.checkpoint_dir is None:
             raise RuntimeError("DistTrainer has no checkpoint_dir configured")
+        with _trace.span("checkpoint", cat="train", step=self.step_index):
+            return self._save_checkpoint()
+
+    def _save_checkpoint(self) -> str:
         state = {
             "step": self.step_index,
             "network": self.network.state_dict(),
@@ -179,8 +191,18 @@ class DistTrainer:
             iterable = batches() if callable(batches) else batches
             for inputs, targets in iterable:
                 self.step(inputs, targets)
+        if _trace.is_on():
+            _trace.annotate("comm_stats", comm_stats_snapshot(self.network.comm.stats))
+            _trace.annotate(
+                "train_stats",
+                {
+                    "steps": self.stats.steps,
+                    "total_seconds": self.stats.total_seconds,
+                    "last_loss": self.stats.last_loss,
+                },
+            )
         if verbose and self.network.comm.rank == 0:
-            print(self.comm_report())
+            get_logger("train").info("%s", self.comm_report())
         return self.stats
 
     def comm_report(self) -> str:

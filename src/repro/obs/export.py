@@ -1,0 +1,220 @@
+"""Merge per-rank trace files into one Chrome trace-event JSON.
+
+The merged document loads directly in Perfetto (https://ui.perfetto.dev)
+or ``chrome://tracing``: one track (pid) per rank, ``X`` complete events
+for spans, and ``s``/``f`` flow pairs drawing send→recv arrows.  Flow
+sides are matched by ``(source, dest, tag, sequence)`` — deterministic
+because mailbox delivery is FIFO per ``(source, tag)``.
+
+:func:`validate` is the schema gate used by CI and the tests: every span
+closed with non-negative duration, events time-ordered and properly
+nested per track, and every flow resolved to exactly one send and one
+receive side.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs import tracer
+
+#: Nesting slack (µs) for float round-off when checking span containment.
+_NEST_SLACK_US = 1.5
+
+
+def _read_rank_file(path: str) -> list[dict]:
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def merge_traces(path: str, nranks: int, *, keep_rank_files: bool = False) -> str:
+    """Fold ``{path}.rank{R}`` files for ranks ``0..nranks-1`` into a single
+    Chrome-trace JSON at ``path``.  Missing rank files (crashed ranks) are
+    tolerated and listed under ``otherData.missing_ranks``."""
+    events: list[dict] = []
+    sends: dict = {}
+    recvs: dict = {}
+    annotations: dict = {}
+    hosts: dict = {}
+    unclosed: dict = {}
+    missing: list[int] = []
+    seen_files: list[str] = []
+
+    for rank in range(nranks):
+        rf = tracer.rank_file(path, rank)
+        if not os.path.exists(rf):
+            missing.append(rank)
+            continue
+        seen_files.append(rf)
+        records = _read_rank_file(rf)
+        host = "?"
+        spans = []
+        for rec in records:
+            kind = rec.get("k")
+            if kind == "M":
+                host = rec.get("host", "?")
+            elif kind == "X":
+                spans.append(rec)
+            elif kind == "s":
+                sends[(rank, rec["p"], rec["t"], rec["q"])] = rec["ts"]
+            elif kind == "f":
+                recvs[(rec["p"], rank, rec["t"], rec["q"])] = rec["ts"]
+            elif kind == "A":
+                annotations.setdefault(str(rank), {})[rec["n"]] = rec["a"]
+            elif kind == "Z" and rec.get("open"):
+                unclosed[str(rank)] = rec["open"]
+        hosts[str(rank)] = host
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": rank,
+                "tid": 0,
+                "args": {"name": f"rank {rank} @ {host}"},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_sort_index",
+                "pid": rank,
+                "tid": 0,
+                "args": {"sort_index": rank},
+            }
+        )
+        for rec in sorted(spans, key=lambda r: (r["ts"], -r["d"])):
+            events.append(
+                {
+                    "ph": "X",
+                    "name": rec["n"],
+                    "cat": rec["c"],
+                    "ts": rec["ts"],
+                    "dur": rec["d"],
+                    "pid": rank,
+                    "tid": 0,
+                    "args": rec.get("a", {}),
+                }
+            )
+
+    flow_id = 0
+    unresolved = 0
+    for key, send_ts in sorted(sends.items(), key=lambda kv: kv[1]):
+        recv_ts = recvs.pop(key, None)
+        if recv_ts is None:
+            unresolved += 1
+            continue
+        flow_id += 1
+        src, dst, _tag, _seq = key
+        events.append(
+            {
+                "ph": "s",
+                "id": flow_id,
+                "name": "msg",
+                "cat": "flow",
+                "pid": src,
+                "tid": 0,
+                "ts": send_ts,
+                "bp": "e",
+            }
+        )
+        events.append(
+            {
+                "ph": "f",
+                "id": flow_id,
+                "name": "msg",
+                "cat": "flow",
+                "pid": dst,
+                "tid": 0,
+                "ts": recv_ts,
+                "bp": "e",
+            }
+        )
+    unresolved += len(recvs)  # receive sides whose send record never appeared
+
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "tool": "repro.obs",
+            "nranks": nranks,
+            "hosts": hosts,
+            "annotations": annotations,
+            "flows": flow_id,
+            "unresolved_flows": unresolved,
+            "missing_ranks": missing,
+            "unclosed_spans": unclosed,
+        },
+    }
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    if not keep_rank_files:
+        for rf in seen_files:
+            os.remove(rf)
+    return path
+
+
+def validate(doc: dict) -> list[str]:
+    """Schema-check a merged trace; returns a list of problems (empty when
+    the trace is well-formed)."""
+    problems: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["trace has no traceEvents list"]
+
+    other = doc.get("otherData", {})
+    if other.get("missing_ranks"):
+        problems.append(f"missing rank files: {other['missing_ranks']}")
+    if other.get("unclosed_spans"):
+        problems.append(f"unclosed spans at shutdown: {other['unclosed_spans']}")
+    if other.get("unresolved_flows"):
+        problems.append(f"{other['unresolved_flows']} unresolved flows")
+
+    tracks: dict = {}
+    flows: dict = {}
+    for ev in events:
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "s", "f"):
+            problems.append(f"unknown event phase {ph!r}")
+        elif ph == "X":
+            if "pid" not in ev or "ts" not in ev or "dur" not in ev or "name" not in ev:
+                problems.append(f"malformed X event: {ev}")
+                continue
+            if ev["dur"] < 0 or ev["ts"] < 0:
+                problems.append(f"negative ts/dur on span {ev['name']!r}")
+            tracks.setdefault(ev["pid"], []).append((ev["ts"], ev["dur"], ev["name"]))
+        elif ph in ("s", "f"):
+            flows.setdefault(ev["id"], []).append(ph)
+
+    for pid, spans in sorted(tracks.items()):
+        starts = [s[0] for s in spans]
+        if starts != sorted(starts):
+            problems.append(f"track pid={pid} events are not time-ordered")
+        stack: list[float] = []  # end times of currently open ancestors
+        for ts, dur, name in sorted(spans, key=lambda s: (s[0], -s[1])):
+            while stack and ts >= stack[-1] - _NEST_SLACK_US:
+                stack.pop()
+            if stack and ts + dur > stack[-1] + _NEST_SLACK_US:
+                problems.append(
+                    f"span {name!r} on pid={pid} overlaps its enclosing span "
+                    f"(start={ts:.1f}us dur={dur:.1f}us parent_end={stack[-1]:.1f}us)"
+                )
+            stack.append(ts + dur)
+
+    for fid, sides in sorted(flows.items()):
+        if sorted(sides) != ["f", "s"]:
+            problems.append(f"flow id={fid} has sides {sides} (want one s + one f)")
+
+    return problems
+
+
+def validate_file(path: str) -> list[str]:
+    with open(path) as fh:
+        return validate(json.load(fh))

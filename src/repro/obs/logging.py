@@ -1,0 +1,63 @@
+"""The standard ``repro`` logger with a ``[rank R @ host]`` prefix.
+
+Every backend installs the rank identity via :mod:`repro.obs.tracer`
+(``enter_rank``) whether or not tracing is on; a logging filter reads it
+lazily per record, so one logger configuration serves the driver
+(``[driver]``), thread-backend ranks (thread-local identity), and forked
+children (process-global identity) alike.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+from repro.obs import tracer
+
+_LOGGER = "repro"
+_configured = False
+
+
+class _RankPrefixFilter(logging.Filter):
+    def filter(self, record: logging.LogRecord) -> bool:
+        ident = tracer.identity()
+        if ident is None:
+            record.rankprefix = "[driver] "
+        else:
+            record.rankprefix = f"[rank {ident[0]} @ {ident[1]}] "
+        return True
+
+
+def configure(stream=None, level: int = logging.INFO, force: bool = False) -> logging.Logger:
+    """Attach the prefixing stream handler to the ``repro`` root logger.
+
+    Idempotent; pass ``force=True`` to rebind (e.g. to a capture stream in
+    tests).  Defaults to stdout so ``fit(verbose=True)`` output lands where
+    the old ``print`` did.
+    """
+    global _configured
+    logger = logging.getLogger(_LOGGER)
+    if _configured and not force:
+        return logger
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stdout)
+    handler.setFormatter(logging.Formatter("%(rankprefix)s%(message)s"))
+    handler.addFilter(_RankPrefixFilter())
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    # Propagation stays on: the root logger normally has no handlers, so
+    # nothing double-prints, and test harnesses (pytest's caplog) capture
+    # ``repro.*`` records through the root as they always did.
+    _configured = True
+    return logger
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a configured logger under the ``repro`` namespace."""
+    configure()
+    if not name:
+        return logging.getLogger(_LOGGER)
+    if name == _LOGGER or name.startswith(_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_LOGGER}.{name}")

@@ -1,0 +1,175 @@
+"""A cross-rank metrics registry: counters and gauges, reduced at report
+time via the existing collectives.
+
+``CommStats``, ``TrainStats``, and the transport counter dicts each track
+their own numbers today; :class:`MetricsRegistry` pulls them into one
+namespace (``comm.*``, ``train.*``, ``transport.*``) via the ``ingest_*``
+adapters, and :meth:`MetricsRegistry.reduce` folds every rank's view into
+one table — counters sum via ``allreduce``, gauges report min/mean/max
+from an ``allgather`` (name sets may differ per rank, so alignment happens
+on the gathered dicts, not positionally).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Counter:
+    """A monotonically accumulated value; summed across ranks on reduce."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += float(amount)
+
+
+class Gauge:
+    """A point-in-time value; min/mean/max across ranks on reduce."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+def comm_stats_snapshot(stats) -> dict:
+    """A JSON-serializable ``CommStats`` snapshot (embedded verbatim into
+    traces, so analyzer comm rows agree with the live counters exactly)."""
+    return {
+        "collectives": {k: int(v) for k, v in stats.collectives.items()},
+        "collective_bytes": {k: int(v) for k, v in stats.collective_bytes.items()},
+        "wire_out": {k: int(v) for k, v in stats.collective_wire_sent.items()},
+        "wire_in": {k: int(v) for k, v in stats.collective_wire_recv.items()},
+        "wire_out_inter": {k: int(v) for k, v in stats.collective_wire_sent_inter.items()},
+        "wire_in_inter": {k: int(v) for k, v in stats.collective_wire_recv_inter.items()},
+        "segments": {k: int(v) for k, v in stats.collective_segments.items()},
+        "wait_s": {k: float(v) for k, v in stats.wait_seconds.items()},
+        "overlap_s": {k: float(v) for k, v in stats.overlap_seconds.items()},
+        "sends": int(stats.sends),
+        "recvs": int(stats.recvs),
+    }
+
+
+class MetricsRegistry:
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).add(amount)
+
+    def set(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    # ------------------------------------------------------------------
+    # Ingest adapters: unify the existing per-subsystem stat objects.
+
+    def ingest_comm_stats(self, stats, prefix: str = "comm") -> None:
+        ops = set(stats.collectives) | set(stats.collective_bytes)
+        for op in sorted(ops):
+            self.inc(f"{prefix}.{op}.calls", stats.collectives.get(op, 0))
+            self.inc(f"{prefix}.{op}.bytes", stats.collective_bytes.get(op, 0))
+        self.inc(f"{prefix}.sends", stats.sends)
+        self.inc(f"{prefix}.recvs", stats.recvs)
+        self.inc(f"{prefix}.wire_out", stats.total_wire_sent())
+        self.inc(f"{prefix}.wire_in", stats.total_wire_recv())
+        self.inc(f"{prefix}.wire_out_inter", stats.total_wire_sent_inter())
+        self.inc(f"{prefix}.wire_in_inter", stats.total_wire_recv_inter())
+        self.inc(f"{prefix}.segments", stats.total_segments())
+        self.inc(f"{prefix}.wait_ms", stats.total_wait_seconds() * 1e3)
+        self.inc(f"{prefix}.overlap_ms", stats.total_overlap_seconds() * 1e3)
+
+    def ingest_train_stats(self, stats, prefix: str = "train") -> None:
+        self.inc(f"{prefix}.steps", stats.steps)
+        self.inc(f"{prefix}.total_s", stats.total_seconds)
+        if stats.steps:
+            self.set(f"{prefix}.step_ms", 1e3 * stats.total_seconds / stats.steps)
+            self.set(f"{prefix}.last_loss", stats.last_loss)
+
+    def ingest_transport(self, transport, prefix: str = "transport") -> None:
+        for key in sorted(transport or {}):
+            self.inc(f"{prefix}.{key}", transport[key])
+
+    def ingest_faults(self, failed_ranks, prefix: str = "faults") -> None:
+        self.inc(f"{prefix}.failed_ranks", len(failed_ranks or ()))
+
+    # ------------------------------------------------------------------
+
+    def local(self) -> dict:
+        """This rank's raw values (no communication)."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+        }
+
+    def reduce(self, comm) -> dict:
+        """Fold every rank's registry into one view (collective: every
+        member of ``comm`` must call this)."""
+        names = comm.allgather(sorted(self._counters))
+        union = sorted(set().union(*names)) if names else []
+        values = np.array(
+            [self._counters[n].value if n in self._counters else 0.0 for n in union],
+            dtype=np.float64,
+        )
+        totals = comm.allreduce(values) if union else values
+        counters = {n: float(v) for n, v in zip(union, totals)}
+
+        gathered = comm.allgather({n: g.value for n, g in self._gauges.items()})
+        gauges: dict[str, dict] = {}
+        for per_rank in gathered:
+            for name, value in per_rank.items():
+                slot = gauges.setdefault(name, {"min": value, "max": value, "sum": 0.0, "n": 0})
+                slot["min"] = min(slot["min"], value)
+                slot["max"] = max(slot["max"], value)
+                slot["sum"] += value
+                slot["n"] += 1
+        return {
+            "nranks": comm.size,
+            "counters": counters,
+            "gauges": {
+                n: {"min": s["min"], "mean": s["sum"] / s["n"], "max": s["max"]}
+                for n, s in sorted(gauges.items())
+            },
+        }
+
+    @staticmethod
+    def render(reduced: dict) -> str:
+        lines = [f"metrics over {reduced.get('nranks', '?')} ranks:"]
+        counters = reduced.get("counters", {})
+        if counters:
+            lines.append(f"  {'counter':<32} {'total':>16}")
+            for name in sorted(counters):
+                lines.append(f"  {name:<32} {counters[name]:>16,.0f}")
+        gauges = reduced.get("gauges", {})
+        if gauges:
+            lines.append(f"  {'gauge':<32} {'min':>12} {'mean':>12} {'max':>12}")
+            for name, s in gauges.items():
+                lines.append(
+                    f"  {name:<32} {s['min']:>12.3f} {s['mean']:>12.3f} {s['max']:>12.3f}"
+                )
+        return "\n".join(lines)
+
+    def report(self, comm) -> str:
+        """Collective: reduce across ``comm`` and render the table."""
+        return self.render(self.reduce(comm))

@@ -49,6 +49,10 @@ class SimEngine:
     def __getitem__(self, name: str) -> Task:
         return self._tasks[name]
 
+    def tasks(self) -> list[Task]:
+        """All tasks in submission order (start/finish valid after run())."""
+        return [self._tasks[name] for name in self._order]
+
     def run(self) -> float:
         """Execute the schedule; returns the makespan (seconds)."""
         indeg = {n: len(t.deps) for n, t in self._tasks.items()}

@@ -32,6 +32,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.comm.communicator import Request
+from repro.obs import tracer as _trace
 from repro.tensor.dist_tensor import DistTensor
 from repro.tensor.indexing import place_region
 
@@ -63,6 +64,16 @@ def halo_exchange(
     Raises ``ValueError`` if a neighbor owns fewer cells than the requested
     width (the exchange would need data from beyond the immediate neighbor).
     """
+    with _trace.span("halo", cat="exchange", widths=list(map(int, widths))):
+        return _halo_exchange(dt, widths, fill, pool)
+
+
+def _halo_exchange(
+    dt: DistTensor,
+    widths: Sequence[int],
+    fill: float = 0.0,
+    pool=None,
+) -> np.ndarray:
     if len(widths) != dt.dist.ndim:
         raise ValueError(f"need {dt.dist.ndim} widths, got {len(widths)}")
     widths = [int(w) for w in widths]
@@ -250,6 +261,10 @@ class RegionExchange:
         targets a disjoint sub-region, so assembly order cannot change the
         result).
         """
+        with _trace.span("halo.finish", cat="exchange", pending=len(self._pending)):
+            return self._finish()
+
+    def _finish(self) -> np.ndarray:
         while self._pending:
             if self.poll() == 0:
                 break

@@ -52,6 +52,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.comm.communicator import Request
+from repro.obs import tracer as _trace
 from repro.tensor.dist_tensor import DistTensor
 from repro.tensor.distribution import Distribution
 from repro.tensor.grid import ProcessGrid
@@ -265,6 +266,14 @@ class ShuffleExchange:
         """
         if self._out is not None:
             raise RuntimeError("ShuffleExchange already started")
+        with _trace.span(
+            "shuffle.start",
+            cat="exchange",
+            bytes=int(self.plan.sent_cells * self.src.dtype.itemsize),
+        ):
+            return self._start()
+
+    def _start(self) -> "ShuffleExchange":
         src = self.src
         comm = src.comm
         plan = self.plan
@@ -321,7 +330,8 @@ class ShuffleExchange:
             return self._result
         if self._out is None:
             self.start()
-        self._assemble(self._request.wait())
+        with _trace.span("shuffle.finish", cat="exchange", pending=self.remaining):
+            self._assemble(self._request.wait())
         return self._result
 
     def _check_coverage(self) -> None:
@@ -368,6 +378,14 @@ def shuffle(
     plan = plan_shuffle(src, dst_grid, dst_dist)
     comm = src.comm
 
+    with _trace.span(
+        "shuffle", cat="exchange",
+        bytes=int(plan.sent_cells * src.dtype.itemsize),
+    ):
+        return _shuffle_run(src, dst_grid, dst_dist, plan, comm, pool)
+
+
+def _shuffle_run(src, dst_grid, dst_dist, plan, comm, pool):
     payloads = _stage_payloads(src, plan, pool)
     comm.stats.record_collective(SHUFFLE_OP, plan.sent_cells * src.dtype.itemsize)
 

@@ -1,0 +1,187 @@
+"""The critical-path analyzer and the cross-rank metrics registry.
+
+A traced training run must analyze into (a) a non-empty critical path
+walking flows and same-track gaps, (b) an exposed-vs-hidden wait table,
+(c) per-layer forward/backward times, and (d) per-op comm rows that agree
+*exactly* with the live ``CommStats`` counters — the rows are built from
+the verbatim snapshots each rank annotates into its trace, so a mismatch
+means the annotation plumbing dropped or double-counted something.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.comm import run_spmd
+from repro.core import DistNetwork, DistTrainer, LayerParallelism, ParallelStrategy
+from repro.nn import NetworkSpec, SGD
+from repro.obs import analyze
+from repro.obs.metrics import MetricsRegistry, comm_stats_snapshot
+from repro.perfmodel.machine import MachineSpec
+
+
+def small_net():
+    net = NetworkSpec("obs-analyze")
+    net.add("input", "input", channels=3, height=8, width=8)
+    net.add("c1", "conv", ["input"], filters=4, kernel=3, stride=1, pad=1)
+    net.add("r1", "relu", ["c1"])
+    net.add("gap", "gap", ["r1"])
+    net.add("fc", "fc", ["gap"], units=3, bias=True)
+    net.add("loss", "softmax_ce", ["fc"])
+    return net
+
+
+def _train_prog(comm):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((4, 3, 8, 8))
+    t = rng.integers(0, 3, size=4)
+    net = DistNetwork(small_net(), comm, LayerParallelism(sample=comm.size), seed=0)
+    trainer = DistTrainer(net, SGD(lr=0.1))
+    trainer.fit([(x, t)], epochs=2)
+    return comm_stats_snapshot(comm.stats)
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("trace") / "train.trace")
+    snapshots = run_spmd(2, _train_prog, trace=path)
+    return path, analyze.load_trace(path), snapshots
+
+
+class TestAnalyzer:
+    def test_critical_path(self, traced_run):
+        _, doc, _ = traced_run
+        path = analyze.critical_path(doc)
+        assert path, "critical path is empty"
+        # causally chained: a "seq" hop follows its predecessor on the same
+        # track; a "flow" hop may jump tracks (and backwards in span-start
+        # time, when the receiver opened a blocking span early and waited).
+        assert all(e["link"] in ("flow", "seq", "start") for e in path)
+        for prev, cur in zip(path, path[1:]):
+            if cur["link"] == "seq":
+                assert cur["pid"] == prev["pid"]
+                assert prev["ts_us"] + prev["dur_us"] <= cur["ts_us"] + 2.0
+            else:
+                # the sender's span must overlap or precede the receiver's end
+                assert prev["ts_us"] <= cur["ts_us"] + cur["dur_us"] + 2.0
+        summary = analyze.path_summary(path)
+        assert summary["hops"] == len(path)
+        assert summary["by_name"]
+
+    def test_exposed_hidden(self, traced_run):
+        _, doc, _ = traced_run
+        waits = analyze.exposed_hidden(doc)
+        assert "iallreduce" in waits
+        row = waits["iallreduce"]
+        assert row["count"] > 0
+        assert row["exposed_us"] >= 0.0
+        assert row["hidden_us"] >= 0.0
+
+    def test_layer_times(self, traced_run):
+        _, doc, _ = traced_run
+        layers = analyze.layer_times(doc)
+        for name in ("c1", "r1", "gap", "fc", "loss"):
+            assert name in layers, f"no span for layer {name}"
+            assert layers[name]["fwd_us"] > 0.0
+
+    def test_comm_rows_byte_exact(self, traced_run):
+        """Analyzer rows == sum of the live CommStats each rank returned."""
+        _, doc, snapshots = traced_run
+        rows = analyze.comm_rows(doc)
+        live = {}
+        for snap in snapshots:
+            for op, calls in snap["collectives"].items():
+                live.setdefault(op, {"calls": 0, "bytes": 0})["calls"] += int(calls)
+            for op, nbytes in snap["collective_bytes"].items():
+                live.setdefault(op, {"calls": 0, "bytes": 0})["bytes"] += int(nbytes)
+        assert rows == live
+
+    def test_model_predictions_from_simulator(self):
+        model = analyze.model_predictions(
+            small_net(),
+            MachineSpec(),
+            4,
+            ParallelStrategy.uniform(LayerParallelism(sample=2)),
+        )
+        assert model["source"] == "TrainingStepSimulator"
+        assert model["minibatch_s"] > 0
+        assert model["layers"]["c1"]["fwd_s"] > 0
+        # allreduce bytes come straight from the cost model's layer_cost
+        assert model["layers"]["c1"]["ar_bytes"] > 0
+        assert model["layers"]["r1"]["ar_bytes"] == 0
+
+    def test_render_report_and_cli(self, traced_run, tmp_path, capsys):
+        path, doc, _ = traced_run
+        model = analyze.model_predictions(
+            small_net(),
+            MachineSpec(),
+            4,
+            ParallelStrategy.uniform(LayerParallelism(sample=2)),
+        )
+        text = analyze.render_report(doc, model=model)
+        assert "critical path" in text
+        assert "exposed" in text
+        assert "measured vs modeled" in text
+        assert "c1" in text
+
+        model_path = tmp_path / "model.json"
+        model_path.write_text(json.dumps(model))
+        rc = analyze.main([path, "--model", str(model_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+
+
+class TestMetricsRegistry:
+    def test_counters_reduce_across_ranks(self):
+        def prog(comm):
+            reg = MetricsRegistry()
+            reg.inc("steps", comm.rank + 1)  # 1 + 2 = 3
+            reg.set("loss", float(comm.rank))  # min 0, mean 0.5, max 1
+            if comm.rank == 0:
+                reg.inc("rank0_only", 5)  # union must include it
+            return reg.reduce(comm)
+
+        reduced = run_spmd(2, prog)
+        for r in reduced:  # every rank sees the same folded view
+            assert r["nranks"] == 2
+            assert r["counters"]["steps"] == 3.0
+            assert r["counters"]["rank0_only"] == 5.0
+            assert r["gauges"]["loss"] == {"min": 0.0, "mean": 0.5, "max": 1.0}
+
+    def test_ingest_comm_stats_and_render(self):
+        def prog(comm):
+            comm.allreduce(np.ones(4))
+            reg = MetricsRegistry()
+            reg.ingest_comm_stats(comm.stats)
+            return reg.report(comm)
+
+        table = run_spmd(2, prog)[0]
+        assert "comm.allreduce.calls" in table
+        assert "metrics over 2 ranks" in table
+
+    def test_ingest_train_transport_faults(self):
+        from repro.core.trainer import TrainStats
+
+        stats = TrainStats()
+        stats.record(0.7, 0.02)
+        reg = MetricsRegistry()
+        reg.ingest_train_stats(stats)
+        reg.ingest_transport({"shm_bytes": 1024, "queue_msgs": 3})
+        reg.ingest_faults([2])
+        local = reg.local()
+        assert local["counters"]["train.steps"] == 1
+        assert local["counters"]["transport.shm_bytes"] == 1024
+        assert local["counters"]["faults.failed_ranks"] == 1
+        assert local["gauges"]["train.last_loss"] == pytest.approx(0.7)
+
+    def test_snapshot_matches_stats(self):
+        def prog(comm):
+            comm.allreduce(np.ones(4))
+            snap = comm_stats_snapshot(comm.stats)
+            assert snap["collectives"]["allreduce"] == 1
+            assert snap["collective_bytes"]["allreduce"] == 32
+            return True
+
+        assert all(run_spmd(2, prog))

@@ -1,0 +1,137 @@
+"""Cross-rank trace merge: one Perfetto-loadable timeline per job.
+
+``run_spmd(..., trace=path)`` leaves one ``{path}.rank{R}`` file per rank;
+the post-run merge folds them into a single Chrome-trace JSON whose tracks
+are time-ordered on the shared job-epoch axis and whose send->recv pairs
+are resolved into flow arrows by (peer, tag, sequence).  The contract must
+hold identically on the in-process thread backend and both forked
+backends (process, socket) — the clock alignment and the flow matching
+are exactly the pieces a forked world could silently break.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.comm import run_spmd
+from repro.obs import tracer
+from repro.obs.export import merge_traces, validate, validate_file
+
+
+def _prog(comm):
+    """A little of everything: pt2pt, barrier, blocking + nonblocking."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    req = comm.irecv(source=left, tag=7)
+    comm.send(np.arange(4.0) + comm.rank, dest=right, tag=7)
+    req.wait()
+    comm.barrier()
+    total = comm.allreduce(np.ones(8) * (comm.rank + 1))
+    return float(total[0])
+
+
+def _load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+class TestMergedTrace:
+    @pytest.mark.parametrize("nranks", [2, 4])
+    def test_thread_backend(self, tmp_path, nranks):
+        path = str(tmp_path / "job.trace")
+        run_spmd(nranks, _prog, trace=path)
+        self._check(path, nranks)
+
+    @pytest.mark.parametrize("backend", ["process", "socket"])
+    def test_forked_backends(self, tmp_path, backend):
+        path = str(tmp_path / "job.trace")
+        run_spmd(4, _prog, backend=backend, trace=path)
+        self._check(path, 4)
+
+    def _check(self, path, nranks):
+        doc = _load(path)
+        assert validate(doc) == [], validate(doc)
+        assert doc["otherData"]["nranks"] == nranks
+        assert doc["otherData"]["missing_ranks"] == []
+        assert doc["otherData"]["unresolved_flows"] == 0
+        assert doc["otherData"]["flows"] > 0
+
+        # one named track per rank
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert sorted(names) == list(range(nranks))
+
+        # per-track events time-ordered on the shared axis
+        for rank in range(nranks):
+            ts = [
+                e["ts"]
+                for e in doc["traceEvents"]
+                if e["ph"] == "X" and e["pid"] == rank
+            ]
+            assert ts == sorted(ts)
+            assert ts, f"rank {rank} track is empty"
+
+        # every flow id appears exactly once as "s" and once as "f"
+        starts = [e for e in doc["traceEvents"] if e["ph"] == "s"]
+        ends = [e for e in doc["traceEvents"] if e["ph"] == "f"]
+        assert len(starts) == len(ends) == doc["otherData"]["flows"]
+        assert {e["id"] for e in starts} == {e["id"] for e in ends}
+
+        # rank files were consumed by the merge
+        for rank in range(nranks):
+            assert not os.path.exists(tracer.rank_file(path, rank))
+
+    def test_env_var_enables_tracing(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "env.trace")
+        monkeypatch.setenv(tracer.TRACE_ENV, path)
+        run_spmd(2, _prog)
+        assert validate_file(path) == []
+
+    def test_untraced_run_writes_nothing(self, tmp_path):
+        run_spmd(2, _prog)
+        assert os.listdir(tmp_path) == []
+
+
+class TestMergeEdgeCases:
+    def _write_rank(self, path, rank, events):
+        with open(tracer.rank_file(path, rank), "w") as fh:
+            fh.write(json.dumps({"k": "M", "rank": rank, "host": "h", "pid": 1}) + "\n")
+            for ev in events:
+                fh.write(json.dumps(ev) + "\n")
+            fh.write(json.dumps({"k": "Z", "open": 0}) + "\n")
+
+    def test_missing_rank_tolerated(self, tmp_path):
+        path = str(tmp_path / "m.trace")
+        self._write_rank(path, 0, [
+            {"k": "X", "n": "a", "c": "t", "ts": 1.0, "d": 2.0, "a": {}},
+        ])
+        merge_traces(path, 3)
+        doc = _load(path)
+        assert doc["otherData"]["missing_ranks"] == [1, 2]
+        assert any("missing" in p for p in validate(doc))
+
+    def test_unmatched_flow_reported(self, tmp_path):
+        path = str(tmp_path / "u.trace")
+        self._write_rank(path, 0, [
+            {"k": "s", "p": 1, "t": "7", "q": 0, "ts": 1.0},
+        ])
+        self._write_rank(path, 1, [])
+        merge_traces(path, 2)
+        doc = _load(path)
+        assert doc["otherData"]["unresolved_flows"] == 1
+        assert any("unresolved" in p for p in validate(doc))
+
+    def test_unclosed_span_reported(self, tmp_path):
+        path = str(tmp_path / "o.trace")
+        with open(tracer.rank_file(path, 0), "w") as fh:
+            fh.write(json.dumps({"k": "M", "rank": 0, "host": "h", "pid": 1}) + "\n")
+            fh.write(json.dumps({"k": "Z", "open": 2}) + "\n")
+        merge_traces(path, 1)
+        doc = _load(path)
+        assert doc["otherData"]["unclosed_spans"] == {"0": 2}
+        assert any("unclosed" in p for p in validate(doc))
