@@ -41,6 +41,7 @@ import bench_shuffle_overlap as bs  # noqa: E402
 import bench_collectives as bc  # noqa: E402
 import bench_segmented as bseg  # noqa: E402
 import bench_fault_recovery as bfr  # noqa: E402
+import bench_elastic as be  # noqa: E402
 import bench_hierarchical as bhi  # noqa: E402
 import bench_trace_overhead as bto  # noqa: E402
 
@@ -77,6 +78,10 @@ def run_smoke(backends: tuple[str, ...] = ("thread",)) -> None:
         detect_intervals=bfr.SMOKE_INTERVALS, steps=2, repeats=1,
         json_path=os.path.join(
             results, "BENCH_fault_recovery_smoke.json"))[0])
+    emit("bench_elastic", be.generate_elastic(
+        every_values=be.SMOKE_EVERY, nsteps=be.SMOKE_NSTEPS,
+        crash_step=be.SMOKE_CRASH_STEP, repeats=1,
+        json_path=os.path.join(results, "BENCH_elastic_smoke.json"))[0])
     emit("bench_hierarchical", bhi.generate_hierarchical(
         sizes=bhi.SMOKE_SIZES, iters=2,
         json_path=os.path.join(
@@ -109,6 +114,7 @@ def run_full() -> None:
     emit("bench_collectives", bc.generate_collectives()[0])
     emit("bench_segmented", bseg.generate_segmented()[0])
     emit("bench_fault_recovery", bfr.generate_fault_recovery()[0])
+    emit("bench_elastic", be.generate_elastic()[0])
     emit("bench_hierarchical", bhi.generate_hierarchical()[0])
     emit("bench_trace_overhead", bto.generate_trace_overhead()[0])
     print("\nAll tables and figures regenerated under benchmarks/results/.")

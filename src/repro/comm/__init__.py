@@ -41,6 +41,7 @@ payloads cross the boundary zero-copy as read-only views (see
 from repro.comm.backend import (
     DEFAULT_TIMEOUT,
     CommAborted,
+    CommIntegrityError,
     available_backends,
     default_backend,
     register_backend,
@@ -94,6 +95,7 @@ __all__ = [
     "BufferPool",
     "COLLECTIVE_ALG_ENV",
     "CommAborted",
+    "CommIntegrityError",
     "CommStats",
     "Communicator",
     "DEFAULT_TIMEOUT",

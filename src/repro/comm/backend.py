@@ -91,10 +91,15 @@ logger = logging.getLogger(__name__)
 class CommAborted(RuntimeError):
     """Raised inside surviving ranks when the SPMD world has been aborted.
 
-    ``failed_rank``/``op``/``seq`` carry the structured abort cause when it
-    is known at the raise site (the message always carries it in text; the
-    attributes are a convenience for programmatic handling and are not
-    preserved across process-boundary pickling).
+    ``failed_rank``/``op``/``seq``/``host``/``kind`` carry the structured
+    abort cause when it is known at the raise site (the message always
+    carries it in text; the attributes are a convenience for programmatic
+    handling).  ``kind`` is a failure class the elastic supervisor can act
+    on — ``"injected-crash"``, ``"child-exit"``, ``"peer-death"``,
+    ``"timeout"``, ``"integrity"``, or ``"hang"``; ``host`` is the logical
+    host of the failed rank when a host map attributes one.  The attributes
+    survive process-boundary pickling (see :meth:`__reduce__`), so the
+    parent of a forked job sees the same structure the raising rank built.
     """
 
     def __init__(
@@ -104,11 +109,43 @@ class CommAborted(RuntimeError):
         failed_rank: int | None = None,
         op: str | None = None,
         seq: int | None = None,
+        host: str | None = None,
+        kind: str | None = None,
     ) -> None:
         super().__init__(message)
         self.failed_rank = failed_rank
         self.op = op
         self.seq = seq
+        self.host = host
+        self.kind = kind
+
+    def __reduce__(self):
+        # Default exception pickling re-calls __init__ with ``args`` only,
+        # dropping the keyword attributes; carry them as post-init state.
+        return (
+            self.__class__,
+            (self.args[0] if self.args else "",),
+            {
+                "failed_rank": self.failed_rank,
+                "op": self.op,
+                "seq": self.seq,
+                "host": self.host,
+                "kind": self.kind,
+            },
+        )
+
+
+class CommIntegrityError(CommAborted):
+    """A transport frame failed its integrity check (CRC32 mismatch).
+
+    Raised on the socket backend when a received TCP frame's payload does
+    not match the checksum its sender stamped into the header — real link
+    corruption, or an injected ``corrupt@…:point=wire`` fault.  Subclasses
+    :class:`CommAborted` so every existing abort-handling path treats it as
+    a job abort, but the distinct type (``kind="integrity"``) marks the
+    failure as restartable-with-the-same-world for the elastic supervisor:
+    the data was bad, not the rank.
+    """
 
 
 #: Default number of seconds a rank will wait on a peer before concluding the
@@ -490,7 +527,8 @@ class _Mailbox:
                     raise CommAborted(
                         f"{describe} timed out after {timeout:.1f}s"
                         f"{_retry_note(attempt)}; "
-                        f"pending inbox: {self.pending_keys()}"
+                        f"pending inbox: {self.pending_keys()}",
+                        kind="timeout",
                     )
                 self._cv.wait(timeout=min(remaining, 0.5))
 
@@ -722,7 +760,8 @@ class ThreadChannel(GroupChannel):
                     raise CommAborted(
                         f"{self._diag(token.opname, token.seq)} timed out "
                         f"after {bound:.1f}s with "
-                        f"{token.op.deposited}/{n} contributions deposited"
+                        f"{token.op.deposited}/{n} contributions deposited",
+                        kind="timeout",
                     )
                 ctx.pending_cv.wait(timeout=min(remaining, 0.5))
         if token.parts:

@@ -51,7 +51,12 @@ FAULTS_ENV = "REPRO_FAULTS"
 INJECTED_CRASH_EXIT = 117
 
 _KINDS = ("crash", "delay", "drop", "corrupt")
-_POINTS = ("send", "recv")
+#: ``send``/``recv`` bracket every transport operation on every backend;
+#: ``wire`` is the socket backend's on-the-wire point, applied to the
+#: serialized TCP frame *after* its CRC32 is computed — a ``corrupt`` fault
+#: there models real link corruption and must be caught by the receiver's
+#: frame checksum, not by arithmetic going quietly wrong.
+_POINTS = ("send", "recv", "wire")
 
 
 class InjectedFault(RuntimeError):
@@ -98,6 +103,11 @@ class FaultSpec:
             raise ValueError(f"fault after must be >= 0, got {self.after}")
         if self.kind == "drop" and self.point != "send":
             raise ValueError("drop faults arm on the send point")
+        if self.point == "wire" and self.kind not in ("corrupt", "delay"):
+            raise ValueError(
+                "the wire point carries serialized frames; only corrupt "
+                f"and delay faults arm there, not {self.kind!r}"
+            )
 
     def describe(self) -> str:
         bits = [f"{self.kind}@rank{self.rank}", f"point={self.point}"]
@@ -193,6 +203,12 @@ def _corrupt_payload(payload: Any, rng: np.random.Generator) -> Any:
     eligible array is overwritten with a large seeded value, so a corrupted
     allreduce is detectably — and reproducibly — wrong.
     """
+    if isinstance(payload, (bytes, bytearray)) and len(payload):
+        # Serialized wire frames: flip every bit of one seeded byte, so a
+        # CRC-protected transport must detect the corruption.
+        bad = bytearray(payload)
+        bad[int(rng.integers(0, len(bad)))] ^= 0xFF
+        return bytes(bad)
     if isinstance(payload, np.ndarray) and payload.dtype != object and payload.size:
         bad = payload.copy()
         idx = int(rng.integers(0, bad.size))

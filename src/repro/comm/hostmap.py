@@ -176,6 +176,42 @@ class HostMap:
         """True when a job of ``nranks`` lands entirely on one node."""
         return len({self.node_of(r) for r in range(nranks)}) <= 1
 
+    def excluding(
+        self,
+        hosts: Iterable[str] = (),
+        ranks: Iterable[int] = (),
+    ) -> "HostMap":
+        """A shrunk map with the given hosts and/or spec ranks blacklisted.
+
+        The elastic runner calls this after attributing repeated failures
+        to a host (or, without host attribution, a rank): surviving spec
+        ranks are renumbered densely to ``0..m'-1`` in their original
+        order, empty nodes are dropped, and node names are kept so failure
+        accounting stays keyed by the same host names across restarts.
+        Raises ``ValueError`` when nothing would survive.
+        """
+        bad_hosts = {str(h) for h in hosts}
+        bad_ranks = {int(r) % self.size for r in ranks}
+        survivors = [
+            r
+            for r in range(self.size)
+            if self.host_of(r) not in bad_hosts and r not in bad_ranks
+        ]
+        if not survivors:
+            raise ValueError(
+                f"excluding hosts={sorted(bad_hosts)} ranks={sorted(bad_ranks)} "
+                f"leaves no ranks in host map {self.describe()!r}"
+            )
+        renumber = {old: new for new, old in enumerate(survivors)}
+        groups: list[list[int]] = []
+        names: list[str] = []
+        for group, name in zip(self._nodes, self._names):
+            kept = [renumber[r] for r in group if r in renumber]
+            if kept:
+                groups.append(kept)
+                names.append(name)
+        return HostMap(groups, names=names)
+
     def describe(self) -> str:
         """Round-trippable spec string (``HostMap.parse(m.describe()) == m``)."""
         return " ".join(

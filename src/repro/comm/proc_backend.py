@@ -580,7 +580,7 @@ class _Inbox:
                     f"pending inbox: {self.pending_keys()}"
                 )
                 world.abort(reason)
-                raise CommAborted(reason)
+                raise CommAborted(reason, kind="timeout")
             self._drain_blocking(min(remaining, poll))
 
     def try_get(self, source: int, tag: Any) -> tuple[bool, Any]:
@@ -1167,6 +1167,12 @@ def _launch_forked(
                 f"{', injected crash' if injected else ''}) "
                 "before reporting a result",
                 failed_rank=rank,
+                host=(
+                    config.hostmap.host_of(rank)
+                    if config.hostmap is not None
+                    else None
+                ),
+                kind="injected-crash" if injected else "child-exit",
             )
         else:  # hang
             errors[rank] = CommAborted(
@@ -1174,6 +1180,12 @@ def _launch_forked(
                 f"{_PARENT_GRACE:.0f}s of the job starting to die "
                 f"(abort/crash/exit); job torn down{suffix}",
                 failed_rank=rank,
+                host=(
+                    config.hostmap.host_of(rank)
+                    if config.hostmap is not None
+                    else None
+                ),
+                kind="hang",
             )
 
     if config.allow_failures:

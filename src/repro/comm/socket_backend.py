@@ -16,11 +16,17 @@ under the engine while staying runnable on one machine:
   feeds :meth:`BaseWorld.node_of`, which drives the communicator's
   hierarchical collective selection — the transport and the cost model see
   one topology.
-* **Wire protocol** — length-prefixed frames (``!BI`` header: type +
-  payload length) over ``TCP_NODELAY`` sockets.  ``DATA`` frames carry a
-  pickled ``(source, tag, payload)``; ``HEARTBEAT`` frames keep liveness
-  fresh; a ``BYE`` frame announces an orderly exit, so the subsequent EOF
-  is not mistaken for a crash.  Sends are *eager*: ``deliver`` enqueues
+* **Wire protocol** — length-prefixed frames (``!BII`` header: type,
+  payload length, CRC32 of the payload) over ``TCP_NODELAY`` sockets.
+  ``DATA`` frames carry a pickled ``(source, tag, payload)``; ``HEARTBEAT``
+  frames keep liveness fresh; a ``BYE`` frame announces an orderly exit, so
+  the subsequent EOF is not mistaken for a crash.  The receiver recomputes
+  every payload's CRC32 before unpickling: a mismatch — real link
+  corruption, or an injected ``corrupt@…:point=wire`` fault — aborts the
+  job with a :class:`CommIntegrityError` naming the sending rank and host,
+  instead of feeding silently wrong bytes into the collectives (an
+  elastic-restartable failure class: the data was bad, not the rank).
+  Sends are *eager*: ``deliver`` enqueues
   the frame on a per-peer outbound queue serviced by a sender thread and
   never blocks the caller, preserving the buffered-send contract all
   backends share.  Transport counters (``tcp_messages`` / ``tcp_bytes`` /
@@ -56,13 +62,20 @@ import socket
 import struct
 import threading
 import time
+import zlib
 from collections import deque
 from time import monotonic
 from typing import Any, Callable
 
 import numpy as np
 
-from repro.comm.backend import CommAborted, _format_pending, _retry_note, register_backend
+from repro.comm.backend import (
+    CommAborted,
+    CommIntegrityError,
+    _format_pending,
+    _retry_note,
+    register_backend,
+)
 from repro.comm.faults import JobConfig
 from repro.comm.hostmap import HostMap
 from repro.obs import tracer
@@ -77,12 +90,13 @@ from repro.comm.proc_backend import (
 
 logger = logging.getLogger(__name__)
 
-#: Frame types of the wire protocol (header ``!BI``: type, payload length).
+#: Frame types of the wire protocol (header ``!BII``: type, payload
+#: length, CRC32 of the payload).
 _FRAME_DATA = 0
 _FRAME_HEARTBEAT = 1
 _FRAME_BYE = 2
 
-_HEADER = struct.Struct("!BI")
+_HEADER = struct.Struct("!BII")
 _HELLO = struct.Struct("!I")
 
 #: How long an exiting rank waits for its outbound frames to drain before
@@ -211,7 +225,7 @@ class _SocketInbox(_Inbox):
                 if q:
                     return q.popleft()
                 if world.aborted:
-                    raise CommAborted(
+                    raise world.abort_error(
                         f"{describe() if callable(describe) else describe} "
                         f"interrupted: world aborted{world.abort_suffix()}"
                     )
@@ -235,7 +249,7 @@ class _SocketInbox(_Inbox):
                         f"pending inbox: {self.pending_keys()}"
                     )
                     world.abort(reason)
-                    raise CommAborted(reason)
+                    raise CommAborted(reason, kind="timeout")
                 self._cv.wait(min(remaining, poll))
 
     def try_get(self, source: int, tag: Any) -> tuple[bool, Any]:
@@ -244,7 +258,7 @@ class _SocketInbox(_Inbox):
             if q:
                 return True, q.popleft()
         if self._world.aborted:
-            raise CommAborted(
+            raise self._world.abort_error(
                 f"irecv(source={source}, tag={tag}) interrupted: "
                 f"world aborted{self._world.abort_suffix()}"
             )
@@ -288,8 +302,14 @@ class _Connection:
         ).start()
 
     # -- sending -----------------------------------------------------------
-    def send_frame(self, ftype: int, blob: bytes = b"") -> None:
-        frame = _HEADER.pack(ftype, len(blob)) + blob
+    def send_frame(self, ftype: int, blob: bytes = b"", crc: int | None = None) -> None:
+        """Queue one frame.  ``crc`` defaults to the blob's CRC32; `deliver`
+        passes the checksum of the *pre-wire-fault* payload so injected
+        on-the-wire corruption is detectable at the receiver, exactly like
+        a frame corrupted by the link after the NIC computed its checksum."""
+        if crc is None:
+            crc = zlib.crc32(blob) & 0xFFFFFFFF
+        frame = _HEADER.pack(ftype, len(blob), crc) + blob
         with self._cv:
             if self._closed:
                 return
@@ -317,6 +337,9 @@ class _Connection:
                     # The peer exited cleanly (or the job is already dying):
                     # frames to a finished rank are fire-and-forget leftovers.
                     return
+                world.record_failure(
+                    "peer-death", self.peer, world.hostmap.host_of(self.peer)
+                )
                 world.abort(
                     f"world rank {self.peer} "
                     f"(host {world.hostmap.host_of(self.peer)}) unreachable "
@@ -348,11 +371,22 @@ class _Connection:
             header = self._recv_exact(_HEADER.size)
             if header is None:
                 break
-            ftype, length = _HEADER.unpack(header)
+            ftype, length, crc = _HEADER.unpack(header)
             blob = self._recv_exact(length) if length else b""
             if blob is None:
                 break
             self.last_heard = monotonic()
+            if (zlib.crc32(blob) & 0xFFFFFFFF) != crc:
+                # Corrupted on the wire: abort with an integrity failure
+                # instead of unpickling garbage into the collectives.
+                host = world.hostmap.host_of(self.peer)
+                world.record_failure("integrity", self.peer, host)
+                world.abort(
+                    f"frame from world rank {self.peer} (host {host}) "
+                    f"failed its CRC32 integrity check at world rank "
+                    f"{world.rank} (payload corrupted on the wire)"
+                )
+                return
             if ftype == _FRAME_DATA:
                 source, tag, payload = pickle.loads(blob)
                 # Freeze received arrays, mirroring every other transport:
@@ -363,6 +397,9 @@ class _Connection:
             # heartbeats only refresh last_heard
         if self.peer_done or self._closed or world.aborted:
             return  # orderly EOF
+        world.record_failure(
+            "peer-death", self.peer, world.hostmap.host_of(self.peer)
+        )
         world.abort(
             f"world rank {self.peer} "
             f"(host {world.hostmap.host_of(self.peer)}) lost: connection "
@@ -412,11 +449,31 @@ class SocketWorld(ProcessWorld):
         self._conns: dict[int, _Connection] = {}
         self._conn_lock = threading.Lock()
         self._shutting_down = False
+        #: Structured cause of a wire-level failure this rank observed
+        #: (kind, peer rank, peer host), recorded just before the abort so
+        #: survivor exceptions can carry it (first observation wins).
+        self._failure: tuple[str, int, str] | None = None
         self.transport.update(
             tcp_messages=0,
             tcp_bytes=0,          # full frame payloads (pickle included)
             tcp_payload_bytes=0,  # ndarray bytes only (model-comparable)
         )
+
+    # -- failure attribution -------------------------------------------------
+    def record_failure(self, kind: str, peer: int, host: str) -> None:
+        """Remember the structured cause behind an imminent abort."""
+        if self._failure is None:
+            self._failure = (kind, peer, host)
+
+    def abort_error(self, message: str) -> CommAborted:
+        """Build the survivor-side exception for an aborted world, carrying
+        the recorded wire-level cause; integrity failures get the dedicated
+        :class:`CommIntegrityError` type."""
+        if self._failure is not None:
+            kind, peer, host = self._failure
+            cls = CommIntegrityError if kind == "integrity" else CommAborted
+            return cls(message, failed_rank=peer, host=host, kind=kind)
+        return CommAborted(message)
 
     # -- topology ----------------------------------------------------------
     @property
@@ -561,6 +618,13 @@ class SocketWorld(ProcessWorld):
         blob = pickle.dumps(
             (source, tag, payload), protocol=pickle.HIGHEST_PROTOCOL
         )
+        # The frame's CRC32 is stamped *before* the wire fault point, so an
+        # injected on-the-wire corruption reaches the receiver with a stale
+        # checksum and trips its integrity check — modeling a link that
+        # flips bits after the sender computed the frame's checksum.
+        crc = zlib.crc32(blob) & 0xFFFFFFFF
+        if source == self.rank:
+            _, blob = self._fault("wire", dest, tag, blob)
         self.transport["tcp_messages"] += 1
         self.transport["tcp_bytes"] += len(blob)
         self.transport["tcp_payload_bytes"] += _array_nbytes(payload)
@@ -571,7 +635,7 @@ class SocketWorld(ProcessWorld):
                 f"{dest} (host {self._hostmap.host_of(dest)})"
             )
         with tracer.span("xport:tcp", cat="transport", dest=dest, bytes=len(blob)):
-            conn.send_frame(_FRAME_DATA, blob)
+            conn.send_frame(_FRAME_DATA, blob, crc=crc)
 
 
 def _socket_child_main(

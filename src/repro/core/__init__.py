@@ -19,25 +19,52 @@
   optimizer (§V-C): candidate generation + shortest-path assignment.
 * :mod:`repro.core.channel_filter` — channel/filter-parallel convolution
   (§III-D; sketched in the paper, implemented here as an extension).
+* :mod:`repro.core.elastic` — elastic self-healing supervision: restart
+  with backoff, blacklist-and-shrink, cross-world checkpoint re-sharding,
+  graceful degradation (:class:`~repro.core.elastic.ElasticRunner`).
 """
 
 from repro.core.parallelism import LayerParallelism, ParallelStrategy
 from repro.core.checkpoint import (
+    gather_global_state,
     latest_common_step,
+    latest_complete_step,
     load_state,
     local_steps,
+    parse_checkpoint_name,
     save_state,
 )
 from repro.core.dist_network import DistNetwork
+from repro.core.elastic import (
+    ELASTIC_ENV,
+    ElasticReport,
+    ElasticRunner,
+    RankFailure,
+    RestartRecord,
+    classify_error,
+    classify_failures,
+    run_elastic,
+)
 from repro.core.trainer import DistTrainer
 
 __all__ = [
     "DistNetwork",
     "DistTrainer",
+    "ELASTIC_ENV",
+    "ElasticReport",
+    "ElasticRunner",
     "LayerParallelism",
     "ParallelStrategy",
+    "RankFailure",
+    "RestartRecord",
+    "classify_error",
+    "classify_failures",
+    "gather_global_state",
     "latest_common_step",
+    "latest_complete_step",
     "load_state",
     "local_steps",
+    "parse_checkpoint_name",
+    "run_elastic",
     "save_state",
 ]

@@ -149,10 +149,13 @@ class DistTrainer:
             "optimizer": self.optimizer.state_dict(),
             "rng": self.rng.bit_generator.state if self.rng is not None else None,
         }
-        rank = self.network.comm.rank
-        path = ckpt.save_state(self.checkpoint_dir, self.step_index, rank, state)
+        comm = self.network.comm
+        path = ckpt.save_state(
+            self.checkpoint_dir, self.step_index, comm.rank, state,
+            world=comm.size,
+        )
         if self.checkpoint_keep > 0:
-            ckpt.prune(self.checkpoint_dir, rank, self.checkpoint_keep)
+            ckpt.prune(self.checkpoint_dir, comm.rank, self.checkpoint_keep)
         return path
 
     def resume(self) -> int | None:
@@ -163,10 +166,60 @@ class DistTrainer:
         BN running stats, the step counter, and the data RNG state all
         match the values at save time exactly.
         """
-        step = ckpt.latest_common_step(self.checkpoint_dir, self.network.comm)
+        comm = self.network.comm
+        step = ckpt.latest_common_step(self.checkpoint_dir, comm)
         if step is None:
             return None
-        state = ckpt.load_state(self.checkpoint_dir, step, self.network.comm.rank)
+        state = ckpt.load_state(
+            self.checkpoint_dir, step, comm.rank, world=comm.size
+        )
+        self._load_state(state)
+        return self.step_index
+
+    def resume_elastic(self) -> tuple[int, int] | None:
+        """Restore from the newest usable checkpoint, re-sharding if needed.
+
+        Same-world sets resume exactly like :meth:`resume` (bitwise).  When
+        none exists — the previous incarnation ran with a different rank
+        count — rank 0 scans for the newest *complete* world-stamped set,
+        broadcasts the choice, and every rank loads the verified canonical
+        global state (:func:`repro.core.checkpoint.gather_global_state`).
+        Parameters, momentum, BN statistics, and the data-RNG position are
+        replicated, so re-sharding for the new world is loading the
+        canonical replica under the freshly-planned strategy; each rank
+        then stamps a checkpoint for the *new* world at the resume step so
+        the next restart at this size takes the bitwise path.
+
+        Returns ``(step, source_world)``, or ``None`` when the directory
+        holds nothing usable.
+        """
+        comm = self.network.comm
+        step = ckpt.latest_common_step(self.checkpoint_dir, comm)
+        if step is not None:
+            state = ckpt.load_state(
+                self.checkpoint_dir, step, comm.rank, world=comm.size
+            )
+            self._load_state(state)
+            return (self.step_index, comm.size)
+        found = comm.bcast(
+            ckpt.latest_complete_step(self.checkpoint_dir)
+            if comm.rank == 0 else None
+        )
+        if found is None:
+            return None
+        step, src_world = found
+        with _trace.span(
+            "resume_reshard", cat="elastic",
+            step=step, src_world=src_world, world=comm.size,
+        ):
+            state = ckpt.gather_global_state(
+                self.checkpoint_dir, step, src_world
+            )
+            self._load_state(state)
+            self._save_checkpoint()
+        return (self.step_index, src_world)
+
+    def _load_state(self, state) -> None:
         self.network.load_state_dict(state["network"])
         self.optimizer.load_state_dict(state["optimizer"])
         if state["rng"] is not None:
@@ -177,7 +230,6 @@ class DistTrainer:
                 )
             self.rng.bit_generator.state = state["rng"]
         self.step_index = int(state["step"])
-        return self.step_index
 
     def fit(self, batches, epochs: int = 1, verbose: bool = False) -> TrainStats:
         """Train over an iterable of ``(inputs, targets)`` mini-batches.

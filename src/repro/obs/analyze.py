@@ -339,8 +339,34 @@ def main(argv=None) -> int:
     parser.add_argument("trace", help="merged Chrome-trace JSON from a traced run")
     parser.add_argument("--model", help="model JSON from repro.obs.analyze.model_predictions")
     parser.add_argument("--top", type=int, default=12, help="rows in the critical-path table")
+    parser.add_argument(
+        "--salvage",
+        action="store_true",
+        help="merge leftover {trace}.rank* files from a crashed job first "
+        "(missing ranks are annotated), then analyze the salvaged trace",
+    )
+    parser.add_argument(
+        "--nranks",
+        type=int,
+        default=None,
+        help="with --salvage: the world size the job ran at (default: "
+        "inferred from the highest surviving rank file)",
+    )
     args = parser.parse_args(argv)
 
+    if args.salvage:
+        from repro.obs.export import salvage_traces
+
+        _, found, missing = salvage_traces(args.trace, args.nranks)
+        print(
+            f"salvaged {len(found)} rank file(s) into {args.trace} "
+            f"(ranks {', '.join(map(str, found))})"
+        )
+        if missing:
+            print(
+                "missing ranks (crashed before writing, or files lost): "
+                + ", ".join(map(str, missing))
+            )
     doc = load_trace(args.trace)
     model = None
     if args.model:

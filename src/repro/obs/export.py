@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 
 from repro.obs import tracer
 
@@ -159,6 +160,43 @@ def merge_traces(path: str, nranks: int, *, keep_rank_files: bool = False) -> st
         for rf in seen_files:
             os.remove(rf)
     return path
+
+
+def salvage_traces(
+    path: str, nranks: int | None = None, *, keep_rank_files: bool = False
+) -> tuple[str, list[int], list[int]]:
+    """Merge whatever per-rank files a dead job left behind.
+
+    A job that crashes before the launcher's merge step leaves
+    ``{path}.rank{R}`` files on disk with no combined trace.  This folds
+    every rank file found into a Chrome trace at ``path`` and returns
+    ``(path, found_ranks, missing_ranks)``.  When ``nranks`` is ``None``
+    the world size is inferred as ``max(found rank) + 1`` — a lower bound,
+    since trailing ranks that never opened their file leave no evidence —
+    and intermediate gaps still show up as missing.  Raises
+    ``FileNotFoundError`` when there is nothing to salvage.
+    """
+    suffix_re = re.compile(r"\.rank(\d+)$")
+    found: list[int] = []
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    base = os.path.basename(path)
+    if os.path.isdir(directory):
+        for name in os.listdir(directory):
+            if not name.startswith(base + ".rank"):
+                continue
+            m = suffix_re.search(name)
+            if m:
+                found.append(int(m.group(1)))
+    if not found:
+        raise FileNotFoundError(
+            f"no per-rank trace files matching {path}.rank* to salvage"
+        )
+    found.sort()
+    if nranks is None:
+        nranks = found[-1] + 1
+    merge_traces(path, nranks, keep_rank_files=keep_rank_files)
+    missing = sorted(set(range(nranks)) - set(found))
+    return path, found, missing
 
 
 def validate(doc: dict) -> list[str]:

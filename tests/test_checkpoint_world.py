@@ -1,0 +1,173 @@
+"""World-stamped checkpoints and cross-world re-sharding.
+
+Elastic restarts can resume a run with a different rank count than the one
+that wrote the checkpoints, so checkpoint files carry the writer's world
+size in their name.  These tests pin the naming contract (stamped and
+legacy), the stale-file tolerance of :func:`latest_common_step`, the
+complete-set scan a differently-sized world resumes from, and the bitwise
+replica verification that guards re-sharding.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.comm import run_spmd
+from repro.core import checkpoint as ckpt
+
+
+def _save_world(d, step, world, value=None):
+    """One complete stamped checkpoint set: every rank of ``world``."""
+    for rank in range(world):
+        ckpt.save_state(
+            d, step, rank,
+            {"x": np.arange(3.0) if value is None else value},
+            world=world,
+        )
+
+
+class TestNaming:
+    def test_unstamped_save_keeps_legacy_name(self, tmp_path):
+        path = ckpt.save_state(str(tmp_path), 1, 0, {"x": np.ones(2)})
+        assert os.path.basename(path) == "step00000001.rank0.npz"
+
+    def test_stamped_save_embeds_world(self, tmp_path):
+        path = ckpt.save_state(str(tmp_path), 2, 1, {"x": np.ones(2)}, world=3)
+        assert os.path.basename(path) == "step00000002.of0003.rank1.npz"
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("step00000004.rank0.npz", (4, None, 0)),
+            ("step00000004.of0002.rank1.npz", (4, 2, 1)),
+            ("step00000004.of0002.rank12.npz", (4, 2, 12)),
+            ("not-a-checkpoint.npz", None),
+            (".tmp-step00000004.rank0-abc.npz", None),
+        ],
+    )
+    def test_parse_checkpoint_name(self, name, expected):
+        assert ckpt.parse_checkpoint_name(name) == expected
+
+    def test_stamped_roundtrip_is_bitwise(self, tmp_path):
+        state = {"w": np.random.default_rng(0).standard_normal(9)}
+        ckpt.save_state(str(tmp_path), 5, 0, state, world=2)
+        out = ckpt.load_state(str(tmp_path), 5, 0, world=2)
+        np.testing.assert_array_equal(out["w"], state["w"])
+
+    def test_load_falls_back_to_legacy_file(self, tmp_path):
+        """A run upgraded mid-flight still resumes from unstamped files."""
+        ckpt.save_state(str(tmp_path), 3, 0, {"x": np.full(4, 7.0)})
+        out = ckpt.load_state(str(tmp_path), 3, 0, world=2)
+        np.testing.assert_array_equal(out["x"], np.full(4, 7.0))
+
+
+class TestLocalStepsWorldFilter:
+    def test_world_filter_hides_other_worlds(self, tmp_path):
+        d = str(tmp_path)
+        ckpt.save_state(d, 1, 0, {"x": np.ones(2)})            # legacy
+        ckpt.save_state(d, 2, 0, {"x": np.ones(2)}, world=4)   # stale
+        ckpt.save_state(d, 3, 0, {"x": np.ones(2)}, world=2)   # current
+        assert ckpt.local_steps(d, 0) == [1, 2, 3]             # permissive
+        assert ckpt.local_steps(d, 0, world=2) == [1, 3]
+        assert ckpt.local_steps(d, 0, world=4) == [1, 2]
+
+    def test_prune_sweeps_across_stamps(self, tmp_path):
+        d = str(tmp_path)
+        ckpt.save_state(d, 1, 0, {"x": np.ones(2)}, world=4)
+        ckpt.save_state(d, 2, 0, {"x": np.ones(2)}, world=2)
+        ckpt.save_state(d, 3, 0, {"x": np.ones(2)})
+        removed = ckpt.prune(d, 0, keep=1)
+        assert removed == [1, 2]
+        assert ckpt.local_steps(d, 0) == [3]
+
+
+class TestLatestCommonStepElastic:
+    def test_ignores_stale_files_from_larger_world(self, tmp_path):
+        """A shrunk restart must not resume from a step that was only ever
+        completed by the previous, larger world."""
+        d = str(tmp_path)
+        _save_world(d, 6, world=3)  # previous 3-rank incarnation
+        _save_world(d, 4, world=2)  # what the current 2-rank world wrote
+
+        def prog(comm):
+            return ckpt.latest_common_step(d, comm)
+
+        assert run_spmd(2, prog) == [4, 4]
+
+    def test_tolerates_mismatched_per_rank_step_sets(self, tmp_path):
+        d = str(tmp_path)
+        ckpt.save_state(d, 2, 0, {"x": np.ones(2)}, world=2)
+        ckpt.save_state(d, 2, 1, {"x": np.ones(2)}, world=2)
+        ckpt.save_state(d, 4, 0, {"x": np.ones(2)}, world=2)  # rank 1 died
+
+        def prog(comm):
+            return ckpt.latest_common_step(d, comm)
+
+        assert run_spmd(2, prog) == [2, 2]
+
+    def test_legacy_unstamped_files_still_count(self, tmp_path):
+        d = str(tmp_path)
+        for rank in range(2):
+            ckpt.save_state(d, 5, rank, {"x": np.ones(2)})
+
+        def prog(comm):
+            return ckpt.latest_common_step(d, comm)
+
+        assert run_spmd(2, prog) == [5, 5]
+
+
+class TestLatestCompleteStep:
+    def test_empty_directory(self, tmp_path):
+        assert ckpt.latest_complete_step(str(tmp_path)) is None
+        assert ckpt.latest_complete_step(str(tmp_path / "missing")) is None
+
+    def test_incomplete_sets_are_skipped(self, tmp_path):
+        d = str(tmp_path)
+        _save_world(d, 2, world=3)
+        ckpt.save_state(d, 4, 0, {"x": np.ones(2)}, world=3)  # ranks 1,2 missing
+        assert ckpt.latest_complete_step(d) == (2, 3)
+
+    def test_newest_complete_set_wins_across_worlds(self, tmp_path):
+        d = str(tmp_path)
+        _save_world(d, 6, world=3)
+        _save_world(d, 8, world=2)
+        assert ckpt.latest_complete_step(d) == (8, 2)
+
+    def test_legacy_files_cannot_prove_completeness(self, tmp_path):
+        d = str(tmp_path)
+        for rank in range(2):
+            ckpt.save_state(d, 9, rank, {"x": np.ones(2)})  # unstamped
+        assert ckpt.latest_complete_step(d) is None
+
+
+class TestGatherGlobalState:
+    def test_gathers_canonical_replica(self, tmp_path):
+        d = str(tmp_path)
+        _save_world(d, 3, world=3)
+        state = ckpt.gather_global_state(d, 3, 3)
+        np.testing.assert_array_equal(state["x"], np.arange(3.0))
+
+    def test_divergent_replica_is_refused(self, tmp_path):
+        d = str(tmp_path)
+        _save_world(d, 3, world=3)
+        ckpt.save_state(
+            d, 3, 2, {"x": np.array([0.0, 1.0, 99.0])}, world=3
+        )
+        with pytest.raises(ValueError, match=r"rank 2 .*state\.x"):
+            ckpt.gather_global_state(d, 3, 3)
+
+    def test_divergence_check_is_bitwise(self, tmp_path):
+        """Even a sign-of-zero difference (equal under ==) is divergence."""
+        d = str(tmp_path)
+        ckpt.save_state(d, 1, 0, {"x": np.array([0.0])}, world=2)
+        ckpt.save_state(d, 1, 1, {"x": np.array([-0.0])}, world=2)
+        with pytest.raises(ValueError, match="diverge"):
+            ckpt.gather_global_state(d, 1, 2)
+
+    def test_structural_divergence_detected(self, tmp_path):
+        d = str(tmp_path)
+        ckpt.save_state(d, 1, 0, {"x": np.ones(2), "n": 3}, world=2)
+        ckpt.save_state(d, 1, 1, {"x": np.ones(2), "n": 4}, world=2)
+        with pytest.raises(ValueError, match=r"state\.n"):
+            ckpt.gather_global_state(d, 1, 2)

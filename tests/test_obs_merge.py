@@ -17,7 +17,7 @@ import pytest
 
 from repro.comm import run_spmd
 from repro.obs import tracer
-from repro.obs.export import merge_traces, validate, validate_file
+from repro.obs.export import merge_traces, salvage_traces, validate, validate_file
 
 
 def _prog(comm):
@@ -135,3 +135,71 @@ class TestMergeEdgeCases:
         doc = _load(path)
         assert doc["otherData"]["unclosed_spans"] == {"0": 2}
         assert any("unclosed" in p for p in validate(doc))
+
+
+class TestSalvage:
+    """``--salvage``: merging whatever a dead job left behind.
+
+    A job that crashes before the launcher's merge step strands its
+    ``{path}.rank*`` files; salvage folds the survivors into a loadable
+    trace and annotates the ranks that never wrote one.
+    """
+
+    def test_salvage_after_hard_crash(self, tmp_path):
+        path = str(tmp_path / "dead.trace")
+        with pytest.raises(Exception):
+            run_spmd(
+                4, _prog, backend="process", trace=path,
+                faults="crash@rank2:after=0",
+                timeout=20.0, detect_interval=0.2,
+            )
+        assert not os.path.exists(path)  # the merge never ran
+        leftovers = [
+            r for r in range(4)
+            if os.path.exists(tracer.rank_file(path, r))
+        ]
+        assert leftovers  # survivors flushed their files
+
+        out, found, missing = salvage_traces(path, nranks=4)
+        assert out == path and os.path.exists(path)
+        assert 2 in missing  # the os._exit'd rank left nothing
+        doc = _load(path)
+        assert doc["otherData"]["missing_ranks"] == missing
+        # Salvaged traces are structurally valid apart from the flagged
+        # missing ranks / severed flows.
+        problems = validate(doc)
+        assert all(
+            "missing" in p or "unresolved" in p or "unclosed" in p
+            for p in problems
+        ), problems
+
+    def test_world_size_inferred_from_surviving_files(self, tmp_path):
+        path = str(tmp_path / "t.trace")
+        for rank in (0, 1, 3):
+            with open(tracer.rank_file(path, rank), "w") as fh:
+                fh.write(json.dumps({"k": "M", "rank": rank, "host": "h", "pid": 1}) + "\n")
+                fh.write(json.dumps({"k": "Z", "open": 0}) + "\n")
+        _, found, missing = salvage_traces(path)
+        assert found == [0, 1, 3]
+        assert missing == [2]  # inferred world size 4: the gap shows up
+
+    def test_nothing_to_salvage_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="salvage"):
+            salvage_traces(str(tmp_path / "ghost.trace"))
+
+    def test_cli_salvage_flag(self, tmp_path, capsys):
+        from repro.obs import analyze
+
+        path = str(tmp_path / "cli.trace")
+        for rank in (0, 2):
+            with open(tracer.rank_file(path, rank), "w") as fh:
+                fh.write(json.dumps({"k": "M", "rank": rank, "host": "h", "pid": 1}) + "\n")
+                fh.write(json.dumps(
+                    {"k": "X", "n": "step", "c": "train", "ts": 1.0, "d": 2.0, "a": {}}
+                ) + "\n")
+                fh.write(json.dumps({"k": "Z", "open": 0}) + "\n")
+        rc = analyze.main([path, "--salvage"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "salvaged 2 rank file(s)" in out
+        assert "missing ranks" in out and "1" in out
